@@ -1,0 +1,153 @@
+"""Ablation benchmarks (experiments A1, A2 in DESIGN.md).
+
+A1 isolates the *dynamic* half of the paper's contribution: the same
+engine with signOff execution disabled degenerates to static
+projection.  A2 isolates the first-witness ``[1]`` optimisation on
+existence tests.  A third study shows the multi-pass workload
+(grouped Q20) where active GC cannot beat projection — the boundary of
+the technique.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+
+from repro.bench.reporting import format_table
+from repro.core.engine import GCXEngine
+from repro.datasets.bib import BIB_QUERY, make_bib_document
+from repro.xmark.queries import ADAPTED_QUERIES, EXTRA_QUERIES
+
+
+def test_ablation_gc(benchmark, xmark_fig4):
+    """A1: active GC on vs off, per adapted query."""
+    rows = []
+    ratios = {}
+    for key in ("q1", "q6", "q8", "q13", "q20"):
+        query = ADAPTED_QUERIES[key]
+        on = GCXEngine(record_series=False).query(query.text, xmark_fig4)
+        off = GCXEngine(gc_enabled=False, record_series=False).query(
+            query.text, xmark_fig4
+        )
+        assert on.output == off.output
+        ratios[key] = off.stats.watermark / max(1, on.stats.watermark)
+        rows.append(
+            [
+                key,
+                on.stats.watermark,
+                off.stats.watermark,
+                f"{ratios[key]:.1f}x",
+            ]
+        )
+    benchmark.pedantic(
+        lambda: GCXEngine(record_series=False).query(
+            ADAPTED_QUERIES["q1"].text, xmark_fig4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(
+        "ablation_gc.txt",
+        "A1: peak buffered nodes, active GC on vs off (static projection)\n\n"
+        + format_table(["query", "gc on", "gc off", "reduction"], rows),
+    )
+    # streaming queries gain an order of magnitude; the join gains little
+    assert ratios["q1"] > 10
+    assert ratios["q6"] > 10
+    assert ratios["q13"] > 5
+    assert ratios["q8"] < 3
+
+
+def test_ablation_first_witness(benchmark):
+    """A2: the [1] predicate on existence tests bounds witness buffering."""
+    # a document whose entries have many potential witnesses
+    entries = "".join(
+        "<entry>" + "<price>1</price>" * 30 + "</entry>" for _ in range(10)
+    )
+    xml = f"<bib>{entries}</bib>"
+    query = (
+        "for $x in /bib/entry return "
+        'if (exists $x/price) then "y" else "n"'
+    )
+    fast = GCXEngine(record_series=False).query(query, xml)
+    slow = GCXEngine(first_witness=False, record_series=False).query(query, xml)
+    benchmark.pedantic(
+        lambda: GCXEngine(record_series=False).query(query, xml),
+        rounds=3,
+        iterations=1,
+    )
+    write_report(
+        "ablation_first_witness.txt",
+        "A2: peak buffered nodes for an exists-heavy query\n\n"
+        + format_table(
+            ["variant", "watermark"],
+            [
+                ["[1] first witness", fast.stats.watermark],
+                ["all witnesses", slow.stats.watermark],
+            ],
+        ),
+    )
+    assert fast.output == slow.output
+    assert fast.stats.watermark * 5 < slow.stats.watermark
+
+
+def test_ablation_multipass_boundary(benchmark, xmark_fig4):
+    """Grouped Q20 needs four passes over people: GC degenerates to
+    projection — the documented boundary of active garbage collection."""
+    single = GCXEngine(record_series=False).query(
+        ADAPTED_QUERIES["q20"].text, xmark_fig4
+    )
+    grouped = GCXEngine(record_series=False).query(
+        EXTRA_QUERIES["q20-grouped"].text, xmark_fig4
+    )
+    grouped_nogc = GCXEngine(gc_enabled=False, record_series=False).query(
+        EXTRA_QUERIES["q20-grouped"].text, xmark_fig4
+    )
+    benchmark.pedantic(
+        lambda: GCXEngine(record_series=False).query(
+            ADAPTED_QUERIES["q20"].text, xmark_fig4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(
+        "ablation_multipass.txt",
+        "Boundary study: single-pass vs grouped (multi-pass) Q20\n\n"
+        + format_table(
+            ["variant", "watermark"],
+            [
+                ["q20 single pass, gc on", single.stats.watermark],
+                ["q20 grouped, gc on", grouped.stats.watermark],
+                ["q20 grouped, gc off", grouped_nogc.stats.watermark],
+            ],
+        ),
+    )
+    assert single.stats.watermark * 5 < grouped.stats.watermark
+    # on a multi-pass query GC buys almost nothing over projection
+    assert grouped.stats.watermark > 0.8 * grouped_nogc.stats.watermark
+
+
+def test_ablation_signoff_granularity(benchmark):
+    """Per-node preemption (GCX) vs scope-coarsened signOffs (the
+    FluX-like placement) on the paper's bib example at larger sizes."""
+    from repro.baselines import FluxLikeEngine
+    from repro.xmlio.dtd import parse_dtd
+
+    dtd = parse_dtd("<!ELEMENT bib (book|article)*>")
+    xml = make_bib_document(["book", "article"] * 100)
+    gcx = GCXEngine(record_series=False).query(BIB_QUERY, xml)
+    flux = FluxLikeEngine(dtd=dtd, record_series=False).query(BIB_QUERY, xml)
+    benchmark.pedantic(
+        lambda: GCXEngine(record_series=False).query(BIB_QUERY, xml),
+        rounds=3,
+        iterations=1,
+    )
+    write_report(
+        "ablation_granularity.txt",
+        "signOff granularity: per-node (gcx) vs scope (flux-like)\n\n"
+        + format_table(
+            ["engine", "watermark"],
+            [["gcx", gcx.stats.watermark], ["flux-like", flux.stats.watermark]],
+        ),
+    )
+    assert gcx.output == flux.output
+    assert gcx.stats.watermark < flux.stats.watermark

@@ -1,0 +1,72 @@
+"""Figure 3(b)/(c): buffer profiles of the paper's running example.
+
+Regenerates the two buffer plots of the demo (experiments E1, E2 in
+DESIGN.md): the intro query over a bib document with ten children —
+nine articles + one book (3b, bounded buffer) and nine books + one
+article (3c, staircase up to 23 buffered nodes at ``</bib>``).
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+
+from repro.bench.reporting import ascii_plot
+from repro.core.engine import GCXEngine
+from repro.datasets.bib import BIB_QUERY, figure3b_document, figure3c_document
+
+
+def profile(document):
+    return GCXEngine().query(BIB_QUERY, document).stats
+
+
+def test_figure3_report(benchmark):
+    stats_b = profile(figure3b_document())
+    stats_c = profile(figure3c_document())
+    benchmark(lambda: GCXEngine().query(BIB_QUERY, figure3c_document()))
+
+    report = "\n\n".join(
+        [
+            "Figure 3 reproduction: buffer profiles of the intro query",
+            ascii_plot(
+                stats_b.series,
+                width=60,
+                height=12,
+                title="(b) 9 x article + 1 x book",
+            ),
+            ascii_plot(
+                stats_c.series,
+                width=60,
+                height=12,
+                title="(c) 9 x book + 1 x article",
+            ),
+            "paper: 3(c) buffers 23 nodes when </bib> is read\n"
+            f"measured: watermark(3b)={stats_b.watermark} "
+            f"watermark(3c)={stats_c.watermark} "
+            f"(tokens: {stats_b.tokens}/{stats_c.tokens})",
+        ]
+    )
+    write_report("figure3.txt", report)
+
+    # Paper-pinned shape assertions.
+    assert stats_b.tokens == stats_c.tokens == 82
+    assert stats_c.watermark == 23
+    assert stats_b.watermark <= 8
+    assert stats_b.final_buffered == stats_c.final_buffered == 0
+
+
+def test_figure3b_bounded_vs_3c_linear(benchmark):
+    """The 3(b) document evaluates with a buffer independent of the
+    number of articles; the 3(c) staircase grows with the books."""
+    from repro.datasets.bib import make_bib_document
+
+    def watermark(kinds):
+        return GCXEngine().query(BIB_QUERY, make_bib_document(kinds)).stats.watermark
+
+    small_articles = watermark(["article"] * 5 + ["book"])
+    many_articles = watermark(["article"] * 50 + ["book"])
+    small_books = watermark(["book"] * 5 + ["article"])
+    many_books = watermark(["book"] * 50 + ["article"])
+    benchmark(lambda: watermark(["book"] * 50 + ["article"]))
+
+    assert many_articles == small_articles  # bounded
+    assert many_books - small_books == 2 * 45  # two nodes per extra book

@@ -1,0 +1,84 @@
+"""Microbenchmarks: throughput of the pipeline stages.
+
+Not a paper table, but the numbers the paper's timing column depends
+on: raw lexer speed, projector speed with a selective vs subtree-heavy
+path set, and full engine throughput.  Useful for tracking performance
+regressions of the reproduction itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffer import Buffer
+from repro.core.engine import GCXEngine
+from repro.core.matcher import PathMatcher
+from repro.core.projector import StreamProjector
+from repro.xmark.queries import ADAPTED_QUERIES
+from repro.xmlio.lexer import make_lexer, tokenize
+from repro.xpath.parser import parse_path
+
+
+@pytest.fixture(scope="module")
+def document(xmark_fig4):
+    return xmark_fig4
+
+
+def test_lexer_throughput(benchmark, document):
+    def run():
+        count = 0
+        for _token in tokenize(document):
+            count += 1
+        return count
+
+    tokens = benchmark(run)
+    assert tokens > 10_000
+
+
+def test_projector_selective_path(benchmark, document):
+    """A selective path set: most of the stream is skipped."""
+    paths = [("r1", parse_path("/site/people/person"))]
+
+    def run():
+        buffer = Buffer()
+        buffer.stats.record_series = False
+        matcher = PathMatcher(paths)
+        StreamProjector(make_lexer(document), matcher, buffer).run_to_end()
+        return buffer.stats.tokens
+
+    tokens = benchmark(run)
+    assert tokens > 10_000
+
+
+def test_projector_subtree_heavy_path(benchmark, document):
+    """A subtree path buffers (and materializes) most of the document."""
+    paths = [
+        ("r1", parse_path("/site")),
+        ("r2", parse_path("/site/descendant-or-self::node()")),
+    ]
+
+    def run():
+        buffer = Buffer()
+        buffer.stats.record_series = False
+        matcher = PathMatcher(paths)
+        StreamProjector(make_lexer(document), matcher, buffer).run_to_end()
+        return buffer.live_count
+
+    live = benchmark(run)
+    assert live > 10_000
+
+
+def test_engine_q1_throughput(benchmark, document):
+    engine = GCXEngine(record_series=False)
+    compiled = engine.compile(ADAPTED_QUERIES["q1"].text)
+
+    result = benchmark.pedantic(
+        lambda: engine.run(compiled, document), rounds=3, iterations=1
+    )
+    assert result.stats.final_buffered == 0
+
+
+def test_compile_throughput(benchmark):
+    engine = GCXEngine()
+    compiled = benchmark(lambda: engine.compile(ADAPTED_QUERIES["q8"].text))
+    assert len(compiled.analysis.roles) > 5

@@ -1,0 +1,63 @@
+"""Shared fixtures and report plumbing for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes a plain-text report into ``benchmarks/results/``; the pytest
+terminal summary lists the files so they are easy to find after
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.xmark.generator import generate_document
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_written: list[str] = []
+
+
+def write_report(name: str, content: str) -> str:
+    """Write a report file and remember it for the terminal summary."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    _written.append(path)
+    return path
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _written:
+        terminalreporter.write_sep("-", "paper reproduction reports")
+        for path in _written:
+            terminalreporter.write_line(path)
+
+
+@pytest.fixture(scope="session")
+def xmark_fig4():
+    """Document for the Figure 4 buffer plots (~0.5 MB, ~40k tokens —
+    the paper used a 10 MB document; the section order and join
+    cardinalities, which shape the plots, are preserved)."""
+    return generate_document(scale=8.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def xmark_scales():
+    """The four document sizes of the Figure 5 table, scaled down
+    1000x from the paper's 10/50/100/200 MB."""
+    return {
+        "10KB": generate_document(scale_for("10KB"), seed=1),
+        "50KB": generate_document(scale_for("50KB"), seed=2),
+        "100KB": generate_document(scale_for("100KB"), seed=3),
+        "200KB": generate_document(scale_for("200KB"), seed=4),
+    }
+
+
+def scale_for(label: str) -> float:
+    from repro.xmark.generator import scale_for_bytes
+
+    target = int(label.replace("KB", "")) * 1000
+    return scale_for_bytes(target)

@@ -1,0 +1,68 @@
+"""XMark workloads: streaming vs blocking queries (paper Figure 4/5).
+
+Generates an XMark-style auction document, runs the adapted Q6
+(streamable descendant scan) and Q8 (value join) with GCX, plots both
+buffer profiles, and compares all four engines on the join.
+
+Run with::
+
+    python examples/xmark_join_analysis.py [scale]
+"""
+
+import sys
+
+from repro import GCXEngine
+from repro.baselines import (
+    FluxLikeEngine,
+    FullDomEngine,
+    ProjectionOnlyEngine,
+    UnsupportedQueryError,
+)
+from repro.bench.harness import compare_engines
+from repro.bench.reporting import ascii_plot, format_table
+from repro.xmark import ADAPTED_QUERIES, XMARK_DTD, generate_document
+from repro.xmlio.dtd import parse_dtd
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 4.0
+    xml = generate_document(scale=scale, seed=42)
+    print(f"document: scale={scale}, {len(xml):,} bytes")
+    print()
+
+    engine = GCXEngine()
+    for key, title in (("q6", "Q6 — items below regions (streaming)"),
+                       ("q8", "Q8 — people x closed_auctions join (blocking)")):
+        result = engine.query(ADAPTED_QUERIES[key].text, xml)
+        print(ascii_plot(result.stats.series, width=70, height=12, title=title))
+        print(f"    {result.stats.summary()}")
+        print()
+
+    print("engine comparison on the join (Q8):")
+    engines = [
+        GCXEngine(record_series=False),
+        FluxLikeEngine(dtd=parse_dtd(XMARK_DTD), record_series=False),
+        ProjectionOnlyEngine(record_series=False),
+        FullDomEngine(record_series=False),
+    ]
+    results = compare_engines(engines, ADAPTED_QUERIES["q8"].text, xml, "q8", "doc")
+    print(
+        format_table(
+            ["engine", "time", "peak nodes", "est. memory"],
+            [
+                [r.engine, f"{r.seconds:.2f}s", r.watermark, r.cell().split(" / ")[1]]
+                for r in results
+            ],
+        )
+    )
+    print()
+    print("note: the FluX-like engine reports n/a for Q6 (descendant axis),")
+    print("mirroring FluXQuery's n/a entries in the paper's Figure 5:")
+    try:
+        FluxLikeEngine(dtd=parse_dtd(XMARK_DTD)).compile(ADAPTED_QUERIES["q6"].text)
+    except UnsupportedQueryError as exc:
+        print(f"  UnsupportedQueryError: {exc}")
+
+
+if __name__ == "__main__":
+    main()

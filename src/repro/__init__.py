@@ -1,0 +1,43 @@
+"""Reproduction of the GCX streaming XQuery engine (VLDB 2007).
+
+GCX evaluates a practical fragment of XQuery over XML streams while
+keeping main-memory buffers minimal through *active garbage
+collection*: static analysis derives projection paths and roles,
+signOff statements inserted at compile time remove roles as evaluation
+progresses, and nodes whose roles are gone are purged immediately.
+
+Public API::
+
+    from repro import GCXEngine
+
+    engine = GCXEngine()
+    result = engine.query("<r>{ for $x in /doc/item return $x }</r>", xml)
+    result.output           # serialized query result
+    result.stats.watermark  # peak number of buffered nodes
+    result.stats.series     # buffered nodes after every input token
+
+Baselines for the paper's comparative experiments live in
+:mod:`repro.baselines`, the XMark-style workload generator in
+:mod:`repro.xmark`, and the benchmark harness in :mod:`repro.bench`.
+"""
+
+from repro.core.engine import CompiledQuery, GCXEngine, RunResult
+from repro.core.stats import BufferStats
+from repro.xquery.parser import XQueryParseError, parse_query
+from repro.xquery.normalize import NormalizationError, normalize_query
+from repro.xmlio.errors import XmlSyntaxError
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BufferStats",
+    "CompiledQuery",
+    "GCXEngine",
+    "NormalizationError",
+    "RunResult",
+    "XQueryParseError",
+    "XmlSyntaxError",
+    "__version__",
+    "normalize_query",
+    "parse_query",
+]

@@ -1,0 +1,34 @@
+"""Baseline engines for the paper's comparative evaluation (Figure 5).
+
+The paper compares GCX against full in-memory XQuery engines (Galax,
+Saxon, QizX), the schema-based streaming engine FluXQuery, and the
+disk-based MonetDB/XQuery.  We rebuild the two *classes* of main-memory
+competitor the buffering claim is about (DESIGN.md §4):
+
+* :class:`FullDomEngine` — parses the entire document into a DOM and
+  evaluates the query over it.  Stand-in for Galax / Saxon / QizX:
+  memory linear in the document, no projection, no GC.  Also the
+  semantics oracle for differential testing.
+* :class:`ProjectionOnlyEngine` — static projection of the input
+  (Marian & Siméon style): buffers exactly the projected document and
+  never purges.  Realised as GCX with garbage collection disabled —
+  identical code path, which makes the ablation exact.
+* :class:`FluxLikeEngine` — schema-aware streaming with scope-based
+  buffer release: purges at the *enclosing* scope boundary instead of
+  GCX's per-node preemption points, and (like the real FluXQuery in
+  the paper's Figure 5) rejects descendant-axis queries as ``n/a``.
+
+All engines expose the same ``query(query_text, xml_text) -> RunResult``
+interface as :class:`repro.GCXEngine`.
+"""
+
+from repro.baselines.dom_engine import FullDomEngine
+from repro.baselines.projection_engine import ProjectionOnlyEngine
+from repro.baselines.flux_engine import FluxLikeEngine, UnsupportedQueryError
+
+__all__ = [
+    "FluxLikeEngine",
+    "FullDomEngine",
+    "ProjectionOnlyEngine",
+    "UnsupportedQueryError",
+]

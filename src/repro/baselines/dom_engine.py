@@ -1,0 +1,207 @@
+"""Full in-memory baseline engine (and semantics oracle).
+
+Parses the complete document into a DOM, then evaluates the normalized
+query by direct interpretation with the reference XPath evaluator.
+This is the evaluation strategy of the full-XQuery engines in the
+paper's Figure 5 (Galax, Saxon, QizX): no projection, no streaming —
+memory is linear in the document size regardless of the query.
+
+Because this engine shares no runtime code with the streaming GCX
+engine (different tree, different path evaluator, different control
+flow), agreement between the two on randomized inputs is strong
+evidence for the streaming engine's correctness; the differential test
+suite relies on that.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import RunResult
+from repro.core.stats import BufferStats
+from repro.xmlio.dom import DomNode, build_dom
+from repro.xmlio.lexer import tokenize
+from repro.xmlio.tokens import TokenKind
+from repro.xmlio.writer import XmlWriter, serialize_dom
+from repro.xpath.ast import Path
+from repro.xpath.evaluator import AttributeRef, evaluate_path, item_string_value
+from repro.xquery import ast as q
+from repro.xquery.normalize import normalize_query
+from repro.xquery.parser import parse_query
+from repro.core.evaluator import (
+    EvaluationError,
+    _compare,
+    compute_aggregate,
+    format_number,
+)
+
+
+class _DomEvaluator:
+    """Direct interpretation of a normalized query over a DOM."""
+
+    def __init__(self, document: DomNode, writer: XmlWriter):
+        self._document = document
+        self._writer = writer
+        self._env: dict[str, DomNode] = {}
+        self._scalars: dict[str, float | int | str] = {}
+
+    def run(self, query: q.Query) -> None:
+        self._eval(query.body)
+
+    # ------------------------------------------------------------------
+
+    def _context(self, var: str | None) -> DomNode:
+        if var is None:
+            return self._document
+        try:
+            return self._env[var]
+        except KeyError:
+            raise EvaluationError(f"unbound variable ${var}") from None
+
+    def _eval(self, expr: q.Expr) -> None:
+        if isinstance(expr, q.Sequence):
+            for item in expr.items:
+                self._eval(item)
+        elif isinstance(expr, q.ForExpr):
+            context = self._context(expr.source.var)
+            bindings = evaluate_path(expr.source.path, context)
+            for node in bindings:
+                if isinstance(node, AttributeRef):
+                    raise EvaluationError("cannot iterate over attributes")
+                self._env[expr.var] = node
+                self._eval(expr.body)
+            self._env.pop(expr.var, None)
+        elif isinstance(expr, q.LetExpr):
+            if isinstance(expr.value, q.Aggregate):
+                self._scalars[expr.var] = self._aggregate(expr.value)
+            else:
+                self._scalars[expr.var] = expr.value.value
+            self._eval(expr.body)
+            self._scalars.pop(expr.var, None)
+        elif isinstance(expr, q.IfExpr):
+            if self._condition(expr.condition):
+                self._eval(expr.then)
+            else:
+                self._eval(expr.orelse)
+        elif isinstance(expr, q.ElementConstructor):
+            self._writer.start_element(expr.tag, self._resolve_attributes(expr))
+            self._eval(expr.body)
+            self._writer.end_element(expr.tag)
+        elif isinstance(expr, q.PathExpr):
+            if expr.var in self._scalars:
+                value = self._scalars[expr.var]
+                self._writer.text(
+                    value if isinstance(value, str) else format_number(value)
+                )
+                return
+            context = self._context(expr.var)
+            for item in evaluate_path(expr.path, context):
+                if isinstance(item, AttributeRef):
+                    self._writer.text(item.value)
+                else:
+                    serialize_dom(item, self._writer)
+        elif isinstance(expr, q.AggregateExpr):
+            self._writer.text(format_number(self._aggregate(expr.aggregate)))
+        elif isinstance(expr, q.TextLiteral):
+            self._writer.text(expr.value)
+        elif isinstance(expr, (q.Empty, q.SignOff)):
+            pass
+        else:  # pragma: no cover - exhaustive over the AST
+            raise EvaluationError(f"unsupported expression {expr!r}")
+
+    def _condition(self, condition: q.Condition) -> bool:
+        if isinstance(condition, q.Exists):
+            if condition.operand.var in self._scalars:
+                return True
+            context = self._context(condition.operand.var)
+            return bool(evaluate_path(condition.operand.path, context))
+        if isinstance(condition, q.Not):
+            return not self._condition(condition.operand)
+        if isinstance(condition, q.And):
+            return self._condition(condition.left) and self._condition(
+                condition.right
+            )
+        if isinstance(condition, q.Or):
+            return self._condition(condition.left) or self._condition(
+                condition.right
+            )
+        if isinstance(condition, q.Comparison):
+            left = self._operand_values(condition.left)
+            right = self._operand_values(condition.right)
+            return any(
+                _compare(condition.op, lv, rv) for lv in left for rv in right
+            )
+        raise EvaluationError(f"unsupported condition {condition!r}")
+
+    def _operand_values(self, operand) -> list:
+        if isinstance(operand, q.Literal):
+            return [operand.value]
+        if isinstance(operand, q.Aggregate):
+            return [self._aggregate(operand)]
+        if operand.var in self._scalars:
+            return [self._scalars[operand.var]]
+        context = self._context(operand.var)
+        return [
+            item_string_value(item)
+            for item in evaluate_path(operand.path, context)
+        ]
+
+    def _resolve_attributes(self, expr: q.ElementConstructor):
+        resolved = []
+        for name, value in expr.attributes:
+            if isinstance(value, q.Aggregate):
+                value = format_number(self._aggregate(value))
+            elif isinstance(value, q.PathOperand):
+                value = " ".join(str(v) for v in self._operand_values(value))
+            resolved.append((name, value))
+        return resolved
+
+    def _aggregate(self, aggregate: q.Aggregate) -> float | int:
+        context = self._context(aggregate.operand.var)
+        items = evaluate_path(aggregate.operand.path, context)
+        if aggregate.func == "count":
+            return len(items)
+        return compute_aggregate(
+            aggregate.func, [item_string_value(item) for item in items]
+        )
+
+
+class FullDomEngine:
+    """Parse everything, then evaluate — the non-streaming baseline."""
+
+    name = "full-dom"
+
+    def __init__(self, record_series: bool = True):
+        self.record_series = record_series
+
+    def compile(self, query_text: str) -> q.Query:
+        """Parse and normalize; no static buffer analysis exists here."""
+        return normalize_query(parse_query(query_text))
+
+    def run(self, compiled: q.Query, xml_text: str) -> RunResult:
+        stats = BufferStats(record_series=self.record_series)
+        started = time.perf_counter()
+        live = 0
+        tokens = []
+        for token in tokenize(xml_text):
+            tokens.append(token)
+            if token.kind in (TokenKind.START, TokenKind.TEXT):
+                live += 1
+            stats.record_token(live)
+        stats.nodes_buffered = live
+        document = build_dom(tokens)
+        writer = XmlWriter()
+        _DomEvaluator(document, writer).run(compiled)
+        stats.elapsed = time.perf_counter() - started
+        stats.final_buffered = live  # nothing is ever purged
+        output = writer.getvalue()
+        stats.output_chars = len(output)
+        return RunResult(output, stats, compiled)
+
+    def query(self, query_text: str, xml_text: str) -> RunResult:
+        """Compile and run in one call."""
+        return self.run(self.compile(query_text), xml_text)
+
+    def evaluate(self, query_text: str, xml_text: str) -> str:
+        """Convenience: return just the serialized output."""
+        return self.query(query_text, xml_text).output

@@ -1,0 +1,23 @@
+"""Benchmark harness: engine runners, buffer profiles, reporting.
+
+Used by the ``benchmarks/`` suite to regenerate the paper's Figures 3
+and 4 (buffer profiles) and the Figure 5 comparison table, and by the
+examples for ad-hoc exploration.
+"""
+
+from repro.bench.harness import (
+    BenchResult,
+    buffer_profile,
+    compare_engines,
+    run_engine,
+)
+from repro.bench.reporting import ascii_plot, format_table
+
+__all__ = [
+    "BenchResult",
+    "ascii_plot",
+    "buffer_profile",
+    "compare_engines",
+    "format_table",
+    "run_engine",
+]

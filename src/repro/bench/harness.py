@@ -1,0 +1,110 @@
+"""Engine runners and measurement collection for the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.stats import DEFAULT_NODE_BYTES
+
+
+@dataclass
+class BenchResult:
+    """One engine × query × document measurement (a Figure 5 cell)."""
+
+    engine: str
+    query: str
+    document: str
+    seconds: float
+    watermark: int
+    tokens: int
+    output_chars: int
+    supported: bool = True
+
+    @property
+    def estimated_mb(self) -> float:
+        """Watermark converted to MB (see stats.DEFAULT_NODE_BYTES)."""
+        return self.watermark * DEFAULT_NODE_BYTES / 1e6
+
+    def cell(self) -> str:
+        """Render like a Figure 5 cell: ``0.18s / 1.2MB``.
+
+        Memory switches to KB below one megabyte so the small GCX
+        footprints stay readable at our reduced document scale.
+        """
+        if not self.supported:
+            return "n/a"
+        mb = self.estimated_mb
+        memory = f"{mb:.2f}MB" if mb >= 1.0 else f"{mb * 1000:.1f}KB"
+        return f"{self.seconds:.2f}s / {memory}"
+
+
+def run_engine(
+    engine,
+    query_text: str,
+    xml_text: str,
+    query_label: str = "",
+    doc_label: str = "",
+    repeat: int = 1,
+) -> BenchResult:
+    """Run *engine* over the workload; keep the best of *repeat* runs.
+
+    The per-token series recording is left to the engine configuration;
+    for timing-sensitive runs construct engines with
+    ``record_series=False``.
+    """
+    best = None
+    result = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        result = engine.query(query_text, xml_text)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return BenchResult(
+        engine=getattr(engine, "name", type(engine).__name__),
+        query=query_label,
+        document=doc_label,
+        seconds=best,
+        watermark=result.stats.watermark,
+        tokens=result.stats.tokens,
+        output_chars=result.stats.output_chars,
+    )
+
+
+def buffer_profile(engine, query_text: str, xml_text: str) -> list[int]:
+    """The per-token buffered-node series of one run (Figures 3/4)."""
+    result = engine.query(query_text, xml_text)
+    return result.stats.series
+
+
+def compare_engines(
+    engines, query_text: str, xml_text: str, query_label: str = "", doc_label: str = ""
+) -> list[BenchResult]:
+    """Run every engine on the same workload (one Figure 5 row).
+
+    Engines that reject the query (e.g. the FluX-like baseline on
+    descendant axes) yield an unsupported placeholder — the paper's
+    "n/a" cells.
+    """
+    results = []
+    for engine in engines:
+        name = getattr(engine, "name", type(engine).__name__)
+        try:
+            results.append(
+                run_engine(engine, query_text, xml_text, query_label, doc_label)
+            )
+        except ValueError:
+            results.append(
+                BenchResult(
+                    engine=name,
+                    query=query_label,
+                    document=doc_label,
+                    seconds=0.0,
+                    watermark=0,
+                    tokens=0,
+                    output_chars=0,
+                    supported=False,
+                )
+            )
+    return results

@@ -1,0 +1,73 @@
+"""Plain-text reporting: tables and ASCII buffer plots.
+
+The demo paper presents its results as buffer plots (node count over
+tokens processed) and a cell table; these helpers render both on a
+terminal so the benchmark scripts can print exactly the rows and series
+the paper reports.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Monospace table with column alignment."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    series: list[int],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "tokens processed",
+    y_label: str = "nodes buffered",
+) -> str:
+    """Scatter plot of a buffer profile, like the paper's Figures 3/4.
+
+    The series is downsampled to *width* columns, each column showing
+    the maximum of its bucket (peaks matter for buffer plots).
+    """
+    if not series:
+        return f"{title}\n(empty series)"
+    peak = max(series) or 1
+    columns = min(width, len(series))
+    bucket = len(series) / columns
+    sampled = []
+    for col in range(columns):
+        start = int(col * bucket)
+        end = max(start + 1, int((col + 1) * bucket))
+        sampled.append(max(series[start:end]))
+    grid = [[" "] * columns for _ in range(height)]
+    for col, value in enumerate(sampled):
+        row = round((value / peak) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = len(str(peak))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = str(peak).rjust(label_width)
+        elif i == height - 1:
+            label = "0".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * columns)
+    lines.append(
+        " " * label_width
+        + f"  0 ... {len(series)} {x_label}   (y: {y_label}, peak {peak})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Command-line interface: run queries, explain static analysis,
+profile buffer behaviour, generate workloads.
+
+Subcommands::
+
+    gcx run QUERY.xq INPUT.xml [--engine gcx] [--stats]
+    gcx explain QUERY.xq
+    gcx profile QUERY.xq INPUT.xml [--width 72] [--height 16]
+    gcx xmark --scale 1.0 [--seed 42]
+
+(``gcx`` is the console script; ``python -m repro.cli`` works too.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import (
+    FluxLikeEngine,
+    FullDomEngine,
+    ProjectionOnlyEngine,
+)
+from repro.bench.reporting import ascii_plot
+from repro.core.engine import GCXEngine
+from repro.xmark.generator import XMARK_DTD, generate_document
+from repro.xmlio.dtd import parse_dtd
+
+
+def _make_engine(name: str):
+    if name == "gcx":
+        return GCXEngine()
+    if name == "dom":
+        return FullDomEngine()
+    if name == "projection":
+        return ProjectionOnlyEngine()
+    if name == "flux":
+        return FluxLikeEngine(dtd=parse_dtd(XMARK_DTD))
+    raise ValueError(f"unknown engine {name!r}")
+
+
+def _read(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_run(args) -> int:
+    engine = _make_engine(args.engine)
+    result = engine.query(_read(args.query), _read(args.input))
+    print(result.output)
+    if args.stats:
+        print(result.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    compiled = GCXEngine().compile(_read(args.query))
+    print(compiled.describe())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    engine = _make_engine(args.engine)
+    result = engine.query(_read(args.query), _read(args.input))
+    print(
+        ascii_plot(
+            result.stats.series,
+            width=args.width,
+            height=args.height,
+            title=f"buffer profile ({engine.name})",
+        )
+    )
+    print(result.stats.summary())
+    return 0
+
+
+def _cmd_xmark(args) -> int:
+    sys.stdout.write(generate_document(args.scale, args.seed))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gcx",
+        description="GCX reproduction: streaming XQuery with active GC",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate a query over a document")
+    run.add_argument("query", help="path to the query file")
+    run.add_argument("input", help="path to the XML input")
+    run.add_argument(
+        "--engine",
+        default="gcx",
+        choices=("gcx", "dom", "projection", "flux"),
+        help="engine to use",
+    )
+    run.add_argument("--stats", action="store_true", help="print run statistics")
+    run.set_defaults(func=_cmd_run)
+
+    explain = sub.add_parser(
+        "explain", help="show roles and the rewritten query (static analysis)"
+    )
+    explain.add_argument("query", help="path to the query file")
+    explain.set_defaults(func=_cmd_explain)
+
+    profile = sub.add_parser(
+        "profile", help="plot buffered nodes per input token"
+    )
+    profile.add_argument("query", help="path to the query file")
+    profile.add_argument("input", help="path to the XML input")
+    profile.add_argument(
+        "--engine",
+        default="gcx",
+        choices=("gcx", "dom", "projection", "flux"),
+    )
+    profile.add_argument("--width", type=int, default=72)
+    profile.add_argument("--height", type=int, default=16)
+    profile.set_defaults(func=_cmd_profile)
+
+    xmark = sub.add_parser("xmark", help="generate an XMark-style document")
+    xmark.add_argument("--scale", type=float, default=1.0)
+    xmark.add_argument("--seed", type=int, default=42)
+    xmark.set_defaults(func=_cmd_xmark)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

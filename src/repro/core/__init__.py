@@ -1,0 +1,32 @@
+"""The GCX core: active garbage collection for streaming XQuery.
+
+This package implements the paper's contribution:
+
+* :mod:`repro.core.analysis` — static analysis: projection paths and
+  roles derived from the query (paper Section 3, "Static analysis");
+* :mod:`repro.core.signoff` — preemption points: where ``signOff``
+  statements are inserted into the rewritten query;
+* :mod:`repro.core.matcher` — streaming projection-path matcher with
+  match-derivation multiplicities;
+* :mod:`repro.core.buffer` — the buffer tree with per-node role
+  multisets and immediate, cascading garbage collection;
+* :mod:`repro.core.projector` — the stream pre-projector;
+* :mod:`repro.core.evaluator` — the pull-based query evaluator;
+* :mod:`repro.core.engine` — the user-facing facade.
+
+Submodules are imported lazily by the package facade in
+:mod:`repro.core.engine`; import that module (or the top-level
+``repro`` package) for the public API.
+"""
+
+from repro.core.roles import Role, RoleReason, RoleTable
+from repro.core.analysis import AnalysisError, StaticAnalysis, analyze_query
+
+__all__ = [
+    "AnalysisError",
+    "Role",
+    "RoleReason",
+    "RoleTable",
+    "StaticAnalysis",
+    "analyze_query",
+]

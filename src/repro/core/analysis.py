@@ -1,0 +1,342 @@
+"""Static analysis: projection paths, roles, and signOff placement.
+
+Given a *normalized* query (single-step for-loops, unique variable
+names), this pass derives:
+
+1. an absolute **binding path** for every loop variable,
+2. the **role table** — one role per projection path, with the same
+   derivation rules the paper's example exhibits (roles r1–r7):
+
+   * the document root gets a role on ``/``;
+   * each for-loop contributes a *binding* role on its variable's path;
+   * every output expression ``$x/p`` contributes a role on
+     ``path($x)/p/descendant-or-self::node()`` (the whole subtree is
+     serialized);
+   * every ``exists $x/p`` contributes a role on ``path($x)/p[1]``
+     (only the first witness is needed);
+   * every comparison operand ``$x/p`` contributes a role on
+     ``path($x)/p/descendant-or-self::node()`` (general comparisons
+     need the string value of every selected node);
+
+3. the **placement** of each role's ``signOff`` statement (the
+   preemption points), including the hoisting rule for roles used
+   under loops that are not ancestors in the binding chain — the value
+   join pattern (DESIGN.md §3.3 explains why the instance accounting
+   stays exact).
+
+Attribute steps never appear in projection paths: our buffer stores
+attributes inline on their owner element, so a role for ``$x/p/@a`` is
+attached to the owner path ``path($x)/p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xpath.ast import Axis, Path, Step
+from repro.xquery import ast as q
+from repro.core.roles import Role, RoleReason, RoleTable
+
+
+class AnalysisError(ValueError):
+    """Raised when a (supposedly normalized) query cannot be analyzed."""
+
+
+@dataclass
+class StaticAnalysis:
+    """Result of the static analysis of one query."""
+
+    roles: RoleTable
+    #: absolute binding path of every loop variable
+    variable_paths: dict[str, Path]
+    #: binding parent of every loop variable (None = document root)
+    binding_parents: dict[str, str | None]
+    #: roles whose signOff goes at the end of a given loop's body,
+    #: keyed by loop variable; key None = end of the whole query.
+    placements: dict[str | None, list[Role]]
+
+    def describe_roles(self) -> str:
+        """The role table in the style of the paper's Section 2."""
+        return self.roles.describe()
+
+
+class _Analyzer:
+    def __init__(self, first_witness: bool = True):
+        self.roles = RoleTable()
+        self.variable_paths: dict[str, Path] = {}
+        self.binding_parents: dict[str, str | None] = {}
+        # Loop chain (outermost first) at each variable's binder.
+        self.var_chains: dict[str, tuple[str, ...]] = {}
+        self.placements: dict[str | None, list[Role]] = {}
+        self.first_witness = first_witness
+        # let-bound scalar variables: no binding path, no roles
+        self.scalar_vars: set[str] = set()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _ancestors(self, var: str) -> set[str]:
+        """The binding chain of *var*: itself and transitive sources."""
+        chain = {var}
+        current = self.binding_parents.get(var)
+        while current is not None:
+            chain.add(current)
+            current = self.binding_parents.get(current)
+        return chain
+
+    def _place(self, role: Role) -> None:
+        """Compute the preemption point for *role* and record it."""
+        anchor = role.anchor_var
+        if anchor is None:
+            # Root role or absolute output path: only safe at query end.
+            role.placement_var = None
+            role.signoff_var = None
+            role.signoff_path = role.path
+            if role.reason is not RoleReason.ROOT:
+                self.placements.setdefault(None, []).append(role)
+            return
+        chain = self.var_chains[anchor]
+        ancestors = self._ancestors(anchor)
+        offender_index = None
+        for index, var in enumerate(chain):
+            if var not in ancestors:
+                offender_index = index
+                break
+        if offender_index is None:
+            role.placement_var = anchor
+            role.signoff_var = anchor
+            role.signoff_path = role.suffix
+        else:
+            role.hoisted = True
+            if offender_index == 0:
+                role.placement_var = None
+                role.signoff_var = None
+                role.signoff_path = role.path
+            else:
+                host = chain[offender_index - 1]
+                host_path = self.variable_paths[host]
+                anchor_path = self.variable_paths[anchor]
+                role.placement_var = host
+                role.signoff_var = host
+                role.signoff_path = anchor_path.suffix_after(host_path).concat(
+                    role.suffix
+                )
+        self.placements.setdefault(role.placement_var, []).append(role)
+
+    def _new_role(
+        self,
+        reason: RoleReason,
+        anchor_var: str | None,
+        suffix: Path,
+    ) -> Role:
+        if anchor_var is None:
+            path = suffix if suffix.absolute else Path(suffix.steps, absolute=True)
+        else:
+            path = self.variable_paths[anchor_var].concat(suffix)
+        role = self.roles.new_role(path, reason, anchor_var, suffix)
+        self._place(role)
+        return role
+
+    @staticmethod
+    def _split_attribute(path: Path) -> tuple[Path, bool]:
+        """Strip a trailing attribute step; True if one was stripped."""
+        if path.steps and path.steps[-1].axis is Axis.ATTRIBUTE:
+            return Path(path.steps[:-1], path.absolute), True
+        return path, False
+
+    @staticmethod
+    def _ends_in_text(path: Path) -> bool:
+        return bool(path.steps) and path.steps[-1].test.kind == "text"
+
+    # -- walk --------------------------------------------------------------
+
+    def analyze(self, query: q.Query) -> StaticAnalysis:
+        self.roles.new_role(
+            Path((), absolute=True), RoleReason.ROOT, None, Path((), absolute=True)
+        )
+        self._walk(query.body, ())
+        return StaticAnalysis(
+            self.roles,
+            self.variable_paths,
+            self.binding_parents,
+            self.placements,
+        )
+
+    def _walk(self, expr: q.Expr, chain: tuple[str, ...]) -> None:
+        if isinstance(expr, q.Sequence):
+            for item in expr.items:
+                self._walk(item, chain)
+        elif isinstance(expr, q.ForExpr):
+            self._walk_for(expr, chain)
+        elif isinstance(expr, q.LetExpr):
+            if isinstance(expr.value, q.Aggregate):
+                self._role_for_aggregate(expr.value)
+            self.scalar_vars.add(expr.var)
+            self._walk(expr.body, chain)
+        elif isinstance(expr, q.IfExpr):
+            self._walk_condition(expr.condition)
+            self._walk(expr.then, chain)
+            self._walk(expr.orelse, chain)
+        elif isinstance(expr, q.ElementConstructor):
+            for _name, value in expr.attributes:
+                if isinstance(value, q.PathOperand):
+                    # the template needs the matches' string values,
+                    # exactly like a comparison operand
+                    self._role_for_comparison(value)
+                elif isinstance(value, q.Aggregate):
+                    self._role_for_aggregate(value)
+            self._walk(expr.body, chain)
+        elif isinstance(expr, q.PathExpr):
+            self._role_for_output(expr)
+        elif isinstance(expr, q.AggregateExpr):
+            self._role_for_aggregate(expr.aggregate)
+        elif isinstance(expr, q.SignOff):
+            raise AnalysisError("signOff statements cannot appear in user queries")
+        elif isinstance(expr, (q.Empty, q.TextLiteral)):
+            pass
+        else:  # pragma: no cover - exhaustive over the AST
+            raise AnalysisError(f"unsupported expression {expr!r}")
+
+    def _walk_for(self, expr: q.ForExpr, chain: tuple[str, ...]) -> None:
+        if expr.where is not None:
+            raise AnalysisError(
+                "where clauses must be lowered before analysis; run normalize_query"
+            )
+        source = expr.source
+        if len(source.path.steps) != 1:
+            raise AnalysisError(
+                f"for ${expr.var}: source must be single-step; run normalize_query"
+            )
+        if expr.var in self.variable_paths:
+            raise AnalysisError(
+                f"duplicate variable ${expr.var}; run normalize_query"
+            )
+        if source.var is None:
+            self.variable_paths[expr.var] = Path(source.path.steps, absolute=True)
+        elif source.var in self.variable_paths:
+            base = self.variable_paths[source.var]
+            self.variable_paths[expr.var] = base.concat(
+                Path(source.path.steps, absolute=False)
+            )
+        else:
+            raise AnalysisError(f"unbound variable ${source.var}")
+        self.binding_parents[expr.var] = source.var
+        self.var_chains[expr.var] = chain + (expr.var,)
+        self._new_role(RoleReason.BINDING, expr.var, Path((), absolute=False))
+        # Make the binding role's suffix path relative to the variable
+        # itself (empty): signOff($x, r).  Done by _new_role above.
+        self._walk(expr.body, chain + (expr.var,))
+
+    def _role_for_output(self, expr: q.PathExpr) -> None:
+        if expr.var in self.scalar_vars:
+            return  # scalar output needs no buffered nodes
+        path, is_attribute = self._split_attribute(expr.path)
+        if expr.var is not None and expr.var not in self.variable_paths:
+            raise AnalysisError(f"unbound variable ${expr.var}")
+        if is_attribute or self._ends_in_text(path):
+            suffix = path
+        else:
+            suffix = path.with_descendant_or_self()
+        if expr.var is None and not suffix.steps and not is_attribute:
+            # Outputting "/" — the whole document; the root role covers it
+            # only nominally, a subtree role is still required.
+            suffix = Path((), absolute=True).with_descendant_or_self()
+        if expr.var is not None and not suffix.steps:
+            # Outputting $x itself: subtree role on the variable's path.
+            suffix = Path((), absolute=False).with_descendant_or_self()
+        self._new_role(RoleReason.OUTPUT, expr.var, _as_relative(suffix, expr.var))
+
+    def _walk_condition(self, condition: q.Condition) -> None:
+        if isinstance(condition, q.Exists):
+            self._role_for_exists(condition.operand)
+        elif isinstance(condition, q.Not):
+            self._walk_condition(condition.operand)
+        elif isinstance(condition, (q.And, q.Or)):
+            self._walk_condition(condition.left)
+            self._walk_condition(condition.right)
+        elif isinstance(condition, q.Comparison):
+            for operand in (condition.left, condition.right):
+                if isinstance(operand, q.PathOperand):
+                    self._role_for_comparison(operand)
+                elif isinstance(operand, q.Aggregate):
+                    self._role_for_aggregate(operand)
+        else:  # pragma: no cover - exhaustive over conditions
+            raise AnalysisError(f"unsupported condition {condition!r}")
+
+    def _role_for_exists(self, operand: q.PathOperand) -> None:
+        if operand.var in self.scalar_vars:
+            return  # a bound scalar trivially exists
+        path, is_attribute = self._split_attribute(operand.path)
+        if not path.steps:
+            # "exists $x" is trivially true for a bound variable and
+            # "exists $x/@a" needs only the owner element, which the
+            # binding role already buffers.
+            return
+        if self.first_witness and not is_attribute:
+            last = path.steps[-1]
+            if last.axis is Axis.CHILD and last.position is None:
+                path = Path(
+                    path.steps[:-1] + (Step(last.axis, last.test, 1),),
+                    path.absolute,
+                )
+        self._new_role(
+            RoleReason.EXISTS, operand.var, _as_relative(path, operand.var)
+        )
+
+    def _role_for_aggregate(self, aggregate: q.Aggregate) -> None:
+        """Projection requirements of an aggregation.
+
+        ``count`` needs only the matched nodes themselves (not their
+        subtrees — counting is cheaper than outputting); the value
+        aggregates need each match's string value, like comparison
+        operands.
+        """
+        operand = aggregate.operand
+        path, is_attribute = self._split_attribute(operand.path)
+        if not path.steps and is_attribute:
+            return  # aggregating $x/@a: owner covered by binding role
+        if (
+            aggregate.func != "count"
+            and not is_attribute
+            and not self._ends_in_text(path)
+        ):
+            path = path.with_descendant_or_self()
+        self._new_role(
+            RoleReason.AGGREGATE, operand.var, _as_relative(path, operand.var)
+        )
+
+    def _role_for_comparison(self, operand: q.PathOperand) -> None:
+        if operand.var in self.scalar_vars:
+            return  # the scalar value is already computed
+        path, is_attribute = self._split_attribute(operand.path)
+        if not path.steps and is_attribute:
+            return  # owner element covered by the binding role
+        if not is_attribute and not self._ends_in_text(path):
+            path = path.with_descendant_or_self()
+        if not path.steps:
+            return  # comparing $x itself: subtree needed
+        self._new_role(
+            RoleReason.COMPARISON, operand.var, _as_relative(path, operand.var)
+        )
+
+
+def _as_relative(path: Path, var: str | None) -> Path:
+    """Suffix paths of var-anchored roles must be relative."""
+    if var is None:
+        return path
+    if path.absolute:
+        return Path(path.steps, absolute=False)
+    return path
+
+
+def analyze_query(query: q.Query, first_witness: bool = True) -> StaticAnalysis:
+    """Run the static analysis on a normalized *query*.
+
+    Args:
+        query: output of :func:`repro.xquery.normalize_query`.
+        first_witness: apply the ``[1]`` first-witness optimisation to
+            existence tests (ablation switch A2 in DESIGN.md).
+
+    Raises:
+        AnalysisError: if the query is not in core form.
+    """
+    return _Analyzer(first_witness).analyze(query)

@@ -1,0 +1,292 @@
+"""The GCX buffer: a projected document tree with active garbage
+collection.
+
+Every buffered node carries a multiset of roles (a node may hold the
+same role several times when descendant axes produce several match
+derivations) and an aggregated ``subtree_roles`` count — the number of
+role instances in its subtree, itself included.  The aggregate is the
+reference-counting analogue the paper describes: it makes the paper's
+purge condition ("a node has lost all of its roles … provided that none
+of its descendants is assigned a role") an O(1) test, and lets a role
+removal cascade deletions up the tree immediately.
+
+A node additionally cannot be purged while it is *open* (its end tag
+has not yet been read): its structure is still required to attach
+incoming children.  The projector re-checks purgeability when the end
+tag arrives.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+
+from repro.core.stats import BufferStats
+
+
+class BufferNode:
+    """One node of the buffered, projected tree.
+
+    ``tag`` is ``None`` for text nodes and ``"#document"`` for the
+    buffer root.  ``seq`` is a globally increasing arrival number;
+    because the projector appends children in stream order, sequence
+    order coincides with document order, and iterators resume from a
+    remembered ``seq`` even after garbage collection removed nodes.
+    """
+
+    __slots__ = (
+        "tag",
+        "text",
+        "attributes",
+        "parent",
+        "children",
+        "child_seqs",
+        "seq",
+        "closed",
+        "purged",
+        "roles",
+        "subtree_roles",
+    )
+
+    def __init__(self, tag, parent, seq, text=None, attributes=None):
+        self.tag = tag
+        self.text = text
+        self.attributes = dict(attributes) if attributes else {}
+        self.parent = parent
+        self.children: list[BufferNode] = []
+        self.child_seqs: list[int] = []
+        self.seq = seq
+        self.closed = False
+        self.purged = False
+        self.roles: Counter = Counter()
+        self.subtree_roles = 0
+
+    # -- classification ---------------------------------------------------
+
+    @property
+    def is_text(self) -> bool:
+        return self.tag is None
+
+    @property
+    def is_document(self) -> bool:
+        return self.tag == "#document"
+
+    @property
+    def is_element(self) -> bool:
+        return self.tag is not None and self.tag != "#document"
+
+    # -- queries -----------------------------------------------------------
+
+    def role_count(self) -> int:
+        """Number of role instances held by this node itself."""
+        return sum(self.roles.values())
+
+    def string_value(self) -> str:
+        """Concatenated text of the buffered subtree."""
+        if self.is_text:
+            return self.text or ""
+        parts: list[str] = []
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            if node.is_text:
+                parts.append(node.text or "")
+            else:
+                stack.extend(reversed(node.children))
+        return "".join(parts)
+
+    def next_child_after(self, after_seq: int, predicate=None) -> "BufferNode | None":
+        """First buffered child with ``seq > after_seq`` satisfying
+        *predicate* (all children when predicate is None).
+
+        Sequence-based resumption makes iteration robust against
+        garbage collection between calls: a purged node simply stops
+        being found, and the scan continues from the remembered
+        position.
+        """
+        index = bisect_right(self.child_seqs, after_seq)
+        for child in self.children[index:]:
+            if predicate is None or predicate(child):
+                return child
+        return None
+
+    def describe_roles(self) -> str:
+        """Compact role annotation like the paper's Figure 1: ``{r2,r5}``."""
+        names = []
+        for name in sorted(self.roles, key=lambda r: (len(r), r)):
+            names.extend([name] * self.roles[name])
+        return "{" + ",".join(names) + "}"
+
+    def __repr__(self) -> str:
+        label = self.tag if self.tag is not None else f"text:{self.text!r}"
+        return f"BufferNode({label} roles={dict(self.roles)})"
+
+
+class Buffer:
+    """The buffer manager: materialization, role accounting, active GC."""
+
+    def __init__(self, stats: BufferStats | None = None):
+        self.stats = stats if stats is not None else BufferStats()
+        self._seq = 0
+        self.root = BufferNode("#document", None, self._next_seq())
+        #: number of live buffered nodes, excluding the synthetic root —
+        #: the paper's "number of XML nodes buffered".
+        self.live_count = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- materialization ---------------------------------------------------
+
+    def new_element(self, parent: BufferNode, tag: str, attributes=None) -> BufferNode:
+        """Materialize an element under *parent* (stream order append)."""
+        node = BufferNode(tag, parent, self._next_seq(), attributes=attributes)
+        parent.children.append(node)
+        parent.child_seqs.append(node.seq)
+        self.live_count += 1
+        self.stats.nodes_buffered += 1
+        return node
+
+    def new_text(self, parent: BufferNode, content: str) -> BufferNode:
+        """Materialize a text node under *parent*."""
+        node = BufferNode(None, parent, self._next_seq(), text=content)
+        node.closed = True
+        parent.children.append(node)
+        parent.child_seqs.append(node.seq)
+        self.live_count += 1
+        self.stats.nodes_buffered += 1
+        return node
+
+    # -- role accounting -----------------------------------------------------
+
+    def add_roles(self, node: BufferNode, role_counts) -> None:
+        """Assign role instances to *node* (``role_counts``: name → n)."""
+        total = 0
+        for name, count in role_counts.items():
+            node.roles[name] += count
+            total += count
+        if total == 0:
+            return
+        self.stats.roles_assigned += total
+        current = node
+        while current is not None:
+            current.subtree_roles += total
+            current = current.parent
+
+    def remove_role(self, node: BufferNode, role: str) -> None:
+        """Remove one instance of *role* from *node*; trigger GC.
+
+        Removing a role a node does not hold is a no-op (the signOff
+        addressed data that never arrived, e.g. ``price[1]`` of an
+        element without price children).
+        """
+        if node.purged or node.roles.get(role, 0) <= 0:
+            return
+        node.roles[role] -= 1
+        if node.roles[role] == 0:
+            del node.roles[role]
+        self.stats.roles_removed += 1
+        current = node
+        while current is not None:
+            current.subtree_roles -= 1
+            current = current.parent
+        self._collect_upward(node)
+
+    # -- garbage collection -----------------------------------------------
+
+    def close(self, node: BufferNode) -> None:
+        """Mark *node* closed (its end tag arrived) and re-check GC."""
+        node.closed = True
+        self._collect_upward(node)
+
+    def _collect_upward(self, node: BufferNode) -> None:
+        """Purge *node* and then its ancestors while they qualify.
+
+        Purge condition (paper Section 2 + open-spine pinning):
+        closed, no own roles, no role instance anywhere in the subtree.
+        """
+        current = node
+        while (
+            current is not None
+            and current.parent is not None
+            and current.closed
+            and not current.purged
+            and current.subtree_roles == 0
+        ):
+            parent = current.parent
+            self._purge(current)
+            current = parent
+
+    def _purge(self, node: BufferNode) -> None:
+        parent = node.parent
+        index = bisect_right(parent.child_seqs, node.seq) - 1
+        if 0 <= index < len(parent.children) and parent.children[index] is node:
+            del parent.children[index]
+            del parent.child_seqs[index]
+        removed = self._release_subtree(node)
+        self.live_count -= removed
+        self.stats.nodes_purged += removed
+
+    def _release_subtree(self, node: BufferNode) -> int:
+        """Detach a purged subtree; returns the number of nodes freed.
+
+        A purged node has ``subtree_roles == 0``; descendants may still
+        be materialized (role-less spine nodes whose close is pending
+        never occur below a closed node, but the defensive walk keeps
+        the count exact either way).  Iterative so that pathologically
+        deep documents cannot exhaust the Python stack.
+        """
+        count = 0
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            current.purged = True
+            current.closed = True
+            stack.extend(current.children)
+            current.children = []
+            current.child_seqs = []
+            current.parent = None
+            count += 1
+        return count
+
+    # -- bulk operations -----------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop everything (end of run); returns nodes freed."""
+        freed = self.live_count
+        for child in self.root.children:
+            self._release_subtree(child)
+        self.root.children = []
+        self.root.child_seqs = []
+        self.live_count = 0
+        return freed
+
+    def iter_live(self):
+        """Yield all live buffered nodes (excluding the root), preorder."""
+        stack = list(reversed(self.root.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def total_role_instances(self) -> int:
+        """Role instances currently held across the buffer."""
+        return self.root.subtree_roles
+
+    def render(self, max_nodes: int = 200) -> str:
+        """ASCII rendering of the buffer with role annotations, in the
+        style of the paper's Figure 1 (used by the demo example)."""
+        lines: list[str] = []
+
+        def visit(node: BufferNode, depth: int) -> None:
+            if len(lines) >= max_nodes:
+                return
+            label = node.tag if node.is_element else repr(node.text)
+            lines.append("  " * depth + f"{label}{node.describe_roles()}")
+            for child in node.children:
+                visit(child, depth + 1)
+
+        for child in self.root.children:
+            visit(child, 0)
+        return "\n".join(lines)

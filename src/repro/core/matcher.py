@@ -1,0 +1,184 @@
+"""Streaming projection-path matcher.
+
+The stream pre-projector must decide, per incoming token, which roles
+the new node receives — *with multiplicities*: "a role can be assigned
+to a node multiple times when queries involve the XPath descendant
+axis" (paper, Section 2).  The matcher therefore maintains, for every
+open element, a list of *state instances*; each instance is one partial
+match derivation of one role path.
+
+State semantics, for an instance of role ``r`` at step index ``i``
+attached to node ``p``:
+
+* step ``i`` is ``child::t`` — a newly arriving child of ``p`` that
+  satisfies ``t`` advances a copy to ``(r, i+1)`` on the child.  With
+  the first-witness predicate ``[1]`` the instance is *exhausted* by
+  its first match and ignores later children.
+* step ``i`` is ``descendant::t`` — matching children advance a copy,
+  and every element child additionally inherits the instance unchanged
+  (the self-loop that implements transitive descent).
+* step ``i`` is ``descendant-or-self::t`` — like descendant, plus an
+  epsilon advance on the node that receives the instance itself.
+
+An instance whose step index reaches the end of its role path assigns
+one instance of the role to the current node.  Nodes that receive
+neither states nor roles start no match and carry none — the projector
+skips their entire subtree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.xpath.ast import Axis, Path, Step
+
+
+class MatcherError(ValueError):
+    """Raised when a projection path uses unsupported features."""
+
+
+class _StateInst:
+    """One partial match derivation: (role index, step index).
+
+    ``seen`` counts matching children for positional ``[n]`` steps;
+    the instance exhausts once the n-th match was taken.
+    """
+
+    __slots__ = ("role", "index", "exhausted", "seen")
+
+    def __init__(self, role: int, index: int):
+        self.role = role
+        self.index = index
+        self.exhausted = False
+        self.seen = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_StateInst(r{self.role}, i{self.index})"
+
+
+class PathMatcher:
+    """Compiled set of projection paths.
+
+    Args:
+        paths: pairs of (role name, absolute path).  Paths must use
+            only child / descendant / descendant-or-self axes, and the
+            first-witness predicate only on child steps — exactly what
+            the static analysis generates.
+    """
+
+    def __init__(self, paths):
+        self.role_names: list[str] = []
+        self._steps: list[tuple[Step, ...]] = []
+        for name, path in paths:
+            self._validate(name, path)
+            self.role_names.append(name)
+            self._steps.append(path.steps)
+
+    @staticmethod
+    def _validate(name: str, path: Path) -> None:
+        if not path.absolute:
+            raise MatcherError(f"projection path for {name} must be absolute")
+        for step in path.steps:
+            if step.axis in (Axis.SELF, Axis.ATTRIBUTE):
+                raise MatcherError(
+                    f"projection path for {name}: axis {step.axis.value} "
+                    "is resolved during analysis and cannot be matched"
+                )
+            if step.position is not None and step.axis is not Axis.CHILD:
+                raise MatcherError(
+                    f"projection path for {name}: positional predicates "
+                    "are supported on child steps only"
+                )
+            if step.position is not None and step.position != 1:
+                # [n>1] cannot be re-evaluated over the projected buffer:
+                # the first n-1 matches are never buffered, so signOff
+                # paths and iteration would count different ordinals
+                # than the stream matcher.  The paper's role language
+                # needs exactly [1]; the DOM baseline supports any [n].
+                raise MatcherError(
+                    f"projection path for {name}: streaming evaluation "
+                    "supports only the first-witness predicate [1]"
+                )
+
+    # ------------------------------------------------------------------
+
+    def initial(self) -> tuple[list[_StateInst], Counter]:
+        """States and role assignments for the document node."""
+        states: list[_StateInst] = []
+        counts: Counter = Counter()
+        for role in range(len(self._steps)):
+            self._expand(role, 0, None, None, states, counts)
+        return states, counts
+
+    def enter_element(self, parent_states, tag: str):
+        """Process an arriving element; returns (states, role counts)."""
+        return self._enter(parent_states, tag, None)
+
+    def enter_text(self, parent_states):
+        """Process an arriving text node; returns (states, role counts).
+
+        Text nodes have no children, so the returned state list is only
+        meaningful for its emptiness; callers discard it.
+        """
+        return self._enter(parent_states, None, True)
+
+    # ------------------------------------------------------------------
+
+    def _enter(self, parent_states, tag, is_text):
+        states: list[_StateInst] = []
+        counts: Counter = Counter()
+        for inst in parent_states:
+            if inst.exhausted:
+                continue
+            step = self._steps[inst.role][inst.index]
+            if step.axis is Axis.CHILD:
+                if self._test(step, tag, is_text):
+                    if step.position is None:
+                        self._expand(
+                            inst.role, inst.index + 1, tag, is_text, states, counts
+                        )
+                    else:
+                        inst.seen += 1
+                        if inst.seen == step.position:
+                            inst.exhausted = True
+                            self._expand(
+                                inst.role,
+                                inst.index + 1,
+                                tag,
+                                is_text,
+                                states,
+                                counts,
+                            )
+            else:  # DESCENDANT or DESCENDANT_OR_SELF: self-loop
+                states.append(_StateInst(inst.role, inst.index))
+                if self._test(step, tag, is_text):
+                    self._expand(
+                        inst.role, inst.index + 1, tag, is_text, states, counts
+                    )
+        return states, counts
+
+    def _expand(self, role, index, tag, is_text, states, counts) -> None:
+        """Attach state (role, index) to the current node, following
+        epsilon moves of descendant-or-self steps (which may match the
+        current node itself)."""
+        steps = self._steps[role]
+        if index == len(steps):
+            counts[self.role_names[role]] += 1
+            return
+        step = steps[index]
+        states.append(_StateInst(role, index))
+        if step.axis is Axis.DESCENDANT_OR_SELF and self._test(step, tag, is_text):
+            self._expand(role, index + 1, tag, is_text, states, counts)
+
+    @staticmethod
+    def _test(step: Step, tag, is_text) -> bool:
+        """Does the current node satisfy the step's node test?
+
+        ``tag=None, is_text=None`` denotes the document node, which
+        satisfies only ``node()`` tests.
+        """
+        if is_text:
+            return step.test.matches_text()
+        if tag is None:
+            return step.test.kind == "node"
+        return step.test.matches_element(tag)

@@ -1,0 +1,160 @@
+"""The stream pre-projector.
+
+"The stream preprojector reads the input until a token is matched by a
+projection path.  The token is copied directly into the buffer, and
+roles are assigned." (paper, Section 3)
+
+The projector owns the lexer and maintains a stack of open elements,
+each carrying its matcher states.  Elements are materialized into the
+buffer *lazily*: a node enters the buffer when it receives a role, or
+retroactively when one of its descendants does (the role-less spine
+that preserves tree structure).  Subtrees whose root receives neither
+states nor roles cannot contain any match and are skipped token by
+token without touching the buffer.
+
+``advance()`` processes exactly one token (a skipped subtree counts its
+tokens individually in the statistics) and is the single place the
+input moves forward — the pull chain of the paper's Figure 2:
+evaluator → buffer manager → projector.
+"""
+
+from __future__ import annotations
+
+from repro.core.buffer import Buffer, BufferNode
+from repro.core.matcher import PathMatcher
+from repro.core.stats import BufferStats
+from repro.xmlio.lexer import XmlLexer
+from repro.xmlio.tokens import TokenKind
+
+
+class _OpenElement:
+    """Stack entry for one open element (or the document)."""
+
+    __slots__ = ("tag", "attributes", "states", "node", "parent")
+
+    def __init__(self, tag, attributes, states, node, parent):
+        self.tag = tag
+        self.attributes = attributes
+        self.states = states
+        self.node: BufferNode | None = node
+        self.parent: _OpenElement | None = parent
+
+
+class StreamProjector:
+    """Projects the token stream into the buffer, one token at a time."""
+
+    def __init__(
+        self,
+        lexer: XmlLexer,
+        matcher: PathMatcher,
+        buffer: Buffer,
+        stats: BufferStats | None = None,
+    ):
+        self._lexer = lexer
+        self._matcher = matcher
+        self._buffer = buffer
+        self._stats = stats if stats is not None else buffer.stats
+        states, counts = matcher.initial()
+        self._stack = _OpenElement(None, None, states, buffer.root, None)
+        if counts:
+            buffer.add_roles(buffer.root, counts)
+        self.exhausted = False
+
+    # ------------------------------------------------------------------
+
+    def advance(self) -> bool:
+        """Process the next input token; False when input is exhausted."""
+        if self.exhausted:
+            return False
+        token = self._lexer.next_token()
+        if token is None:
+            self.exhausted = True
+            self._buffer.close(self._buffer.root)
+            return False
+        if token.kind is TokenKind.START:
+            self._on_start(token)
+        elif token.kind is TokenKind.END:
+            self._on_end()
+        else:
+            self._on_text(token)
+        return True
+
+    def run_to_end(self) -> None:
+        """Drain the remaining input (records the tail of the series)."""
+        while self.advance():
+            pass
+
+    # ------------------------------------------------------------------
+
+    def _record(self) -> None:
+        self._stats.record_token(self._buffer.live_count)
+
+    def _on_start(self, token) -> None:
+        top = self._stack
+        states, counts = self._matcher.enter_element(top.states, token.name)
+        entry = _OpenElement(token.name, token.attributes, states, None, top)
+        if counts:
+            self._materialize(entry)
+            self._buffer.add_roles(entry.node, counts)
+        self._record()
+        if not states:
+            # Nothing below this element can match any projection path.
+            self._skip_subtree(entry)
+            return
+        self._stack = entry
+
+    def _on_end(self) -> None:
+        entry = self._stack
+        self._stack = entry.parent
+        if entry.node is not None:
+            self._buffer.close(entry.node)
+        self._record()
+
+    def _on_text(self, token) -> None:
+        top = self._stack
+        _, counts = self._matcher.enter_text(top.states)
+        if counts:
+            self._materialize(top)
+            node = self._buffer.new_text(top.node, token.content)
+            self._buffer.add_roles(node, counts)
+        self._record()
+
+    def _materialize(self, entry: _OpenElement) -> None:
+        """Create buffer nodes for *entry* and any unmaterialized
+        ancestors (outermost first, preserving document order).
+        Iterative so arbitrarily deep spines cannot exhaust the
+        Python stack."""
+        if entry.node is not None:
+            return
+        pending = []
+        current = entry
+        while current.node is None:
+            pending.append(current)
+            current = current.parent
+        for item in reversed(pending):
+            item.node = self._buffer.new_element(
+                item.parent.node,
+                item.tag,
+                {a.name: a.value for a in item.attributes or ()},
+            )
+
+    def _skip_subtree(self, entry: _OpenElement) -> None:
+        """Consume tokens up to and including the end tag matching the
+        just-opened *entry*, bypassing matcher and buffer entirely."""
+        if entry.node is None:
+            # Only fully irrelevant subtrees count as "skipped"; a
+            # buffered leaf whose content cannot match is routine.
+            self._stats.subtrees_skipped += 1
+        depth = 1
+        while depth:
+            token = self._lexer.next_token()
+            if token is None:  # pragma: no cover - lexer raises first
+                self.exhausted = True
+                return
+            if token.kind is TokenKind.START:
+                depth += 1
+            elif token.kind is TokenKind.END:
+                depth -= 1
+            self._record()
+        if entry.node is not None:
+            self._buffer.close(entry.node)

@@ -1,0 +1,109 @@
+"""Roles: the unit of buffer-relevance accounting.
+
+"Instead of counting references, we employ the concept of roles which
+are assigned to nodes.  Intuitively, a role serves as a metaphor for
+the future relevance of a node.  Roles are statically derived from the
+query." (paper, Section 2)
+
+Every role corresponds to one projection path; the paper's running
+example derives roles r1–r7.  A role records where it came from
+(binding a loop variable, output, an existence test, a comparison), the
+variable it is *anchored* at, and — filled in by the placement pass —
+where its ``signOff`` will be inserted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.xpath.ast import Path
+
+
+class RoleReason(enum.Enum):
+    """Why a projection path (and hence a role) exists."""
+
+    ROOT = "root"  # the document root, role r1
+    BINDING = "binding"  # enumerates the nodes a for-loop binds
+    OUTPUT = "output"  # subtree is copied to the output
+    EXISTS = "exists"  # witness for an existence test
+    COMPARISON = "comparison"  # value needed for a comparison
+    AGGREGATE = "aggregate"  # nodes (count) or values (sum/avg/min/max)
+
+
+@dataclass
+class Role:
+    """One role = one projection path.
+
+    Attributes:
+        name: stable identifier, ``r1``, ``r2``, ...
+        path: the absolute projection path that assigns this role.
+        reason: why the role exists.
+        anchor_var: loop variable the role is rooted at (``None`` for
+            the root role and absolute output paths).
+        suffix: ``path`` relative to the anchor variable's binding path.
+        placement_var: loop variable at the end of whose body the
+            ``signOff`` is placed; ``None`` means end of query.  May
+            differ from ``anchor_var`` when the signOff was *hoisted*
+            out of a non-ancestor loop nest (value joins, see
+            DESIGN.md §3.3).
+        signoff_var / signoff_path: the operand of the inserted
+            ``signOff`` statement.
+    """
+
+    name: str
+    path: Path
+    reason: RoleReason
+    anchor_var: str | None
+    suffix: Path
+    placement_var: str | None = None
+    signoff_var: str | None = None
+    signoff_path: Path = field(default_factory=Path)
+    hoisted: bool = False
+
+    def describe(self) -> str:
+        """One-line description in the style of the paper's role table."""
+        return f"{self.name}: {self.path}"
+
+
+class RoleTable:
+    """The set of roles of a compiled query, in derivation order."""
+
+    def __init__(self):
+        self._roles: list[Role] = []
+        self._by_name: dict[str, Role] = {}
+
+    def new_role(
+        self,
+        path: Path,
+        reason: RoleReason,
+        anchor_var: str | None,
+        suffix: Path,
+    ) -> Role:
+        """Create, register and return a fresh role."""
+        name = f"r{len(self._roles) + 1}"
+        role = Role(name, path, reason, anchor_var, suffix)
+        self._roles.append(role)
+        self._by_name[name] = role
+        return role
+
+    def __iter__(self):
+        return iter(self._roles)
+
+    def __len__(self) -> int:
+        return len(self._roles)
+
+    def __getitem__(self, name: str) -> Role:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def projection_paths(self) -> list[Path]:
+        """The projection paths, one per role, in role order."""
+        return [role.path for role in self._roles]
+
+    def describe(self) -> str:
+        """Multi-line role table like the paper's Section 2 listing."""
+        return "\n".join(role.describe() for role in self._roles)

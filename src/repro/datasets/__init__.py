@@ -1,0 +1,15 @@
+"""Bundled datasets: the paper's running example documents."""
+
+from repro.datasets.bib import (
+    BIB_QUERY,
+    figure3b_document,
+    figure3c_document,
+    make_bib_document,
+)
+
+__all__ = [
+    "BIB_QUERY",
+    "figure3b_document",
+    "figure3c_document",
+    "make_bib_document",
+]

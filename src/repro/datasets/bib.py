@@ -1,0 +1,43 @@
+"""The paper's running example: bib documents and the intro query.
+
+"Each input document contains a bib root node with ten children of the
+form ⟨t⟩⟨author/⟩⟨title/⟩⟨price/⟩⟨/t⟩ where t is either tag book or
+article, a total of 82 tags forming 41 document nodes." (Section 3,
+Dynamic buffer management)
+"""
+
+from __future__ import annotations
+
+#: The introductory query of the paper, verbatim (Section 1): children
+#: of bib without a price, followed by all book titles.
+BIB_QUERY = """
+<r> {
+for $bib in /bib return
+(for $x in $bib/* return
+if (not(exists $x/price)) then $x else (),
+for $b in $bib/book return $b/title)
+} </r>
+"""
+
+
+def make_bib_document(kinds) -> str:
+    """Build a bib document with one child per entry of *kinds*.
+
+    Each child has the paper's fixed shape
+    ``<t><author></author><title></title><price></price></t>``.
+    """
+    children = "".join(
+        f"<{kind}><author></author><title></title><price></price></{kind}>"
+        for kind in kinds
+    )
+    return f"<bib>{children}</bib>"
+
+
+def figure3b_document() -> str:
+    """Figure 3(b): nine articles followed by one book."""
+    return make_bib_document(["article"] * 9 + ["book"])
+
+
+def figure3c_document() -> str:
+    """Figure 3(c): nine books followed by one article."""
+    return make_bib_document(["book"] * 9 + ["article"])

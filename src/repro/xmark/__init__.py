@@ -1,0 +1,20 @@
+"""XMark-style workload: data generator and adapted benchmark queries.
+
+The paper evaluates GCX on documents produced by the XMark benchmark
+generator [20] and on XMark queries "adapted … to match the XQuery
+fragment supported by GCX" (the original adaptations were published on
+the now-offline GCX download page; ours are re-derived and documented
+per query in :mod:`repro.xmark.queries`).
+"""
+
+from repro.xmark.generator import XMarkGenerator, generate_document, XMARK_DTD
+from repro.xmark.queries import ADAPTED_QUERIES, EXTRA_QUERIES, AdaptedQuery
+
+__all__ = [
+    "ADAPTED_QUERIES",
+    "EXTRA_QUERIES",
+    "AdaptedQuery",
+    "XMARK_DTD",
+    "XMarkGenerator",
+    "generate_document",
+]

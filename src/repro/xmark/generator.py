@@ -1,0 +1,289 @@
+"""Deterministic XMark-style auction document generator.
+
+The real XMark generator (``xmlgen``) produces an internet-auction
+document whose root ``site`` contains six sections in a fixed order —
+regions, categories, catgraph, people, open_auctions, closed_auctions
+(paper, Section 3: "The XMark DTD divides the document into six larger
+sections").  The GCX buffer plots (Figure 4) depend on precisely this
+section order and on the join cardinality between people and closed
+auctions, so the generator reproduces that skeleton with deterministic
+pseudo-random content.
+
+A ``scale`` of 1.0 yields a document of roughly 60 kB; scale grows all
+section cardinalities linearly, like XMark's scaling factor.  Use
+:func:`scale_for_bytes` to pick a scale for a target document size.
+"""
+
+from __future__ import annotations
+
+import random
+
+_WORDS = (
+    "gold silver vintage rare antique crafted polished signed boxed mint "
+    "classic limited edition original restored ornate carved painted "
+    "handmade imported ceramic wooden brass copper ivory jade pearl"
+).split()
+
+_FIRST_NAMES = (
+    "Ada Alan Barbara Carl Dana Edsger Fran Grace Hal Irene John Kim "
+    "Leslie Maurice Niklaus Olga Peter Quinn Rosa Stan Tony Ursula "
+    "Vint Wanda Xia Yves Zoe"
+).split()
+
+_LAST_NAMES = (
+    "Lovelace Turing Liskov Sagan Scott Dijkstra Allen Hopper Abelson "
+    "Greif McCarthy Knuth Lamport Wilkes Wirth Sokolova Naur Quincey "
+    "Parks Ulam Hoare Franklin Cerf Wozniak Jiang Meyer Zuse"
+).split()
+
+_COUNTRIES = "Germany France Japan Brazil Canada Kenya Australia".split()
+_CITIES = "Saarbruecken Lyon Osaka Recife Toronto Nairobi Perth".split()
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+#: Minimal XMark-style DTD: enough structure for the FluX-like
+#: baseline's schema knowledge (sequence order of the six sections).
+XMARK_DTD = """
+<!ELEMENT site (regions, categories, catgraph, people,
+                open_auctions, closed_auctions)>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping,
+                incategory*, mailbox)>
+<!ELEMENT categories (category*)>
+<!ELEMENT category (name, description)>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone, address?, creditcard?, profile?)>
+<!ELEMENT address (street, city, country, zipcode)>
+<!ELEMENT profile (interest*, education?, business, age?)>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, bidder*, current, itemref, seller,
+                        annotation, quantity, type)>
+<!ELEMENT bidder (date, increase, personref)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity,
+                          type, annotation)>
+<!ELEMENT annotation (author, description, happiness)>
+"""
+
+
+class XMarkGenerator:
+    """Generates one deterministic auction document.
+
+    Args:
+        scale: linear section-size multiplier (1.0 ≈ 60 kB).
+        seed: PRNG seed; identical (scale, seed) pairs produce
+            byte-identical documents.
+    """
+
+    def __init__(self, scale: float = 1.0, seed: int = 42):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.n_items_per_region = max(1, round(8 * scale))
+        self.n_categories = max(1, round(6 * scale))
+        self.n_edges = max(1, round(8 * scale))
+        self.n_persons = max(2, round(25 * scale))
+        self.n_open = max(1, round(12 * scale))
+        self.n_closed = max(1, round(10 * scale))
+
+    # -- vocabulary helpers --------------------------------------------------
+
+    def _words(self, low: int, high: int) -> str:
+        count = self._rng.randint(low, high)
+        return " ".join(self._rng.choice(_WORDS) for _ in range(count))
+
+    def _person_name(self) -> str:
+        return (
+            f"{self._rng.choice(_FIRST_NAMES)} {self._rng.choice(_LAST_NAMES)}"
+        )
+
+    # -- sections -----------------------------------------------------------
+
+    def generate(self) -> str:
+        """Produce the complete document as a string."""
+        self._rng = random.Random(self.seed)
+        out: list[str] = ["<site>"]
+        self._regions(out)
+        self._categories(out)
+        self._catgraph(out)
+        self._people(out)
+        self._open_auctions(out)
+        self._closed_auctions(out)
+        out.append("</site>")
+        return "".join(out)
+
+    def _regions(self, out: list[str]) -> None:
+        out.append("<regions>")
+        item_id = 0
+        for region in _REGIONS:
+            out.append(f"<{region}>")
+            for _ in range(self.n_items_per_region):
+                self._item(out, item_id, region)
+                item_id += 1
+            out.append(f"</{region}>")
+        out.append("</regions>")
+
+    def _item(self, out: list[str], item_id: int, region: str) -> None:
+        rng = self._rng
+        out.append(f'<item id="item{item_id}">')
+        out.append(f"<location>{rng.choice(_COUNTRIES)}</location>")
+        out.append(f"<quantity>{rng.randint(1, 5)}</quantity>")
+        out.append(f"<name>{self._words(2, 4)}</name>")
+        out.append("<payment>Creditcard</payment>")
+        out.append(
+            "<description><parlist><listitem><text>"
+            + self._words(4, 12)
+            + "</text></listitem></parlist></description>"
+        )
+        out.append("<shipping>Will ship internationally</shipping>")
+        category = rng.randrange(max(1, self.n_categories))
+        out.append(f'<incategory category="category{category}"></incategory>')
+        out.append(
+            "<mailbox><mail>"
+            f"<from>{self._person_name()}</from>"
+            f"<to>{self._person_name()}</to>"
+            f"<date>{self._date()}</date>"
+            f"<text>{self._words(3, 8)}</text>"
+            "</mail></mailbox>"
+        )
+        out.append("</item>")
+
+    def _categories(self, out: list[str]) -> None:
+        out.append("<categories>")
+        for i in range(self.n_categories):
+            out.append(
+                f'<category id="category{i}">'
+                f"<name>{self._words(1, 2)}</name>"
+                f"<description><text>{self._words(3, 8)}</text></description>"
+                "</category>"
+            )
+        out.append("</categories>")
+
+    def _catgraph(self, out: list[str]) -> None:
+        out.append("<catgraph>")
+        for _ in range(self.n_edges):
+            a = self._rng.randrange(self.n_categories)
+            b = self._rng.randrange(self.n_categories)
+            out.append(f'<edge from="category{a}" to="category{b}"></edge>')
+        out.append("</catgraph>")
+
+    def _people(self, out: list[str]) -> None:
+        rng = self._rng
+        out.append("<people>")
+        for i in range(self.n_persons):
+            out.append(f'<person id="person{i}">')
+            out.append(f"<name>{self._person_name()}</name>")
+            out.append(
+                f"<emailaddress>mailto:person{i}@auction.example</emailaddress>"
+            )
+            out.append(f"<phone>+49 {rng.randint(100, 999)} {rng.randint(1000, 9999)}</phone>")
+            if rng.random() < 0.6:
+                out.append(
+                    "<address>"
+                    f"<street>{rng.randint(1, 99)} {rng.choice(_WORDS)} St</street>"
+                    f"<city>{rng.choice(_CITIES)}</city>"
+                    f"<country>{rng.choice(_COUNTRIES)}</country>"
+                    f"<zipcode>{rng.randint(10000, 99999)}</zipcode>"
+                    "</address>"
+                )
+            if rng.random() < 0.5:
+                out.append(
+                    f"<creditcard>{rng.randint(1000, 9999)} "
+                    f"{rng.randint(1000, 9999)}</creditcard>"
+                )
+            if rng.random() < 0.85:
+                income = rng.randint(9000, 200000)
+                out.append(f'<profile income="{income}">')
+                for _ in range(rng.randint(0, 3)):
+                    cat = rng.randrange(self.n_categories)
+                    out.append(f'<interest category="category{cat}"></interest>')
+                if rng.random() < 0.5:
+                    out.append("<education>Graduate School</education>")
+                out.append(f"<business>{'Yes' if rng.random() < 0.3 else 'No'}</business>")
+                if rng.random() < 0.7:
+                    out.append(f"<age>{rng.randint(18, 80)}</age>")
+                out.append("</profile>")
+            out.append("</person>")
+        out.append("</people>")
+
+    def _open_auctions(self, out: list[str]) -> None:
+        rng = self._rng
+        total_items = self.n_items_per_region * len(_REGIONS)
+        out.append("<open_auctions>")
+        for i in range(self.n_open):
+            out.append(f'<open_auction id="open_auction{i}">')
+            out.append(f"<initial>{rng.randint(1, 300)}.{rng.randint(0, 99):02d}</initial>")
+            for _ in range(rng.randint(0, 4)):
+                out.append(
+                    "<bidder>"
+                    f"<date>{self._date()}</date>"
+                    f"<increase>{rng.randint(1, 50)}.00</increase>"
+                    f'<personref person="person{rng.randrange(self.n_persons)}">'
+                    "</personref>"
+                    "</bidder>"
+                )
+            out.append(f"<current>{rng.randint(1, 600)}.00</current>")
+            out.append(f'<itemref item="item{rng.randrange(total_items)}"></itemref>')
+            out.append(f'<seller person="person{rng.randrange(self.n_persons)}"></seller>')
+            out.append(
+                "<annotation>"
+                f'<author person="person{rng.randrange(self.n_persons)}"></author>'
+                f"<description><text>{self._words(3, 10)}</text></description>"
+                "<happiness>7</happiness>"
+                "</annotation>"
+            )
+            out.append(f"<quantity>{rng.randint(1, 3)}</quantity>")
+            out.append("<type>Regular</type>")
+            out.append("</open_auction>")
+        out.append("</open_auctions>")
+
+    def _closed_auctions(self, out: list[str]) -> None:
+        rng = self._rng
+        total_items = self.n_items_per_region * len(_REGIONS)
+        out.append("<closed_auctions>")
+        for i in range(self.n_closed):
+            out.append("<closed_auction>")
+            out.append(f'<seller person="person{rng.randrange(self.n_persons)}"></seller>')
+            out.append(f'<buyer person="person{rng.randrange(self.n_persons)}"></buyer>')
+            out.append(f'<itemref item="item{rng.randrange(total_items)}"></itemref>')
+            out.append(f"<price>{rng.randint(5, 800)}.{rng.randint(0, 99):02d}</price>")
+            out.append(f"<date>{self._date()}</date>")
+            out.append(f"<quantity>{rng.randint(1, 3)}</quantity>")
+            out.append("<type>Regular</type>")
+            out.append(
+                "<annotation>"
+                f'<author person="person{rng.randrange(self.n_persons)}"></author>'
+                f"<description><text>{self._words(3, 10)}</text></description>"
+                "<happiness>9</happiness>"
+                "</annotation>"
+            )
+            out.append("</closed_auction>")
+        out.append("</closed_auctions>")
+
+    def _date(self) -> str:
+        rng = self._rng
+        return f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{rng.randint(1999, 2006)}"
+
+
+def generate_document(scale: float = 1.0, seed: int = 42) -> str:
+    """Generate one XMark-style document (see :class:`XMarkGenerator`)."""
+    return XMarkGenerator(scale, seed).generate()
+
+
+def scale_for_bytes(target_bytes: int, seed: int = 42) -> float:
+    """Scale whose generated document is approximately *target_bytes*.
+
+    Calibrated with a probe at scale 1.0 (document size grows linearly
+    in scale, so one probe suffices).
+    """
+    probe = len(generate_document(1.0, seed))
+    return max(target_bytes / probe, 0.05)

@@ -1,0 +1,248 @@
+"""XMark queries adapted to the GCX fragment.
+
+The paper evaluates Q1, Q6, Q8, Q13 and Q20, "adapted as described at
+[the GCX download page], to match the XQuery fragment supported by
+GCX".  That page is offline; the adaptations below are re-derived from
+the original XMark queries under the fragment's restrictions (no
+aggregation, no let, single construction level per expression) so that
+each query keeps the *operator shape* that drives its buffer profile:
+
+* **Q1** — exact-match filter on people (streamable, tiny buffer);
+* **Q6** — descendant-axis scan of the regions section (streamable;
+  FluXQuery reports n/a on the descendant axis);
+* **Q8** — value join people ⋈ closed_auctions (inherently blocking,
+  buffer linear in the input);
+* **Q13** — reconstruction of australian items (streamable, subtree
+  copies);
+* **Q20** — income classification of people (streamable with multiple
+  sequential passes over the people section, answered from the buffer).
+
+Aggregations (``count`` in Q6/Q8/Q20) are replaced by emitting the
+counted items themselves — the data flow and therefore the buffering
+behaviour is unchanged; only the final fold is missing (GCX "does not
+yet cover aggregation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdaptedQuery:
+    """One adapted XMark query with its provenance documented."""
+
+    key: str
+    title: str
+    original: str
+    text: str
+    #: expected buffering class from the paper: "streaming" queries run
+    #: in O(1)-ish buffer, "blocking" ones are linear in the input.
+    blocking: bool
+    #: FluXQuery cannot run descendant-axis queries (Figure 5 "n/a").
+    flux_supported: bool = True
+
+
+Q1 = AdaptedQuery(
+    key="q1",
+    title="Name of the person with id person0",
+    original=(
+        'for $b in /site/people/person[@id="person0"] return $b/name/text()'
+    ),
+    text="""
+<result> {
+  for $p in /site/people/person return
+    if ($p/@id = "person0") then <name>{ $p/name/text() }</name> else ()
+} </result>
+""",
+    blocking=False,
+)
+
+Q6 = AdaptedQuery(
+    key="q6",
+    title="Items anywhere below the regions section",
+    original="for $b in //site/regions return count($b//item)",
+    text="""
+<result> {
+  for $r in /site/regions return
+    for $i in $r/descendant::item return
+      <item>{ $i/name/text() }</item>
+} </result>
+""",
+    blocking=False,
+    flux_supported=False,
+)
+
+Q8 = AdaptedQuery(
+    key="q8",
+    title="Purchases per person (value join people x closed_auctions)",
+    original=(
+        "for $p in /site/people/person let $a := for $t in "
+        "/site/closed_auctions/closed_auction where $t/buyer/@person = $p/@id "
+        'return $t return <item person="{$p/name/text()}">{count($a)}</item>'
+    ),
+    text="""
+<result> {
+  for $s in /site return
+    for $cl in $s/closed_auctions return
+      for $pp in $s/people return
+        for $p in $pp/person return
+          <item>{
+            <person>{ $p/name/text() }</person>,
+            for $t in $cl/closed_auction return
+              if ($t/buyer/@person = $p/@id) then $t/price else ()
+          }</item>
+} </result>
+""",
+    blocking=True,
+)
+
+Q13 = AdaptedQuery(
+    key="q13",
+    title="Names and descriptions of items in Australia",
+    original=(
+        "for $i in /site/regions/australia/item return "
+        '<item name="{$i/name/text()}">{$i/description}</item>'
+    ),
+    text="""
+<result> {
+  for $i in /site/regions/australia/item return
+    <item>{ $i/name, $i/description }</item>
+} </result>
+""",
+    blocking=False,
+)
+
+Q20 = AdaptedQuery(
+    key="q20",
+    title="People classified by income bracket (single pass)",
+    original=(
+        "count(...) per income bracket over /site/people/person/profile/@income"
+    ),
+    text="""
+<result> {
+  for $p in /site/people/person return
+    <person>{
+      $p/name,
+      if ($p/profile/@income >= 100000) then <preferred></preferred> else (),
+      if ($p/profile/@income >= 30000 and $p/profile/@income < 100000)
+        then <standard></standard> else (),
+      if ($p/profile/@income < 30000) then <challenge></challenge> else (),
+      if (not(exists $p/profile/@income)) then <na></na> else ()
+    }</person>
+} </result>
+""",
+    blocking=False,
+)
+
+#: Q20 restructured to group output by bracket instead of by person.
+#: Requires four sequential passes over the people section; GCX answers
+#: passes 2–4 from its buffer, so the whole section stays buffered
+#: until the last pass — a workload where active GC degenerates to
+#: static projection.  Used by the ablation benchmark, not by the
+#: Figure 5 reproduction (the paper's constant 1.2 MB for Q20 implies
+#: the authors' adaptation was single-pass).
+Q20_GROUPED = AdaptedQuery(
+    key="q20-grouped",
+    title="People per income bracket (grouped output, four passes)",
+    original=Q20.original,
+    text="""
+<result> {
+  <preferred>{
+    for $p in /site/people/person return
+      if ($p/profile/@income >= 100000) then $p/name else ()
+  }</preferred>,
+  <standard>{
+    for $p in /site/people/person return
+      if ($p/profile/@income >= 30000 and $p/profile/@income < 100000)
+      then $p/name else ()
+  }</standard>,
+  <challenge>{
+    for $p in /site/people/person return
+      if ($p/profile/@income < 30000) then $p/name else ()
+  }</challenge>,
+  <na>{
+    for $p in /site/people/person return
+      if (not(exists $p/profile/@income)) then $p/name else ()
+  }</na>
+} </result>
+""",
+    blocking=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# Original-form queries (extension).
+#
+# Our engine extends the GCX fragment with aggregation and attribute
+# value templates (README "Limitations", DESIGN.md §6 moved these from
+# out-of-scope to implemented extension), which lets the XMark queries
+# run much closer to their published form than the 2007 adaptations.
+# ---------------------------------------------------------------------------
+
+Q6_ORIGINAL = AdaptedQuery(
+    key="q6-original",
+    title="Number of items below the regions section (original count form)",
+    original="for $b in //site/regions return count($b//item)",
+    text="""
+<result> {
+  for $r in /site/regions return count($r//item)
+} </result>
+""",
+    blocking=False,
+    flux_supported=False,
+)
+
+Q8_ORIGINAL = AdaptedQuery(
+    key="q8-original",
+    title="Purchase count per person (original count + name attribute)",
+    original=(
+        "for $p in /site/people/person let $a := for $t in "
+        "/site/closed_auctions/closed_auction where $t/buyer/@person = $p/@id "
+        'return $t return <item person="{$p/name/text()}">{count($a)}</item>'
+    ),
+    text="""
+<result> {
+  for $s in /site return
+    for $cl in $s/closed_auctions return
+      for $pp in $s/people return
+        for $p in $pp/person return
+          <item person="{$p/name/text()}">{
+            for $t in $cl/closed_auction return
+              if ($t/buyer/@person = $p/@id) then <sale>{ $t/price/text() }</sale>
+              else ()
+          }</item>
+} </result>
+""",
+    blocking=True,
+)
+
+Q13_ORIGINAL = AdaptedQuery(
+    key="q13-original",
+    title="Australian items with the name as attribute (original form)",
+    original=(
+        "for $i in /site/regions/australia/item return "
+        '<item name="{$i/name/text()}">{$i/description}</item>'
+    ),
+    text="""
+<result> {
+  for $i in /site/regions/australia/item return
+    <item name="{$i/name/text()}">{ $i/description }</item>
+} </result>
+""",
+    blocking=False,
+)
+
+# Q20's original form counts a *filtered* FLWOR result per bracket
+# (count over an inner for/where), which aggregation over paths cannot
+# express; it stays adapted (single pass, Q20 above) with the grouped
+# variant Q20_GROUPED as the multi-pass study.
+
+ADAPTED_QUERIES: dict[str, AdaptedQuery] = {
+    query.key: query for query in (Q1, Q6, Q8, Q13, Q20)
+}
+
+EXTRA_QUERIES: dict[str, AdaptedQuery] = {
+    query.key: query
+    for query in (Q20_GROUPED, Q6_ORIGINAL, Q8_ORIGINAL, Q13_ORIGINAL)
+}

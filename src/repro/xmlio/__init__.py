@@ -1,0 +1,41 @@
+"""XML substrate: token model, streaming lexer, DOM, serializer, DTD.
+
+This package is self-contained (no external XML parser is used) so that
+the stream pre-projector of the GCX core can operate on a well-defined,
+one-token-at-a-time event stream, exactly as the paper's architecture
+(Figure 2) requires.
+"""
+
+from repro.xmlio.tokens import (
+    Attribute,
+    EndTag,
+    StartTag,
+    Text,
+    Token,
+    TokenKind,
+)
+from repro.xmlio.lexer import XmlLexer, tokenize
+from repro.xmlio.dom import DomNode, parse_dom
+from repro.xmlio.writer import XmlWriter, escape_attribute, escape_text
+from repro.xmlio.errors import XmlSyntaxError
+from repro.xmlio.dtd import Dtd, ElementDecl, parse_dtd
+
+__all__ = [
+    "Attribute",
+    "Dtd",
+    "DomNode",
+    "ElementDecl",
+    "EndTag",
+    "StartTag",
+    "Text",
+    "Token",
+    "TokenKind",
+    "XmlLexer",
+    "XmlSyntaxError",
+    "XmlWriter",
+    "escape_attribute",
+    "escape_text",
+    "parse_dom",
+    "parse_dtd",
+    "tokenize",
+]

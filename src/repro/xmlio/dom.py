@@ -1,0 +1,128 @@
+"""Lightweight in-memory DOM.
+
+The DOM is the substrate of the *baseline* engines (full in-memory
+evaluation, as Galax / Saxon / QizX do in the paper's Figure 5) and the
+semantics oracle for differential testing of the streaming GCX engine.
+It is deliberately minimal: elements, text nodes, attributes, document
+order — nothing the composition-free fragment does not need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.xmlio.lexer import tokenize
+from repro.xmlio.tokens import Token, TokenKind
+
+
+class DomNode:
+    """A node of the in-memory tree.
+
+    ``tag`` is ``None`` for text nodes and ``"#document"`` for the
+    synthetic document root.  Attributes live in a plain dict on the
+    element.  ``order`` is the document-order index (preorder), used by
+    the XPath oracle to sort and deduplicate node sets.
+    """
+
+    __slots__ = ("tag", "text", "attributes", "children", "parent", "order")
+
+    def __init__(self, tag, text=None, attributes=None, parent=None, order=0):
+        self.tag = tag
+        self.text = text
+        self.attributes = dict(attributes) if attributes else {}
+        self.children: list[DomNode] = []
+        self.parent = parent
+        self.order = order
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def is_text(self) -> bool:
+        """True for character-data nodes."""
+        return self.tag is None
+
+    @property
+    def is_document(self) -> bool:
+        """True for the synthetic document root."""
+        return self.tag == "#document"
+
+    @property
+    def is_element(self) -> bool:
+        """True for element nodes."""
+        return self.tag is not None and self.tag != "#document"
+
+    # -- navigation ------------------------------------------------------
+
+    def iter_descendants(self, include_self: bool = False) -> Iterator[DomNode]:
+        """Yield descendants in document order."""
+        if include_self:
+            yield self
+        for child in self.children:
+            yield from child.iter_descendants(include_self=True)
+
+    def ancestors(self) -> Iterator[DomNode]:
+        """Yield proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    # -- values ----------------------------------------------------------
+
+    def string_value(self) -> str:
+        """XPath string value: concatenated text of the subtree."""
+        if self.is_text:
+            return self.text or ""
+        parts: list[str] = []
+        for node in self.iter_descendants():
+            if node.is_text:
+                parts.append(node.text or "")
+        return "".join(parts)
+
+    def count_nodes(self) -> int:
+        """Number of nodes in the subtree, itself included.
+
+        Used as the "buffered nodes" metric of the baseline engines:
+        a full-DOM engine buffers every node of the document.
+        """
+        return 1 + sum(child.count_nodes() for child in self.children)
+
+    def __repr__(self) -> str:
+        if self.is_text:
+            return f"DomText({self.text!r})"
+        return f"DomNode(<{self.tag}> children={len(self.children)})"
+
+
+def build_dom(tokens, keep_whitespace: bool = False) -> DomNode:
+    """Build a DOM tree from a token iterable.
+
+    Returns the synthetic ``#document`` node whose single element child
+    is the document root.
+    """
+    order = 0
+    document = DomNode("#document", order=order)
+    stack = [document]
+    for token in tokens:
+        order += 1
+        if token.kind is TokenKind.START:
+            node = DomNode(
+                token.name,
+                attributes={a.name: a.value for a in token.attributes},
+                parent=stack[-1],
+                order=order,
+            )
+            stack[-1].children.append(node)
+            stack.append(node)
+        elif token.kind is TokenKind.END:
+            stack.pop()
+        else:
+            if not keep_whitespace and not token.content.strip():
+                continue
+            node = DomNode(None, text=token.content, parent=stack[-1], order=order)
+            stack[-1].children.append(node)
+    return document
+
+
+def parse_dom(source: str, keep_whitespace: bool = False) -> DomNode:
+    """Parse an XML string into a DOM, returning the document node."""
+    return build_dom(tokenize(source, keep_whitespace), keep_whitespace)

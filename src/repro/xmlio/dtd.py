@@ -1,0 +1,143 @@
+"""Minimal DTD parser.
+
+The paper's FluXQuery comparison system "can exploit schema information,
+and was provided the XMark DTD".  Our FluX-like baseline engine
+(:mod:`repro.baselines.flux_engine`) uses the same kind of knowledge:
+from a DTD it learns, for every element type, the set of child element
+types that may occur and in which relative order groups they appear,
+which lets it decide "no further match can arrive under this element"
+earlier than a schema-oblivious engine.
+
+Only the parts of DTD syntax needed for that are implemented:
+``<!ELEMENT name content-model>`` and (parsed but unused)
+``<!ATTLIST ...>`` declarations.  Content models are reduced to the
+information the baseline consumes:
+
+* the set of child element names that may appear, and
+* whether the order of *distinct* child names is fixed by a top-level
+  sequence group (``(a, b, c)``), in which case once ``b`` has been
+  seen no further ``a`` can arrive.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.xmlio.errors import DtdSyntaxError
+
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w:.-]+)\s+(.*?)>", re.DOTALL)
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+([\w:.-]+)\s+(.*?)>", re.DOTALL)
+_NAME_RE = re.compile(r"[\w:.-]+")
+
+
+@dataclass
+class ElementDecl:
+    """Declaration of one element type.
+
+    Attributes:
+        name: the element type name.
+        children: child element names that may occur, in declaration
+            order (duplicates removed, first occurrence kept).
+        sequence: True if the top-level content group is a sequence
+            (``,``-separated), meaning distinct child names arrive in
+            the listed relative order.
+        mixed: True for mixed content (``#PCDATA`` present).
+        empty: True for ``EMPTY`` content.
+    """
+
+    name: str
+    children: tuple[str, ...] = ()
+    sequence: bool = False
+    mixed: bool = False
+    empty: bool = False
+
+    def position_of(self, child: str) -> int | None:
+        """Index of *child* in the sequence order, or None if unknown."""
+        try:
+            return self.children.index(child)
+        except ValueError:
+            return None
+
+
+@dataclass
+class Dtd:
+    """A parsed DTD: element declarations by name."""
+
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+
+    def declaration(self, name: str) -> ElementDecl | None:
+        """Return the declaration for element *name*, or None."""
+        return self.elements.get(name)
+
+    def no_more_children_of(self, parent: str, seen: str, wanted: str) -> bool:
+        """Schema-based early termination test.
+
+        True when, under an element of type *parent* in which a child of
+        type *seen* has just been encountered, no further child of type
+        *wanted* can occur (because the content model is a sequence and
+        *wanted* precedes *seen*).  This is the kind of inference the
+        FluX scheduler draws from the XMark DTD.
+        """
+        decl = self.elements.get(parent)
+        if decl is None or not decl.sequence or decl.mixed:
+            return False
+        seen_pos = decl.position_of(seen)
+        wanted_pos = decl.position_of(wanted)
+        if seen_pos is None or wanted_pos is None:
+            return False
+        return wanted_pos < seen_pos
+
+
+def _parse_content_model(model: str) -> ElementDecl:
+    model = model.strip()
+    if model == "EMPTY":
+        return ElementDecl("", empty=True)
+    if model == "ANY":
+        return ElementDecl("")
+    mixed = "#PCDATA" in model
+    names: list[str] = []
+    for match in _NAME_RE.finditer(model):
+        token = match.group(0)
+        if token in ("EMPTY", "ANY") or token.startswith("#"):
+            continue
+        if token not in names:
+            names.append(token)
+    # A model is a sequence when its *top level* separators are commas.
+    # Strip one level of outer parentheses and inspect separators at
+    # depth zero.
+    inner = model
+    if inner.startswith("(") and inner.endswith((")", ")*", ")+", ")?")):
+        inner = inner[1 : inner.rfind(")")]
+    depth = 0
+    has_comma = False
+    has_bar = False
+    for ch in inner:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0:
+            if ch == ",":
+                has_comma = True
+            elif ch == "|":
+                has_bar = True
+    sequence = has_comma and not has_bar and not mixed
+    return ElementDecl("", tuple(names), sequence=sequence, mixed=mixed)
+
+
+def parse_dtd(text: str) -> Dtd:
+    """Parse the text of a DTD (external subset or internal subset).
+
+    Raises:
+        DtdSyntaxError: if an ``<!ELEMENT`` declaration is malformed.
+    """
+    dtd = Dtd()
+    for match in _ELEMENT_RE.finditer(text):
+        name, model = match.group(1), match.group(2)
+        if not name:
+            raise DtdSyntaxError("element declaration without a name")
+        decl = _parse_content_model(model)
+        decl.name = name
+        dtd.elements[name] = decl
+    return dtd

@@ -1,0 +1,22 @@
+"""Error types for the XML substrate."""
+
+
+class XmlSyntaxError(ValueError):
+    """Raised when the input is not well-formed XML.
+
+    Attributes:
+        message: human-readable description of the problem.
+        offset: character offset into the input where it was detected.
+    """
+
+    def __init__(self, message, offset=None):
+        self.message = message
+        self.offset = offset
+        if offset is not None:
+            super().__init__(f"{message} (at offset {offset})")
+        else:
+            super().__init__(message)
+
+
+class DtdSyntaxError(ValueError):
+    """Raised when a DTD fragment cannot be parsed."""

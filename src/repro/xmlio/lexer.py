@@ -1,0 +1,356 @@
+"""Incremental, character-level XML tokenizer.
+
+This is the lowest layer of the reproduction: a from-scratch streaming
+lexer that turns a string (or an iterable of string chunks) into the
+token stream consumed by the GCX stream pre-projector.  It supports the
+subset of XML needed by the paper's workloads plus the common
+conveniences one meets in real documents:
+
+* elements with attributes (single- or double-quoted),
+* self-closing tags (normalised to start + end token pairs),
+* character data with the five predefined entities
+  (``&lt; &gt; &amp; &apos; &quot;``) and numeric character references,
+* CDATA sections,
+* comments and processing instructions (skipped),
+* an XML declaration and a DOCTYPE with an optional internal DTD subset
+  (the subset text is preserved for :mod:`repro.xmlio.dtd`).
+
+Namespace processing is intentionally out of scope: GCX's fragment and
+the XMark workloads are namespace-free, and prefixed names pass through
+verbatim as part of the tag name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.xmlio.errors import XmlSyntaxError
+from repro.xmlio.tokens import Attribute, EndTag, StartTag, Text, Token
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:.-"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class XmlLexer:
+    """Pull-based tokenizer over a complete document string.
+
+    The whole input string is held by the lexer, but tokens are produced
+    strictly on demand (:meth:`next_token`), which is what gives the GCX
+    projector its one-token-lookahead discipline.
+    """
+
+    def __init__(self, text: str, keep_whitespace: bool = False):
+        self._text = text
+        self._pos = 0
+        self._keep_whitespace = keep_whitespace
+        self._open_tags: list[str] = []
+        self._started = False
+        # Synthetic end tag queued by a self-closing start tag.
+        self._pending_end: EndTag | None = None
+        #: raw text of the internal DTD subset, if a DOCTYPE carried one.
+        self.internal_subset: str | None = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def next_token(self) -> Token | None:
+        """Return the next token, or ``None`` at end of input.
+
+        Raises:
+            XmlSyntaxError: on malformed markup or mismatched tags.
+        """
+        while True:
+            token = self._scan_once()
+            if token is None:
+                return None
+            if (
+                not self._keep_whitespace
+                and token.kind.value == "text"
+                and not token.content.strip()
+            ):
+                continue
+            return token
+
+    def __iter__(self) -> Iterator[Token]:
+        while True:
+            token = self.next_token()
+            if token is None:
+                return
+            yield token
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open elements."""
+        return len(self._open_tags)
+
+    # ------------------------------------------------------------------
+    # scanning
+    # ------------------------------------------------------------------
+
+    def _scan_once(self) -> Token | None:
+        if self._pending_end is not None:
+            token = self._pending_end
+            self._pending_end = None
+            popped = self._open_tags.pop()
+            assert popped == token.name
+            return token
+        text = self._text
+        pos = self._pos
+        if pos >= len(text):
+            if self._open_tags:
+                raise XmlSyntaxError(
+                    f"unexpected end of input; unclosed element "
+                    f"<{self._open_tags[-1]}>",
+                    pos,
+                )
+            return None
+        if text[pos] != "<":
+            return self._scan_text()
+        # Markup.
+        if text.startswith("<!--", pos):
+            self._skip_comment()
+            return self._scan_once()
+        if text.startswith("<![CDATA[", pos):
+            return self._scan_cdata()
+        if text.startswith("<?", pos):
+            self._skip_pi()
+            return self._scan_once()
+        if text.startswith("<!DOCTYPE", pos):
+            self._skip_doctype()
+            return self._scan_once()
+        if text.startswith("</", pos):
+            return self._scan_end_tag()
+        return self._scan_start_tag()
+
+    def _scan_text(self) -> Text:
+        text = self._text
+        start = self._pos
+        end = text.find("<", start)
+        if end == -1:
+            end = len(text)
+        raw = text[start:end]
+        self._pos = end
+        if not self._open_tags and raw.strip():
+            raise XmlSyntaxError("character data outside the root element", start)
+        return Text(self._resolve_entities(raw, start), start)
+
+    def _scan_cdata(self) -> Text:
+        start = self._pos
+        end = self._text.find("]]>", start + 9)
+        if end == -1:
+            raise XmlSyntaxError("unterminated CDATA section", start)
+        content = self._text[start + 9 : end]
+        self._pos = end + 3
+        if not self._open_tags:
+            raise XmlSyntaxError("CDATA section outside the root element", start)
+        return Text(content, start)
+
+    def _skip_comment(self) -> None:
+        start = self._pos
+        end = self._text.find("-->", start + 4)
+        if end == -1:
+            raise XmlSyntaxError("unterminated comment", start)
+        self._pos = end + 3
+
+    def _skip_pi(self) -> None:
+        start = self._pos
+        end = self._text.find("?>", start + 2)
+        if end == -1:
+            raise XmlSyntaxError("unterminated processing instruction", start)
+        self._pos = end + 2
+
+    def _skip_doctype(self) -> None:
+        # <!DOCTYPE name [internal subset]? >
+        start = self._pos
+        pos = start + len("<!DOCTYPE")
+        text = self._text
+        depth = 0
+        subset_start = None
+        while pos < len(text):
+            ch = text[pos]
+            if ch == "[":
+                if depth == 0:
+                    subset_start = pos + 1
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+                if depth == 0 and subset_start is not None:
+                    self.internal_subset = text[subset_start:pos]
+            elif ch == ">" and depth == 0:
+                self._pos = pos + 1
+                return
+            pos += 1
+        raise XmlSyntaxError("unterminated DOCTYPE declaration", start)
+
+    def _scan_start_tag(self) -> StartTag:
+        text = self._text
+        start = self._pos
+        pos = start + 1
+        if pos >= len(text) or not _is_name_start(text[pos]):
+            raise XmlSyntaxError("malformed start tag", start)
+        name, pos = self._scan_name(pos)
+        attributes: list[Attribute] = []
+        seen: set[str] = set()
+        while True:
+            pos = self._skip_ws(pos)
+            if pos >= len(text):
+                raise XmlSyntaxError(f"unterminated start tag <{name}", start)
+            ch = text[pos]
+            if ch == ">":
+                self._pos = pos + 1
+                self._check_single_root(start)
+                self._open_tags.append(name)
+                return StartTag(name, tuple(attributes), start)
+            if ch == "/":
+                if not text.startswith("/>", pos):
+                    raise XmlSyntaxError(f"malformed start tag <{name}", pos)
+                self._pos = pos + 2
+                self._check_single_root(start)
+                self._open_tags.append(name)
+                self._pending_end = EndTag(name, start)
+                return StartTag(name, tuple(attributes), start, self_closing=True)
+            if not _is_name_start(ch):
+                raise XmlSyntaxError(
+                    f"unexpected character {ch!r} in start tag <{name}", pos
+                )
+            attr_name, pos = self._scan_name(pos)
+            pos = self._skip_ws(pos)
+            if pos >= len(text) or text[pos] != "=":
+                raise XmlSyntaxError(
+                    f"attribute {attr_name!r} without value in <{name}", pos
+                )
+            pos = self._skip_ws(pos + 1)
+            if pos >= len(text) or text[pos] not in "\"'":
+                raise XmlSyntaxError(
+                    f"unquoted value for attribute {attr_name!r} in <{name}", pos
+                )
+            quote = text[pos]
+            value_end = text.find(quote, pos + 1)
+            if value_end == -1:
+                raise XmlSyntaxError(
+                    f"unterminated value for attribute {attr_name!r}", pos
+                )
+            raw_value = text[pos + 1 : value_end]
+            if attr_name in seen:
+                raise XmlSyntaxError(
+                    f"duplicate attribute {attr_name!r} in <{name}", pos
+                )
+            seen.add(attr_name)
+            attributes.append(
+                Attribute(attr_name, self._resolve_entities(raw_value, pos))
+            )
+            pos = value_end + 1
+
+    def _scan_end_tag(self) -> EndTag:
+        text = self._text
+        start = self._pos
+        pos = start + 2
+        if pos >= len(text) or not _is_name_start(text[pos]):
+            raise XmlSyntaxError("malformed end tag", start)
+        name, pos = self._scan_name(pos)
+        pos = self._skip_ws(pos)
+        if pos >= len(text) or text[pos] != ">":
+            raise XmlSyntaxError(f"malformed end tag </{name}", start)
+        self._pos = pos + 1
+        if not self._open_tags:
+            raise XmlSyntaxError(f"end tag </{name}> with no open element", start)
+        expected = self._open_tags.pop()
+        if expected != name:
+            raise XmlSyntaxError(
+                f"mismatched end tag: expected </{expected}>, got </{name}>", start
+            )
+        return EndTag(name, start)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _check_single_root(self, offset: int) -> None:
+        if self._started and not self._open_tags:
+            raise XmlSyntaxError("multiple root elements", offset)
+        self._started = True
+
+    def _scan_name(self, pos: int) -> tuple[str, int]:
+        text = self._text
+        start = pos
+        pos += 1
+        while pos < len(text) and _is_name_char(text[pos]):
+            pos += 1
+        return text[start:pos], pos
+
+    def _skip_ws(self, pos: int) -> int:
+        text = self._text
+        while pos < len(text) and text[pos] in " \t\r\n":
+            pos += 1
+        return pos
+
+    def _resolve_entities(self, raw: str, offset: int) -> str:
+        if "&" not in raw:
+            return raw
+        out: list[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            end = raw.find(";", i + 1)
+            if end == -1:
+                raise XmlSyntaxError("unterminated entity reference", offset + i)
+            entity = raw[i + 1 : end]
+            if entity.startswith("#x") or entity.startswith("#X"):
+                out.append(chr(int(entity[2:], 16)))
+            elif entity.startswith("#"):
+                out.append(chr(int(entity[1:])))
+            elif entity in _PREDEFINED_ENTITIES:
+                out.append(_PREDEFINED_ENTITIES[entity])
+            else:
+                raise XmlSyntaxError(
+                    f"unknown entity reference &{entity};", offset + i
+                )
+            i = end + 1
+        return "".join(out)
+
+
+def tokenize(
+    source: str | Iterable[str], keep_whitespace: bool = False
+) -> Iterator[Token]:
+    """Tokenize *source* into a stream of XML tokens.
+
+    Args:
+        source: a complete document string, or an iterable of chunks
+            (joined before scanning — the *buffer*, not the raw input,
+            is what GCX minimises, and the engine never retains input
+            that the projector has passed over).
+        keep_whitespace: emit whitespace-only text tokens instead of
+            dropping them.
+
+    Yields:
+        ``StartTag`` / ``EndTag`` / ``Text`` tokens in document order.
+    """
+    if not isinstance(source, str):
+        source = "".join(source)
+    yield from XmlLexer(source, keep_whitespace)
+
+
+def make_lexer(source: str, keep_whitespace: bool = False) -> XmlLexer:
+    """Return a pull-based lexer over *source*."""
+    return XmlLexer(source, keep_whitespace)

@@ -1,0 +1,107 @@
+"""XML token (event) model.
+
+The GCX runtime consumes the input document as a sequence of tokens, one
+at a time, with a lookahead of a single token (paper, Section 3: "This
+can be done on-the-fly, with a lookahead of just one token").  Three
+token kinds exist:
+
+* ``StartTag`` — an element opening tag, carrying its attributes;
+* ``EndTag``   — the matching closing tag;
+* ``Text``     — a maximal run of character data.
+
+Attributes are carried on the ``StartTag`` rather than modelled as
+separate tokens, mirroring how GCX copies tokens into its buffer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TokenKind(enum.Enum):
+    """Discriminator for the three streaming token kinds."""
+
+    START = "start"
+    END = "end"
+    TEXT = "text"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single ``name="value"`` attribute on a start tag."""
+
+    name: str
+    value: str
+
+
+@dataclass(frozen=True)
+class StartTag:
+    """Opening tag ``<name a="v" ...>``.
+
+    ``self_closing`` start tags (``<name/>``) are normalised by the lexer
+    into a ``StartTag`` immediately followed by an ``EndTag``, so
+    downstream consumers never see the flag set; it is retained for
+    diagnostics and round-tripping tests.
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...] = ()
+    offset: int = 0
+    self_closing: bool = False
+
+    kind = TokenKind.START
+
+    def attribute(self, name: str) -> str | None:
+        """Return the value of attribute *name*, or ``None`` if absent."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr.value
+        return None
+
+    def __str__(self) -> str:
+        parts = [self.name]
+        parts.extend(f'{a.name}="{a.value}"' for a in self.attributes)
+        return "<" + " ".join(parts) + ">"
+
+
+@dataclass(frozen=True)
+class EndTag:
+    """Closing tag ``</name>``."""
+
+    name: str
+    offset: int = 0
+
+    kind = TokenKind.END
+
+    def __str__(self) -> str:
+        return f"</{self.name}>"
+
+
+@dataclass(frozen=True)
+class Text:
+    """A maximal run of character data between tags.
+
+    The lexer resolves the five predefined entities and CDATA sections
+    before emitting ``Text``; ``content`` is therefore plain text.
+    """
+
+    content: str
+    offset: int = 0
+
+    kind = TokenKind.TEXT
+
+    def __str__(self) -> str:
+        return self.content
+
+
+Token = StartTag | EndTag | Text
+
+
+def is_whitespace_text(token: Token) -> bool:
+    """True if *token* is a ``Text`` token consisting only of whitespace.
+
+    The GCX projector discards ignorable whitespace between elements;
+    this predicate defines "ignorable" for the whole code base.
+    """
+    return token.kind is TokenKind.TEXT and not token.content.strip()

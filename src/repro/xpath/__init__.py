@@ -1,0 +1,33 @@
+"""XPath fragment: AST, parser, and DOM reference evaluator.
+
+GCX's projection paths and signOff paths are XPath expressions over the
+axes ``child``, ``descendant``, ``descendant-or-self``, ``self`` and
+``attribute``, with name/wildcard/``text()``/``node()`` tests and the
+first-witness positional predicate ``[1]`` (written ``price[1]`` in the
+paper's role table).
+"""
+
+from repro.xpath.ast import (
+    Axis,
+    NodeTest,
+    Path,
+    Step,
+    child_step,
+    descendant_or_self_node,
+)
+from repro.xpath.parser import XPathParseError, parse_path
+from repro.xpath.evaluator import AttributeRef, evaluate_path, item_string_value
+
+__all__ = [
+    "AttributeRef",
+    "Axis",
+    "NodeTest",
+    "Path",
+    "Step",
+    "XPathParseError",
+    "child_step",
+    "descendant_or_self_node",
+    "evaluate_path",
+    "item_string_value",
+    "parse_path",
+]

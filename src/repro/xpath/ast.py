@@ -1,0 +1,169 @@
+"""XPath abstract syntax.
+
+Paths are immutable so they can serve as dictionary keys in the role
+table (each projection path defines a role — paper, Section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Axis(enum.Enum):
+    """The XPath axes supported by the GCX fragment."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    SELF = "self"
+    ATTRIBUTE = "attribute"
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """A node test: a tag name, ``*``, ``text()`` or ``node()``.
+
+    ``name`` holds the tag for name tests and is ``None`` otherwise;
+    ``kind`` is one of ``"name"``, ``"wildcard"``, ``"text"``,
+    ``"node"``.
+    """
+
+    kind: str
+    name: str | None = None
+
+    def matches_element(self, tag: str) -> bool:
+        """True if an element with *tag* satisfies this test."""
+        if self.kind == "name":
+            return self.name == tag
+        return self.kind in ("wildcard", "node")
+
+    def matches_text(self) -> bool:
+        """True if a text node satisfies this test."""
+        return self.kind in ("text", "node")
+
+    def __str__(self) -> str:
+        if self.kind == "name":
+            return self.name or ""
+        if self.kind == "wildcard":
+            return "*"
+        return f"{self.kind}()"
+
+
+NAME = lambda tag: NodeTest("name", tag)  # noqa: E731 - concise constructors
+WILDCARD = NodeTest("wildcard")
+TEXT_TEST = NodeTest("text")
+NODE_TEST = NodeTest("node")
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step ``axis::test`` with an optional ``[n]``.
+
+    ``position`` encodes a positional predicate: the step selects, per
+    context node, only the n-th matching node in document order.  The
+    paper's role language uses exactly ``[1]`` (the first-witness
+    predicate of role r4, ``/bib/*/price[1]``); we support arbitrary n
+    as a generalisation.  For backwards compatibility ``position`` also
+    accepts booleans (``True`` = 1).
+    """
+
+    axis: Axis
+    test: NodeTest
+    position: int | None = None
+
+    def __post_init__(self):
+        # normalise the legacy boolean form of the first-witness flag
+        if self.position is True:
+            object.__setattr__(self, "position", 1)
+        elif self.position is False:
+            object.__setattr__(self, "position", None)
+
+    @property
+    def first_only(self) -> bool:
+        """True for the paper's first-witness predicate ``[1]``."""
+        return self.position == 1
+
+    def __str__(self) -> str:
+        if self.axis is Axis.ATTRIBUTE:
+            base = f"@{self.test}"
+        elif self.axis is Axis.CHILD:
+            base = str(self.test)
+        else:
+            base = f"{self.axis.value}::{self.test}"
+        return base + (f"[{self.position}]" if self.position else "")
+
+
+@dataclass(frozen=True)
+class Path:
+    """A location path.
+
+    ``absolute`` paths start at the document root; relative paths start
+    at a context node (in GCX, the current binding of a variable).
+    """
+
+    steps: tuple[Step, ...] = ()
+    absolute: bool = False
+
+    def __str__(self) -> str:
+        body = "/".join(str(s) for s in self.steps)
+        if self.absolute:
+            return "/" + body
+        return body or "."
+
+    @property
+    def is_root(self) -> bool:
+        """True for the bare root path ``/``."""
+        return self.absolute and not self.steps
+
+    def concat(self, other: Path) -> Path:
+        """Append a relative path to this one."""
+        if other.absolute:
+            raise ValueError("cannot concatenate an absolute path")
+        return Path(self.steps + other.steps, self.absolute)
+
+    def child(self, test: NodeTest, first_only: bool = False) -> Path:
+        """Extend with a child step."""
+        return Path(
+            self.steps + (Step(Axis.CHILD, test, first_only),), self.absolute
+        )
+
+    def step(self, step: Step) -> Path:
+        """Extend with an arbitrary step."""
+        return Path(self.steps + (step,), self.absolute)
+
+    def with_descendant_or_self(self) -> Path:
+        """Extend with ``descendant-or-self::node()`` (subtree roles).
+
+        Idempotent: paths already ending in the subtree step are
+        returned unchanged, so role derivation never stacks two.
+        """
+        dos = Step(Axis.DESCENDANT_OR_SELF, NODE_TEST)
+        if self.steps and self.steps[-1] == dos:
+            return self
+        return Path(self.steps + (dos,), self.absolute)
+
+    def starts_with(self, prefix: Path) -> bool:
+        """True if *prefix*'s steps are a prefix of this path's steps."""
+        if prefix.absolute != self.absolute:
+            return False
+        return self.steps[: len(prefix.steps)] == prefix.steps
+
+    def suffix_after(self, prefix: Path) -> Path:
+        """The relative remainder of this path after *prefix*."""
+        if not self.starts_with(prefix):
+            raise ValueError(f"{self} does not start with {prefix}")
+        return Path(self.steps[len(prefix.steps) :], absolute=False)
+
+
+def child_step(tag: str, first_only: bool = False) -> Step:
+    """Convenience constructor for ``child::tag``."""
+    return Step(Axis.CHILD, NodeTest("name", tag), first_only)
+
+
+def descendant_or_self_node() -> Step:
+    """Convenience constructor for ``descendant-or-self::node()``."""
+    return Step(Axis.DESCENDANT_OR_SELF, NODE_TEST)
+
+
+ROOT = Path((), absolute=True)

@@ -1,0 +1,155 @@
+"""Reference XPath evaluation over the DOM.
+
+This evaluator defines the semantics that the streaming engine must
+agree with; the test suite uses it both directly (unit tests on paths)
+and indirectly (the full-DOM baseline engine evaluates queries with it,
+and differential tests compare GCX output against that oracle).
+
+Two result modes exist:
+
+* **node-set mode** (default): duplicates removed, document order —
+  standard XPath semantics.
+* **derivation mode** (``count_derivations=True``): one result entry
+  per *match derivation*.  A node reachable from the context via two
+  different instantiations of a descendant step appears twice.  This is
+  exactly the multiplicity with which GCX assigns roles ("a role can be
+  assigned to a node multiple times when queries involve the XPath
+  descendant axis"), so the oracle can check the buffer's role counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlio.dom import DomNode
+from repro.xpath.ast import Axis, Path, Step
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """An attribute selected by the ``attribute`` axis.
+
+    Our data model stores attributes inline on their owner element (as
+    GCX copies them with the start-tag token), so the attribute axis
+    yields lightweight references rather than tree nodes.
+    """
+
+    owner: DomNode
+    name: str
+    value: str
+
+    @property
+    def order(self) -> tuple:
+        return (self.owner.order, self.name)
+
+
+def item_string_value(item) -> str:
+    """XPath string value of a node or attribute reference."""
+    if isinstance(item, AttributeRef):
+        return item.value
+    return item.string_value()
+
+
+def _axis_candidates(item, axis: Axis):
+    """Yield candidate items along *axis* from *item* in document order."""
+    if isinstance(item, AttributeRef):
+        if axis is Axis.SELF:
+            yield item
+        return
+    if axis is Axis.CHILD:
+        yield from item.children
+    elif axis is Axis.SELF:
+        yield item
+    elif axis is Axis.DESCENDANT:
+        yield from item.iter_descendants(include_self=False)
+    elif axis is Axis.DESCENDANT_OR_SELF:
+        yield from item.iter_descendants(include_self=True)
+    elif axis is Axis.ATTRIBUTE:
+        if item.is_element:
+            for name in sorted(item.attributes):
+                yield AttributeRef(item, name, item.attributes[name])
+    else:  # pragma: no cover - all axes handled
+        raise AssertionError(f"unhandled axis {axis}")
+
+
+def _matches(item, step: Step) -> bool:
+    if isinstance(item, AttributeRef):
+        if step.axis is not Axis.ATTRIBUTE and step.axis is not Axis.SELF:
+            return False
+        if step.test.kind == "wildcard":
+            return True
+        return step.test.kind == "name" and step.test.name == item.name
+    if item.is_text:
+        return step.test.matches_text()
+    if item.is_document:
+        # The document node only matches node() tests (it has no tag
+        # visible to name tests); relevant for descendant-or-self from /.
+        return step.test.kind == "node"
+    if step.axis is Axis.ATTRIBUTE:
+        return False
+    return step.test.matches_element(item.tag)
+
+
+def _apply_step(frontier, step: Step):
+    """Expand every frontier item through *step*, preserving derivations."""
+    result = []
+    for item in frontier:
+        matched = (
+            cand
+            for cand in _axis_candidates(item, step.axis)
+            if _matches(cand, step)
+        )
+        if step.position is not None:
+            for index, cand in enumerate(matched, start=1):
+                if index == step.position:
+                    result.append(cand)
+                    break
+        else:
+            result.extend(matched)
+    return result
+
+
+def evaluate_path(path: Path, context, count_derivations: bool = False):
+    """Evaluate *path* from *context* (a DomNode, or the document node
+    for absolute paths).
+
+    Args:
+        path: the location path.
+        context: context node; for absolute paths this must be (or have
+            as ancestor-or-self) the ``#document`` node.
+        count_derivations: keep one entry per match derivation instead
+            of producing a duplicate-free node set.
+
+    Returns:
+        list of ``DomNode`` / ``AttributeRef`` items.  In node-set mode
+        the list is in document order without duplicates.
+    """
+    if path.absolute:
+        node = context
+        while node.parent is not None:
+            node = node.parent
+        frontier = [node]
+    else:
+        frontier = [context]
+    for step in path.steps:
+        frontier = _apply_step(frontier, step)
+        if not frontier:
+            break
+    if count_derivations:
+        return frontier
+    seen = set()
+    unique = []
+    for item in frontier:
+        key = id(item) if isinstance(item, DomNode) else (id(item.owner), item.name)
+        if key not in seen:
+            seen.add(key)
+            unique.append(item)
+    unique.sort(key=_document_order_key)
+    return unique
+
+
+def _document_order_key(item) -> tuple:
+    """Total order consistent with document order for nodes and attrs."""
+    if isinstance(item, AttributeRef):
+        return item.order
+    return (item.order, "")

@@ -1,0 +1,192 @@
+"""Recursive-descent parser for the supported XPath fragment.
+
+Grammar (whitespace insensitive)::
+
+    path       :=  '/' rel-path? | rel-path
+    rel-path   :=  step (('/' | '//') step)*
+    step       :=  axis-spec? node-test predicate?
+    axis-spec  :=  AXISNAME '::'  |  '@'
+    node-test  :=  NAME | '*' | 'text' '(' ')' | 'node' '(' ')'
+    predicate  :=  '[' INTEGER ']'          # only [1] is meaningful
+
+``//`` abbreviates ``/descendant-or-self::node()/`` as in XPath; a
+leading ``//`` is likewise supported.  Only the positional predicate
+``[1]`` (first witness) is accepted, matching the role language of the
+paper.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.xpath.ast import Axis, NodeTest, Path, Step
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<dslash>//)
+  | (?P<slash>/)
+  | (?P<axis>(?:child|descendant-or-self|descendant|self|attribute)::)
+  | (?P<at>@)
+  | (?P<func>(?:text|node)\s*\(\s*\))
+  | (?P<star>\*)
+  | (?P<pred>\[\s*\d+\s*\])
+  | (?P<name>[A-Za-z_][\w.-]*)
+  | (?P<dot>\.)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+_AXIS_BY_NAME = {
+    "child": Axis.CHILD,
+    "descendant": Axis.DESCENDANT,
+    "descendant-or-self": Axis.DESCENDANT_OR_SELF,
+    "self": Axis.SELF,
+    "attribute": Axis.ATTRIBUTE,
+}
+
+
+class XPathParseError(ValueError):
+    """Raised when a path expression cannot be parsed."""
+
+
+def _lex(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise XPathParseError(
+                f"unexpected character {text[pos]!r} in path {text!r}"
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group(0)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = _lex(text)
+        self._index = 0
+
+    def _peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index][0]
+        return None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse(self) -> Path:
+        steps: list[Step] = []
+        absolute = False
+        kind = self._peek()
+        if kind == "slash":
+            absolute = True
+            self._next()
+            if self._peek() is None:
+                return Path((), absolute=True)
+        elif kind == "dslash":
+            absolute = True
+            self._next()
+            steps.append(Step(Axis.DESCENDANT_OR_SELF, NodeTest("node")))
+        elif kind == "dot":
+            self._next()
+            if self._peek() is not None:
+                raise XPathParseError(f"unexpected tokens after '.' in {self._text!r}")
+            return Path((), absolute=False)
+        steps.append(self._parse_step())
+        while self._peek() in ("slash", "dslash"):
+            kind, _ = self._next()
+            if kind == "dslash":
+                steps.append(Step(Axis.DESCENDANT_OR_SELF, NodeTest("node")))
+            steps.append(self._parse_step())
+        if self._peek() is not None:
+            kind, text = self._tokens[self._index]
+            raise XPathParseError(f"unexpected {text!r} in path {self._text!r}")
+        return Path(_collapse_descendant_abbreviation(steps), absolute)
+
+    def _parse_step(self) -> Step:
+        kind = self._peek()
+        if kind is None:
+            raise XPathParseError(f"path {self._text!r} ends unexpectedly")
+        axis = Axis.CHILD
+        if kind == "axis":
+            _, text = self._next()
+            axis = _AXIS_BY_NAME[text[:-2].strip()]
+        elif kind == "at":
+            self._next()
+            axis = Axis.ATTRIBUTE
+        kind = self._peek()
+        if kind == "func":
+            _, text = self._next()
+            func = "text" if text.startswith("text") else "node"
+            test = NodeTest(func)
+        elif kind == "star":
+            self._next()
+            test = NodeTest("wildcard")
+        elif kind == "name":
+            _, text = self._next()
+            test = NodeTest("name", text)
+        else:
+            raise XPathParseError(f"expected a node test in path {self._text!r}")
+        position = None
+        if self._peek() == "pred":
+            _, text = self._next()
+            position = int(text.strip("[] \t"))
+            if position < 1:
+                raise XPathParseError(
+                    f"positional predicates are 1-based, got {text}"
+                )
+        if axis is Axis.ATTRIBUTE and test.kind not in ("name", "wildcard"):
+            raise XPathParseError("attribute axis requires a name or * test")
+        return Step(axis, test, position)
+
+
+def _collapse_descendant_abbreviation(steps: list[Step]) -> tuple[Step, ...]:
+    """Rewrite ``descendant-or-self::node()/child::t`` into
+    ``descendant::t``.
+
+    The two forms select the same node set with the same derivation
+    multiplicity (every node has exactly one parent), but the collapsed
+    form evaluates as a *single* location step, which keeps streaming
+    iteration over ``//t`` in document order.  The collapse is skipped
+    when the child step carries the first-witness predicate: ``//t[1]``
+    means "first t-child per ancestor", not "first t-descendant".
+    """
+    collapsed: list[Step] = []
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        next_step = steps[index + 1] if index + 1 < len(steps) else None
+        if (
+            step.axis is Axis.DESCENDANT_OR_SELF
+            and step.test.kind == "node"
+            and step.position is None
+            and next_step is not None
+            and next_step.axis is Axis.CHILD
+            and next_step.position is None
+        ):
+            collapsed.append(Step(Axis.DESCENDANT, next_step.test))
+            index += 2
+        else:
+            collapsed.append(step)
+            index += 1
+    return tuple(collapsed)
+
+
+def parse_path(text: str) -> Path:
+    """Parse *text* into a :class:`~repro.xpath.ast.Path`.
+
+    Raises:
+        XPathParseError: if the expression is outside the fragment.
+    """
+    text = text.strip()
+    if not text:
+        raise XPathParseError("empty path expression")
+    return _Parser(text).parse()

@@ -1,0 +1,53 @@
+"""Composition-free XQuery fragment: AST, parser, normalizer.
+
+GCX "supports the practical fragment of composition-free XQuery with
+single-step nested for-loops, conditions, and joins, but does not yet
+cover aggregation" (paper, Section 3).  The surface syntax accepted
+here is slightly friendlier — multi-step ``for`` sources and ``where``
+clauses — and :mod:`repro.xquery.normalize` lowers it to the core form
+(single-step loops, ``if`` conditions) the static analysis operates on.
+"""
+
+from repro.xquery.ast import (
+    And,
+    Comparison,
+    ElementConstructor,
+    Empty,
+    Exists,
+    ForExpr,
+    IfExpr,
+    Literal,
+    Not,
+    Or,
+    PathExpr,
+    Query,
+    Sequence,
+    SignOff,
+    TextLiteral,
+)
+from repro.xquery.parser import XQueryParseError, parse_query
+from repro.xquery.normalize import NormalizationError, normalize_query
+from repro.xquery.pretty import pretty_print
+
+__all__ = [
+    "And",
+    "Comparison",
+    "ElementConstructor",
+    "Empty",
+    "Exists",
+    "ForExpr",
+    "IfExpr",
+    "Literal",
+    "NormalizationError",
+    "Not",
+    "Or",
+    "PathExpr",
+    "Query",
+    "Sequence",
+    "SignOff",
+    "TextLiteral",
+    "XQueryParseError",
+    "normalize_query",
+    "parse_query",
+    "pretty_print",
+]

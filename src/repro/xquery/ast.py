@@ -1,0 +1,358 @@
+"""Abstract syntax of the composition-free XQuery fragment.
+
+Expressions
+    ``Sequence`` — comma-joined expressions;
+    ``ForExpr`` — ``for $x in <source> [where c] return e``;
+    ``IfExpr`` — ``if (c) then e1 else e2``;
+    ``PathExpr`` — output of the nodes selected by ``$x/path`` (or an
+    absolute path);
+    ``ElementConstructor`` — ``<t a="v">{ e }</t>``;
+    ``TextLiteral`` / ``Empty`` — literal text, the empty sequence;
+    ``SignOff`` — the buffer-preemption statement the GCX compiler
+    inserts (never written by users, but parseable so the paper's
+    rewritten queries round-trip).
+
+Conditions
+    ``Exists`` / ``Not`` / ``And`` / ``Or`` / ``Comparison`` over path
+    and literal operands.
+
+All nodes are immutable; rewriting passes build new trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xpath.ast import Path
+
+
+# ---------------------------------------------------------------------------
+# operands and conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathOperand:
+    """A path operand ``$var/path`` (``var=None`` for absolute paths)."""
+
+    var: str | None
+    path: Path
+
+    def __str__(self) -> str:
+        if self.var is None:
+            return str(self.path)
+        if not self.path.steps:
+            return f"${self.var}"
+        return f"${self.var}/{self.path}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or numeric literal operand."""
+
+    value: str | float | int
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregation ``count|sum|avg|min|max($x/path)``.
+
+    An *extension* over the paper's fragment ("GCX … does not yet
+    cover aggregation"): aggregates appear as output expressions
+    (``AggregateExpr``) or as comparison operands.  ``count`` needs
+    only the matched nodes; the value aggregates need their string
+    values.
+    """
+
+    func: str  # count | sum | avg | min | max
+    operand: PathOperand
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.operand})"
+
+
+Operand = PathOperand | Literal | Aggregate
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``exists $x/path`` — true iff the path selects at least one node."""
+
+    operand: PathOperand
+
+    def __str__(self) -> str:
+        return f"exists {self.operand}"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Logical negation."""
+
+    operand: "Condition"
+
+    def __str__(self) -> str:
+        return f"not({self.operand})"
+
+
+@dataclass(frozen=True)
+class And:
+    """Logical conjunction."""
+
+    left: "Condition"
+    right: "Condition"
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Logical disjunction."""
+
+    left: "Condition"
+    right: "Condition"
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """General comparison with existential semantics.
+
+    True iff *some* pair of values selected by the operands satisfies
+    the operator — the XPath/XQuery general-comparison rule, which is
+    what makes value joins (XMark Q8) expressible in the fragment.
+    """
+
+    left: Operand
+    op: str  # one of = != < <= > >=
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+Condition = Exists | Not | And | Or | Comparison
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Empty:
+    """The empty sequence ``()``."""
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class TextLiteral:
+    """Literal text copied to the output."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """Outputs the nodes selected by ``$var/path`` (subtrees serialized)."""
+
+    var: str | None
+    path: Path
+
+    def __str__(self) -> str:
+        return str(PathOperand(self.var, self.path))
+
+
+@dataclass(frozen=True)
+class AggregateExpr:
+    """Outputs the value of an aggregation as text."""
+
+    aggregate: Aggregate
+
+    def __str__(self) -> str:
+        return str(self.aggregate)
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """Comma-joined subexpressions, evaluated left to right."""
+
+    items: tuple["Expr", ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class ForExpr:
+    """``for $var in <source> [where <where>] return <body>``.
+
+    ``source`` is a path operand; after normalization it has exactly
+    one step (the paper's single-step restriction) and ``where`` has
+    been folded into an ``IfExpr`` body.
+    """
+
+    var: str
+    source: PathOperand
+    body: "Expr"
+    where: Condition | None = None
+
+    def __str__(self) -> str:
+        where = f" where {self.where}" if self.where is not None else ""
+        return f"for ${self.var} in {self.source}{where} return {self.body}"
+
+
+@dataclass(frozen=True)
+class LetExpr:
+    """``let $var := <value> return <body>`` with a *scalar* value.
+
+    An extension: the value is an aggregation or a literal (node-
+    sequence lets would break composition-freeness, the fragment's
+    defining restriction).  The bound variable can be output and used
+    as a comparison operand.
+    """
+
+    var: str
+    value: "Aggregate | Literal"
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"let ${self.var} := {self.value} return {self.body}"
+
+
+@dataclass(frozen=True)
+class IfExpr:
+    """``if (<condition>) then <then> else <orelse>``."""
+
+    condition: Condition
+    then: "Expr"
+    orelse: "Expr"
+
+    def __str__(self) -> str:
+        return f"if ({self.condition}) then {self.then} else {self.orelse}"
+
+
+#: Attribute values are constant strings or attribute value templates:
+#: a whole-value enclosed expression ``a="{$x/p}"`` whose selected
+#: items' string values are space-joined (the XQuery AVT rule).
+AttributeValue = "str | PathOperand | Aggregate"
+
+
+@dataclass(frozen=True)
+class ElementConstructor:
+    """``<tag a="v" b="{$x/p}">{ body }</tag>``."""
+
+    tag: str
+    attributes: tuple[tuple[str, "str | PathOperand | Aggregate"], ...]
+    body: "Expr"
+
+    def __str__(self) -> str:
+        parts = []
+        for name, value in self.attributes:
+            if isinstance(value, str):
+                parts.append(f' {name}="{value}"')
+            else:
+                parts.append(f' {name}="{{{value}}}"')
+        attrs = "".join(parts)
+        return f"<{self.tag}{attrs}>{{ {self.body} }}</{self.tag}>"
+
+
+@dataclass(frozen=True)
+class SignOff:
+    """``signOff($var/path, role)`` — removes one instance of *role*
+    from every buffered node reached from the current binding of
+    ``$var`` via ``path`` and triggers garbage collection."""
+
+    var: str | None
+    path: Path
+    role: str
+
+    def __str__(self) -> str:
+        return f"signOff({PathOperand(self.var, self.path)}, {self.role})"
+
+
+Expr = (
+    Empty
+    | TextLiteral
+    | PathExpr
+    | AggregateExpr
+    | Sequence
+    | ForExpr
+    | LetExpr
+    | IfExpr
+    | ElementConstructor
+    | SignOff
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A complete query: one top-level expression."""
+
+    body: Expr
+
+    def __str__(self) -> str:
+        return str(self.body)
+
+
+# ---------------------------------------------------------------------------
+# traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def child_expressions(expr: Expr) -> tuple[Expr, ...]:
+    """Immediate subexpressions of *expr* (conditions excluded)."""
+    if isinstance(expr, Sequence):
+        return expr.items
+    if isinstance(expr, (ForExpr, LetExpr)):
+        return (expr.body,)
+    if isinstance(expr, IfExpr):
+        return (expr.then, expr.orelse)
+    if isinstance(expr, ElementConstructor):
+        return (expr.body,)
+    return ()
+
+
+def iter_expressions(expr: Expr):
+    """Yield *expr* and all nested expressions, preorder."""
+    yield expr
+    for child in child_expressions(expr):
+        yield from iter_expressions(child)
+
+
+def iter_conditions(expr: Expr):
+    """Yield every condition appearing in *expr* or below."""
+    for sub in iter_expressions(expr):
+        if isinstance(sub, IfExpr):
+            yield sub.condition
+        elif isinstance(sub, ForExpr) and sub.where is not None:
+            yield sub.where
+
+
+def condition_operands(condition: Condition):
+    """Yield every ``PathOperand`` inside *condition*."""
+    if isinstance(condition, Exists):
+        yield condition.operand
+    elif isinstance(condition, Not):
+        yield from condition_operands(condition.operand)
+    elif isinstance(condition, (And, Or)):
+        yield from condition_operands(condition.left)
+        yield from condition_operands(condition.right)
+    elif isinstance(condition, Comparison):
+        for operand in (condition.left, condition.right):
+            if isinstance(operand, PathOperand):
+                yield operand
+            elif isinstance(operand, Aggregate):
+                yield operand.operand

@@ -1,0 +1,44 @@
+"""Indented pretty-printer for query ASTs.
+
+Used by the CLI (``gcx explain``) to show the compiled, rewritten query
+with its ``signOff`` statements — the textual counterpart of the demo's
+role browser (paper, Figure 3(a)).
+"""
+
+from __future__ import annotations
+
+from repro.xquery import ast as q
+
+_INDENT = "  "
+
+
+def pretty_print(node: q.Query | q.Expr, indent: int = 0) -> str:
+    """Render *node* as indented multi-line text."""
+    if isinstance(node, q.Query):
+        return pretty_print(node.body, indent)
+    pad = _INDENT * indent
+    if isinstance(node, q.Sequence):
+        inner = ",\n".join(pretty_print(item, indent + 1) for item in node.items)
+        return f"{pad}(\n{inner}\n{pad})"
+    if isinstance(node, q.ForExpr):
+        where = f" where {node.where}" if node.where is not None else ""
+        header = f"{pad}for ${node.var} in {node.source}{where} return"
+        return header + "\n" + pretty_print(node.body, indent + 1)
+    if isinstance(node, q.LetExpr):
+        header = f"{pad}let ${node.var} := {node.value} return"
+        return header + "\n" + pretty_print(node.body, indent + 1)
+    if isinstance(node, q.IfExpr):
+        lines = [
+            f"{pad}if ({node.condition}) then",
+            pretty_print(node.then, indent + 1),
+            f"{pad}else",
+            pretty_print(node.orelse, indent + 1),
+        ]
+        return "\n".join(lines)
+    if isinstance(node, q.ElementConstructor):
+        attrs = "".join(f' {k}="{v}"' for k, v in node.attributes)
+        if isinstance(node.body, q.Empty):
+            return f"{pad}<{node.tag}{attrs}/>"
+        inner = pretty_print(node.body, indent + 1)
+        return f"{pad}<{node.tag}{attrs}> {{\n{inner}\n{pad}}} </{node.tag}>"
+    return pad + str(node)

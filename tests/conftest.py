@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FluxLikeEngine, FullDomEngine, ProjectionOnlyEngine
+from repro.core.engine import GCXEngine
+from repro.datasets.bib import (
+    BIB_QUERY,
+    figure3b_document,
+    figure3c_document,
+    make_bib_document,
+)
+from repro.xmark.generator import XMARK_DTD, generate_document
+from repro.xmlio.dtd import parse_dtd
+
+
+@pytest.fixture
+def gcx():
+    return GCXEngine()
+
+
+@pytest.fixture
+def dom_engine():
+    return FullDomEngine()
+
+
+@pytest.fixture
+def projection_engine():
+    return ProjectionOnlyEngine()
+
+
+@pytest.fixture
+def flux_engine():
+    return FluxLikeEngine(dtd=parse_dtd(XMARK_DTD))
+
+
+@pytest.fixture
+def bib_query():
+    return BIB_QUERY
+
+
+@pytest.fixture
+def fig3b_doc():
+    return figure3b_document()
+
+
+@pytest.fixture
+def fig3c_doc():
+    return figure3c_document()
+
+
+@pytest.fixture(scope="session")
+def xmark_small():
+    """A small deterministic XMark document shared across tests."""
+    return generate_document(scale=0.5, seed=7)
+
+
+@pytest.fixture(scope="session")
+def xmark_medium():
+    """A medium deterministic XMark document shared across tests."""
+    return generate_document(scale=2.0, seed=42)

@@ -1,0 +1,117 @@
+"""Tests for the baseline engines and their comparative behaviour."""
+
+import pytest
+
+from repro.baselines import (
+    FluxLikeEngine,
+    FullDomEngine,
+    ProjectionOnlyEngine,
+    UnsupportedQueryError,
+)
+from repro.core.engine import GCXEngine
+from repro.datasets.bib import BIB_QUERY, make_bib_document
+from repro.xmark.generator import XMARK_DTD
+from repro.xmlio.dtd import parse_dtd
+
+DOC = make_bib_document(["book", "article", "book"])
+
+
+class TestFullDomEngine:
+    def test_buffers_whole_document(self):
+        result = FullDomEngine().query("for $b in /bib/book return $b", DOC)
+        # 1 bib + 3 entries x 4 nodes = 13 element nodes, no text
+        assert result.stats.watermark == 13
+        assert result.stats.final_buffered == 13
+
+    def test_series_grows_monotonically(self):
+        result = FullDomEngine().query("for $b in /bib/book return $b", DOC)
+        assert result.stats.series == sorted(result.stats.series)
+
+    def test_token_count_matches_streaming_engine(self):
+        dom = FullDomEngine().query(BIB_QUERY, DOC)
+        gcx = GCXEngine().query(BIB_QUERY, DOC)
+        assert dom.stats.tokens == gcx.stats.tokens
+
+    def test_compile_run_split(self):
+        engine = FullDomEngine()
+        compiled = engine.compile("for $b in /bib/book return $b")
+        assert engine.run(compiled, DOC).output.count("<book>") == 2
+
+
+class TestProjectionOnlyEngine:
+    def test_same_output_as_gcx(self):
+        gcx = GCXEngine().query(BIB_QUERY, DOC)
+        proj = ProjectionOnlyEngine().query(BIB_QUERY, DOC)
+        assert gcx.output == proj.output
+
+    def test_buffer_never_shrinks(self):
+        proj = ProjectionOnlyEngine().query(BIB_QUERY, DOC)
+        assert proj.stats.series == sorted(proj.stats.series)
+        assert proj.stats.nodes_purged == 0
+
+    def test_projection_below_full_document(self):
+        # a selective query projects fewer nodes than the document has
+        proj = ProjectionOnlyEngine().query(
+            "for $b in /bib/book return $b/title", DOC
+        )
+        dom = FullDomEngine().query("for $b in /bib/book return $b/title", DOC)
+        assert proj.stats.watermark < dom.stats.watermark
+
+    def test_memory_ordering_gcx_projection_dom(self):
+        gcx = GCXEngine().query(BIB_QUERY, DOC)
+        proj = ProjectionOnlyEngine().query(BIB_QUERY, DOC)
+        dom = FullDomEngine().query(BIB_QUERY, DOC)
+        assert gcx.stats.watermark <= proj.stats.watermark <= dom.stats.watermark
+
+
+class TestFluxLikeEngine:
+    @pytest.fixture
+    def dtd(self):
+        return parse_dtd(XMARK_DTD)
+
+    def test_same_output_as_oracle(self, dtd):
+        flux = FluxLikeEngine(dtd=dtd).query(BIB_QUERY, DOC)
+        dom = FullDomEngine().query(BIB_QUERY, DOC)
+        assert flux.output == dom.output
+
+    def test_descendant_axis_reported_na(self, dtd):
+        engine = FluxLikeEngine(dtd=dtd)
+        with pytest.raises(UnsupportedQueryError):
+            engine.compile("for $i in /a/descendant::b return $i")
+
+    def test_double_slash_also_rejected(self, dtd):
+        engine = FluxLikeEngine(dtd=dtd)
+        with pytest.raises(UnsupportedQueryError):
+            engine.compile("for $i in //b return $i")
+
+    def test_descendant_in_condition_rejected(self, dtd):
+        engine = FluxLikeEngine(dtd=dtd)
+        with pytest.raises(UnsupportedQueryError):
+            engine.compile(
+                "for $x in /a return if (exists $x/descendant::b) then $x else ()"
+            )
+
+    def test_without_dtd_behaves_like_projection(self):
+        flux = FluxLikeEngine(dtd=None).query(BIB_QUERY, DOC)
+        proj = ProjectionOnlyEngine().query(BIB_QUERY, DOC)
+        assert flux.stats.watermark == proj.stats.watermark
+        assert flux.stats.nodes_purged == 0
+
+    def test_with_dtd_between_gcx_and_projection(self, dtd):
+        # needs a 3-level query so scope coarsening is strictly between
+        query = (
+            "for $s in /site return for $p in $s/people return "
+            "for $n in $p/person return $n/name"
+        )
+        xml = (
+            "<site><people>"
+            + "<person><name>n1</name><junk>x</junk></person>" * 5
+            + "</people><tail><t></t></tail></site>"
+        )
+        gcx = GCXEngine().query(query, xml)
+        flux = FluxLikeEngine(dtd=dtd).query(query, xml)
+        proj = ProjectionOnlyEngine().query(query, xml)
+        assert gcx.output == flux.output == proj.output
+        assert gcx.stats.watermark <= flux.stats.watermark <= proj.stats.watermark
+        # flux purges something (scope release) unlike projection-only
+        assert flux.stats.nodes_purged > 0

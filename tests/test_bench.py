@@ -1,0 +1,83 @@
+"""Tests for the benchmark harness and reporting."""
+
+import pytest
+
+from repro.baselines import FluxLikeEngine, FullDomEngine
+from repro.bench.harness import BenchResult, buffer_profile, compare_engines, run_engine
+from repro.bench.reporting import ascii_plot, format_table
+from repro.core.engine import GCXEngine
+from repro.datasets.bib import BIB_QUERY, figure3c_document
+
+
+class TestHarness:
+    def test_run_engine_collects_measurements(self):
+        result = run_engine(
+            GCXEngine(), BIB_QUERY, figure3c_document(), "bib", "41 nodes"
+        )
+        assert result.engine == "gcx"
+        assert result.watermark == 23
+        assert result.tokens == 82
+        assert result.seconds > 0
+
+    def test_repeat_keeps_best_time(self):
+        slow = run_engine(GCXEngine(), BIB_QUERY, figure3c_document(), repeat=3)
+        assert slow.seconds > 0
+
+    def test_buffer_profile_series(self):
+        series = buffer_profile(GCXEngine(), BIB_QUERY, figure3c_document())
+        assert len(series) == 82
+        assert max(series) == 23
+
+    def test_compare_engines_reports_na(self):
+        results = compare_engines(
+            [GCXEngine(), FluxLikeEngine(dtd=None)],
+            "for $i in /a/descendant::b return $i",
+            "<a><b></b></a>",
+        )
+        assert results[0].supported
+        assert not results[1].supported
+        assert results[1].cell() == "n/a"
+
+    def test_cell_formatting(self):
+        result = BenchResult("gcx", "q1", "10MB", 0.18, 11000, 100, 10)
+        assert result.cell() == "0.18s / 1.23MB"
+
+    def test_cell_formatting_small_memory_in_kb(self):
+        result = BenchResult("gcx", "q1", "10MB", 0.18, 20, 100, 10)
+        assert result.cell() == "0.18s / 2.2KB"
+
+    def test_estimated_mb_scales_with_watermark(self):
+        small = BenchResult("e", "q", "d", 1.0, 100, 1, 1)
+        large = BenchResult("e", "q", "d", 1.0, 10000, 1, 1)
+        assert large.estimated_mb == pytest.approx(100 * small.estimated_mb)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["query", "gcx", "dom"],
+            [["q1", "0.1s", "2.0s"], ["q8-long", "1.0s", "3.0s"]],
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("query")
+        assert len(lines) == 4
+        # all rows equally wide (trailing spaces aside)
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_ascii_plot_contains_peak(self):
+        plot = ascii_plot([0, 1, 5, 2, 0], title="demo")
+        assert "demo" in plot
+        assert "peak 5" in plot
+        assert "*" in plot
+
+    def test_ascii_plot_empty_series(self):
+        assert "(empty series)" in ascii_plot([], title="t")
+
+    def test_ascii_plot_downsamples(self):
+        plot = ascii_plot(list(range(1000)), width=40, height=8)
+        longest = max(len(line) for line in plot.splitlines())
+        assert longest < 70
+
+    def test_ascii_plot_flat_series(self):
+        plot = ascii_plot([3, 3, 3], width=10, height=4)
+        assert "peak 3" in plot

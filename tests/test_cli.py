@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.bib import BIB_QUERY, figure3c_document
+
+
+@pytest.fixture
+def workload(tmp_path):
+    query = tmp_path / "query.xq"
+    query.write_text(BIB_QUERY, encoding="utf-8")
+    xml = tmp_path / "input.xml"
+    xml.write_text(figure3c_document(), encoding="utf-8")
+    return str(query), str(xml)
+
+
+class TestRun:
+    def test_run_outputs_result(self, workload, capsys):
+        query, xml = workload
+        assert main(["run", query, xml]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<r>")
+        assert "<title>" in out
+
+    def test_run_with_stats(self, workload, capsys):
+        query, xml = workload
+        assert main(["run", query, xml, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "watermark=23" in err
+
+    def test_run_with_dom_engine_same_output(self, workload, capsys):
+        query, xml = workload
+        main(["run", query, xml])
+        gcx_out = capsys.readouterr().out
+        main(["run", query, xml, "--engine", "dom"])
+        dom_out = capsys.readouterr().out
+        assert gcx_out == dom_out
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.xq"), str(tmp_path / "n.xml")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_prints_roles_and_signoffs(self, workload, capsys):
+        query, _ = workload
+        assert main(["explain", query]) == 0
+        out = capsys.readouterr().out
+        assert "r1: /" in out
+        assert "/bib/*/price[1]" in out
+        assert "signOff" in out
+
+
+class TestProfile:
+    def test_profile_plots_series(self, workload, capsys):
+        query, xml = workload
+        assert main(["profile", query, xml]) == 0
+        out = capsys.readouterr().out
+        assert "buffer profile" in out
+        assert "peak 23" in out
+
+
+class TestXmark:
+    def test_generates_document(self, capsys):
+        assert main(["xmark", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<site>")
+        assert out.endswith("</site>")

@@ -1,0 +1,214 @@
+"""Unit tests for the static analysis: projection paths, roles,
+signOff placement — checked against the paper's worked example."""
+
+import pytest
+
+from repro.core.analysis import AnalysisError, analyze_query
+from repro.core.roles import RoleReason
+from repro.datasets.bib import BIB_QUERY
+from repro.xquery.normalize import normalize_query
+from repro.xquery.parser import parse_query
+
+
+def analyze(text, **kw):
+    return analyze_query(normalize_query(parse_query(text)), **kw)
+
+
+class TestPaperExample:
+    """The query of Section 1 must yield exactly roles r1–r7."""
+
+    def test_role_paths_match_paper(self):
+        analysis = analyze(BIB_QUERY)
+        paths = [str(role.path) for role in analysis.roles]
+        assert paths == [
+            "/",
+            "/bib",
+            "/bib/*",
+            "/bib/*/price[1]",
+            "/bib/*/descendant-or-self::node()",
+            "/bib/book",
+            "/bib/book/title/descendant-or-self::node()",
+        ]
+
+    def test_role_reasons(self):
+        analysis = analyze(BIB_QUERY)
+        reasons = [role.reason for role in analysis.roles]
+        assert reasons == [
+            RoleReason.ROOT,
+            RoleReason.BINDING,
+            RoleReason.BINDING,
+            RoleReason.EXISTS,
+            RoleReason.OUTPUT,
+            RoleReason.BINDING,
+            RoleReason.OUTPUT,
+        ]
+
+    def test_signoff_placements_match_rewritten_query(self):
+        analysis = analyze(BIB_QUERY)
+        roles = analysis.roles
+        # r2 signs off at the end of $bib's body; r3, r4, r5 in the
+        # first inner loop; r6, r7 in the second.
+        assert roles["r2"].placement_var == roles["r2"].anchor_var
+        x_var = roles["r3"].anchor_var
+        assert roles["r4"].placement_var == x_var
+        assert roles["r5"].placement_var == x_var
+        b_var = roles["r6"].anchor_var
+        assert roles["r7"].placement_var == b_var
+        assert not any(role.hoisted for role in roles)
+
+    def test_root_role_never_signed_off(self):
+        analysis = analyze(BIB_QUERY)
+        placed = [r for roles in analysis.placements.values() for r in roles]
+        assert analysis.roles["r1"] not in placed
+
+
+class TestDerivationRules:
+    def test_binding_role_per_loop(self):
+        analysis = analyze("for $a in /x return for $b in $a/y return ()")
+        bindings = [r for r in analysis.roles if r.reason is RoleReason.BINDING]
+        assert [str(r.path) for r in bindings] == ["/x", "/x/y"]
+
+    def test_output_role_gets_subtree_step(self):
+        analysis = analyze("for $a in /x return $a/b")
+        outputs = [r for r in analysis.roles if r.reason is RoleReason.OUTPUT]
+        assert str(outputs[0].path) == "/x/b/descendant-or-self::node()"
+
+    def test_output_of_variable_itself(self):
+        analysis = analyze("for $a in /x return $a")
+        outputs = [r for r in analysis.roles if r.reason is RoleReason.OUTPUT]
+        assert str(outputs[0].path) == "/x/descendant-or-self::node()"
+
+    def test_text_output_role_has_no_subtree_step(self):
+        analysis = analyze("for $a in /x return $a/name/text()")
+        outputs = [r for r in analysis.roles if r.reason is RoleReason.OUTPUT]
+        assert str(outputs[0].path) == "/x/name/text()"
+
+    def test_exists_role_gets_first_witness(self):
+        analysis = analyze(
+            "for $a in /x return if (exists $a/p) then $a/b else ()"
+        )
+        exists = [r for r in analysis.roles if r.reason is RoleReason.EXISTS]
+        assert str(exists[0].path) == "/x/p[1]"
+
+    def test_first_witness_can_be_disabled(self):
+        analysis = analyze(
+            "for $a in /x return if (exists $a/p) then $a/b else ()",
+            first_witness=False,
+        )
+        exists = [r for r in analysis.roles if r.reason is RoleReason.EXISTS]
+        assert str(exists[0].path) == "/x/p"
+
+    def test_exists_on_attribute_has_no_witness_predicate(self):
+        analysis = analyze(
+            "for $a in /x return if (exists $a/p/@id) then $a/b else ()"
+        )
+        exists = [r for r in analysis.roles if r.reason is RoleReason.EXISTS]
+        # the owner path is buffered without [1]: the first p may lack @id
+        assert str(exists[0].path) == "/x/p"
+
+    def test_exists_on_bound_variable_needs_no_role(self):
+        analysis = analyze("for $a in /x return if (exists $a) then $a/b else ()")
+        assert not [r for r in analysis.roles if r.reason is RoleReason.EXISTS]
+
+    def test_comparison_roles_both_sides(self):
+        analysis = analyze(
+            'for $a in /x return if ($a/l = $a/r) then "y" else ()'
+        )
+        comps = [r for r in analysis.roles if r.reason is RoleReason.COMPARISON]
+        assert [str(r.path) for r in comps] == [
+            "/x/l/descendant-or-self::node()",
+            "/x/r/descendant-or-self::node()",
+        ]
+
+    def test_comparison_with_literal_single_role(self):
+        analysis = analyze('for $a in /x return if ($a/l = "v") then "y" else ()')
+        comps = [r for r in analysis.roles if r.reason is RoleReason.COMPARISON]
+        assert len(comps) == 1
+
+    def test_attribute_comparison_role_on_owner(self):
+        analysis = analyze(
+            'for $a in /x return if ($a/p/@income >= 5) then "y" else ()'
+        )
+        comps = [r for r in analysis.roles if r.reason is RoleReason.COMPARISON]
+        assert str(comps[0].path) == "/x/p"
+
+    def test_attribute_comparison_on_variable_itself_needs_no_role(self):
+        analysis = analyze(
+            'for $a in /x return if ($a/@id = "1") then "y" else ()'
+        )
+        assert not [r for r in analysis.roles if r.reason is RoleReason.COMPARISON]
+
+
+class TestHoisting:
+    JOIN_QUERY = """
+    for $s in /site return
+      for $cl in $s/closed return
+        for $pp in $s/people return
+          for $p in $pp/person return
+            for $t in $cl/auction return
+              if ($t/buyer = $p/id) then $t/price else ()
+    """
+
+    def test_auction_roles_hoisted_to_join_anchor(self):
+        analysis = analyze(self.JOIN_QUERY)
+        t_roles = [r for r in analysis.roles if r.anchor_var == "t"]
+        assert t_roles
+        # $t's loop sits inside the non-ancestor loops $pp/$p: its
+        # roles re-root at $cl, the deepest binding ancestor above them
+        for role in t_roles:
+            assert role.hoisted
+            assert role.placement_var == "cl"
+            assert role.signoff_var == "cl"
+
+    def test_hoisted_roles_cover_the_auction_scan(self):
+        analysis = analyze(self.JOIN_QUERY)
+        hoisted_paths = {str(r.path) for r in analysis.roles if r.hoisted}
+        assert "/site/closed/auction" in hoisted_paths  # binding role of $t
+
+    def test_person_side_roles_hoisted_above_cl_loop(self):
+        # $p's binder is enclosed by the non-ancestor loop $cl (the
+        # people section would be re-scanned if several closed sections
+        # existed), so $p's roles conservatively re-root at $s.
+        analysis = analyze(self.JOIN_QUERY)
+        person_roles = [r for r in analysis.roles if r.anchor_var == "p"]
+        assert person_roles
+        for role in person_roles:
+            assert role.hoisted
+            assert role.placement_var == "s"
+
+    def test_unrelated_top_level_loops_hoist_to_query_end(self):
+        analysis = analyze(
+            "for $a in /x return for $b in /y return if ($b/v = $a/w) then $b else ()"
+        )
+        hoisted = [r for r in analysis.roles if r.hoisted]
+        assert hoisted
+        assert all(r.placement_var is None for r in hoisted)
+        assert all(r.signoff_var is None for r in hoisted)
+        assert all(r.signoff_path.absolute for r in hoisted)
+
+
+class TestValidation:
+    def test_requires_normalized_query(self):
+        with pytest.raises(AnalysisError, match="single-step"):
+            analyze_query(parse_query("for $p in /a/b/c return $p"))
+
+    def test_rejects_where_clause(self):
+        with pytest.raises(AnalysisError, match="where"):
+            analyze_query(parse_query('for $p in /a where $p/x = "1" return $p'))
+
+    def test_rejects_user_signoff(self):
+        with pytest.raises(AnalysisError, match="signOff"):
+            analyze("for $p in /a return signOff($p, r1)")
+
+    def test_rejects_duplicate_variables(self):
+        from repro.xquery import ast as q
+        from repro.xpath.parser import parse_path
+
+        inner = q.ForExpr(
+            "p",
+            q.PathOperand("p", parse_path("b")),
+            q.PathExpr("p", parse_path(".")),
+        )
+        outer = q.ForExpr("p", q.PathOperand(None, parse_path("/a")), inner)
+        with pytest.raises(AnalysisError, match="duplicate"):
+            analyze_query(q.Query(outer))

@@ -1,0 +1,207 @@
+"""Unit tests for the buffer and its active garbage collection."""
+
+from repro.core.buffer import Buffer
+
+
+def build_chain(buffer, tags):
+    """Materialize a chain root -> tags[0] -> tags[1] -> ..."""
+    node = buffer.root
+    nodes = []
+    for tag in tags:
+        node = buffer.new_element(node, tag)
+        nodes.append(node)
+    return nodes
+
+
+class TestMaterialization:
+    def test_live_count_excludes_root(self):
+        buffer = Buffer()
+        assert buffer.live_count == 0
+        build_chain(buffer, ["a", "b"])
+        assert buffer.live_count == 2
+
+    def test_children_in_arrival_order(self):
+        buffer = Buffer()
+        a = buffer.new_element(buffer.root, "a")
+        b1 = buffer.new_element(a, "b")
+        b2 = buffer.new_element(a, "b")
+        assert a.children == [b1, b2]
+        assert a.child_seqs == [b1.seq, b2.seq]
+        assert b1.seq < b2.seq
+
+    def test_text_nodes_closed_on_creation(self):
+        buffer = Buffer()
+        a = buffer.new_element(buffer.root, "a")
+        t = buffer.new_text(a, "hello")
+        assert t.closed and t.is_text
+        assert t.string_value() == "hello"
+
+    def test_string_value_concatenates(self):
+        buffer = Buffer()
+        a = buffer.new_element(buffer.root, "a")
+        buffer.new_text(a, "x")
+        b = buffer.new_element(a, "b")
+        buffer.new_text(b, "y")
+        buffer.new_text(a, "z")
+        assert a.string_value() == "xyz"
+
+    def test_next_child_after(self):
+        buffer = Buffer()
+        a = buffer.new_element(buffer.root, "a")
+        b1 = buffer.new_element(a, "b")
+        c = buffer.new_element(a, "c")
+        b2 = buffer.new_element(a, "b")
+        is_b = lambda n: n.tag == "b"  # noqa: E731
+        assert a.next_child_after(0, is_b) is b1
+        assert a.next_child_after(b1.seq, is_b) is b2
+        assert a.next_child_after(b2.seq, is_b) is None
+        assert a.next_child_after(b1.seq) is c
+
+
+class TestRoleAccounting:
+    def test_add_roles_updates_subtree_counts(self):
+        buffer = Buffer()
+        a, b, c = build_chain(buffer, ["a", "b", "c"])
+        buffer.add_roles(c, {"r1": 2})
+        assert c.roles["r1"] == 2
+        assert c.subtree_roles == 2
+        assert b.subtree_roles == 2
+        assert a.subtree_roles == 2
+        assert buffer.root.subtree_roles == 2
+
+    def test_remove_missing_role_is_noop(self):
+        buffer = Buffer()
+        (a,) = build_chain(buffer, ["a"])
+        buffer.remove_role(a, "r9")
+        assert buffer.live_count == 1
+        assert buffer.stats.roles_removed == 0
+
+    def test_total_role_instances(self):
+        buffer = Buffer()
+        a, b = build_chain(buffer, ["a", "b"])
+        buffer.add_roles(a, {"r1": 1})
+        buffer.add_roles(b, {"r2": 3})
+        assert buffer.total_role_instances() == 4
+
+
+class TestGarbageCollection:
+    def test_purge_on_last_role_removed(self):
+        buffer = Buffer()
+        a, b = build_chain(buffer, ["a", "b"])
+        buffer.add_roles(a, {"ra": 1})
+        buffer.add_roles(b, {"rb": 1})
+        buffer.close(b)
+        buffer.close(a)
+        buffer.remove_role(b, "rb")
+        assert b.purged
+        assert buffer.live_count == 1  # a still holds ra
+        buffer.remove_role(a, "ra")
+        assert a.purged
+        assert buffer.live_count == 0
+
+    def test_open_node_is_pinned(self):
+        buffer = Buffer()
+        (a,) = build_chain(buffer, ["a"])
+        buffer.add_roles(a, {"r": 1})
+        buffer.remove_role(a, "r")
+        assert not a.purged, "open nodes must not be purged"
+        buffer.close(a)
+        assert a.purged
+
+    def test_node_with_role_bearing_descendant_survives(self):
+        # the paper's Figure 1(c): book keeps role r6, title keeps r7;
+        # a roleless ancestor must survive while a descendant has roles
+        buffer = Buffer()
+        a, b, c = build_chain(buffer, ["a", "b", "c"])
+        buffer.add_roles(c, {"r": 1})
+        for node in (c, b, a):
+            buffer.close(node)
+        assert buffer.live_count == 3
+        buffer.remove_role(c, "r")
+        # cascade removes c, then the roleless spine b and a
+        assert buffer.live_count == 0
+
+    def test_multiset_roles_require_all_instances_removed(self):
+        buffer = Buffer()
+        a, b = build_chain(buffer, ["a", "b"])
+        buffer.add_roles(b, {"r": 2})
+        buffer.close(b)
+        buffer.close(a)
+        buffer.remove_role(b, "r")
+        assert not b.purged
+        buffer.remove_role(b, "r")
+        assert b.purged
+
+    def test_purge_detaches_from_parent(self):
+        buffer = Buffer()
+        a = buffer.new_element(buffer.root, "a")
+        b1 = buffer.new_element(a, "b")
+        b2 = buffer.new_element(a, "b")
+        buffer.add_roles(a, {"ra": 1})
+        buffer.add_roles(b1, {"r": 1})
+        buffer.add_roles(b2, {"r": 1})
+        buffer.close(b1)
+        buffer.remove_role(b1, "r")
+        assert a.children == [b2]
+        assert a.child_seqs == [b2.seq]
+
+    def test_seq_iteration_survives_purge(self):
+        buffer = Buffer()
+        a = buffer.new_element(buffer.root, "a")
+        buffer.add_roles(a, {"ra": 1})
+        children = [buffer.new_element(a, "b") for _ in range(3)]
+        for child in children:
+            buffer.add_roles(child, {"r": 1})
+            buffer.close(child)
+        first = a.next_child_after(0)
+        buffer.remove_role(first, "r")  # purge the first child
+        resumed = a.next_child_after(first.seq)
+        assert resumed is children[1]
+
+    def test_purged_subtree_is_released(self):
+        buffer = Buffer()
+        a, b, c = build_chain(buffer, ["a", "b", "c"])
+        buffer.add_roles(a, {"r": 1})
+        for node in (c, b, a):
+            buffer.close(node)
+        # b, c are roleless and closed: closing them purges bottom-up
+        assert buffer.live_count == 1
+        assert not a.children
+
+    def test_stats_track_purges(self):
+        buffer = Buffer()
+        a, b = build_chain(buffer, ["a", "b"])
+        buffer.add_roles(b, {"r": 1})
+        buffer.close(b)
+        buffer.close(a)
+        buffer.remove_role(b, "r")
+        assert buffer.stats.nodes_purged == 2
+        assert buffer.stats.roles_assigned == 1
+        assert buffer.stats.roles_removed == 1
+
+
+class TestBulkOperations:
+    def test_clear(self):
+        buffer = Buffer()
+        a, b = build_chain(buffer, ["a", "b"])
+        buffer.add_roles(b, {"r": 1})
+        freed = buffer.clear()
+        assert freed == 2
+        assert buffer.live_count == 0
+        assert not buffer.root.children
+
+    def test_iter_live_preorder(self):
+        buffer = Buffer()
+        a = buffer.new_element(buffer.root, "a")
+        b = buffer.new_element(a, "b")
+        c = buffer.new_element(a, "c")
+        assert [n.tag for n in buffer.iter_live()] == ["a", "b", "c"]
+
+    def test_render_shows_roles(self):
+        buffer = Buffer()
+        a, b = build_chain(buffer, ["bib", "book"])
+        buffer.add_roles(a, {"r2": 1})
+        buffer.add_roles(b, {"r3": 1, "r5": 1})
+        rendering = buffer.render()
+        assert "bib{r2}" in rendering
+        assert "book{r3,r5}" in rendering

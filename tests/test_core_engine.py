@@ -1,0 +1,328 @@
+"""End-to-end tests of the GCX engine: evaluation semantics."""
+
+import pytest
+
+from repro.core.engine import GCXEngine
+
+
+@pytest.fixture
+def engine():
+    return GCXEngine()
+
+
+class TestBasicEvaluation:
+    def test_identity_copy(self, engine):
+        xml = "<a><b>x</b><c></c></a>"
+        out = engine.evaluate("for $r in /a return $r", xml)
+        assert out == xml
+
+    def test_child_selection(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return $b", "<a><b>1</b><c>skip</c><b>2</b></a>"
+        )
+        assert out == "<b>1</b><b>2</b>"
+
+    def test_constructor_wrapping(self, engine):
+        out = engine.evaluate(
+            "<list>{ for $b in /a/b return <item>{ $b }</item> }</list>",
+            "<a><b>1</b><b>2</b></a>",
+        )
+        assert out == "<list><item><b>1</b></item><item><b>2</b></item></list>"
+
+    def test_constructor_with_attributes(self, engine):
+        out = engine.evaluate('<r kind="x">{ () }</r>', "<a></a>")
+        assert out == '<r kind="x"></r>'
+
+    def test_sequence_order(self, engine):
+        out = engine.evaluate('("first", for $b in /a/b return $b, "last")',
+                              "<a><b></b></a>")
+        assert out == "first<b></b>last"
+
+    def test_text_output(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return $b/text()", "<a><b>hello</b><b>world</b></a>"
+        )
+        assert out == "helloworld"
+
+    def test_nested_loops(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return for $c in $b/c return $c",
+            "<a><b><c>1</c><c>2</c></b><b><c>3</c></b></a>",
+        )
+        assert out == "<c>1</c><c>2</c><c>3</c>"
+
+    def test_multi_step_for_source(self, engine):
+        out = engine.evaluate(
+            "for $c in /a/b/c return $c", "<a><b><c>x</c></b><b><c>y</c></b></a>"
+        )
+        assert out == "<c>x</c><c>y</c>"
+
+    def test_wildcard_iteration(self, engine):
+        out = engine.evaluate("for $x in /a/* return $x", "<a><p>1</p><q>2</q></a>")
+        assert out == "<p>1</p><q>2</q>"
+
+    def test_empty_result(self, engine):
+        assert engine.evaluate("for $x in /a/zzz return $x", "<a><b></b></a>") == ""
+
+    def test_output_preserves_attributes(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return $b", '<a><b id="1" x="y">t</b></a>'
+        )
+        assert out == '<b id="1" x="y">t</b>'
+
+    def test_output_escapes_text(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return $b/text()", "<a><b>&lt;raw&gt;</b></a>"
+        )
+        assert out == "&lt;raw&gt;"
+
+
+class TestDescendantAxes:
+    def test_descendant_iteration(self, engine):
+        out = engine.evaluate(
+            "for $i in /a/descendant::i return $i",
+            "<a><x><i>1</i></x><i>2</i><y><z><i>3</i></z></y></a>",
+        )
+        assert out == "<i>1</i><i>2</i><i>3</i>"
+
+    def test_double_slash_shorthand(self, engine):
+        out = engine.evaluate(
+            "for $i in /a//i return $i", "<a><x><i>1</i></x><i>2</i></a>"
+        )
+        assert out == "<i>1</i><i>2</i>"
+
+    def test_descendant_output_path(self, engine):
+        out = engine.evaluate(
+            "for $x in /a/x return $x/descendant::i",
+            "<a><x><m><i>1</i></m><i>2</i></x></a>",
+        )
+        assert out == "<i>1</i><i>2</i>"
+
+    def test_descendant_document_order(self, engine):
+        out = engine.evaluate(
+            "for $i in /a/descendant::i return $i/text()",
+            "<a><i>1<i>2</i></i><i>3</i></a>",
+        )
+        assert out == "123"
+
+
+class TestConditions:
+    DOC = (
+        "<bib>"
+        "<book><title>priced</title><price>5</price></book>"
+        "<book><title>free</title></book>"
+        "</bib>"
+    )
+
+    def test_exists(self, engine):
+        out = engine.evaluate(
+            "for $b in /bib/book return "
+            "if (exists $b/price) then $b/title/text() else ()",
+            self.DOC,
+        )
+        assert out == "priced"
+
+    def test_not_exists(self, engine):
+        out = engine.evaluate(
+            "for $b in /bib/book return "
+            "if (not(exists $b/price)) then $b/title/text() else ()",
+            self.DOC,
+        )
+        assert out == "free"
+
+    def test_else_branch(self, engine):
+        out = engine.evaluate(
+            "for $b in /bib/book return "
+            'if (exists $b/price) then "P" else "F"',
+            self.DOC,
+        )
+        assert out == "PF"
+
+    def test_and_or(self, engine):
+        out = engine.evaluate(
+            "for $b in /bib/book return "
+            "if (exists $b/price and exists $b/title) then \"both\" else ()",
+            self.DOC,
+        )
+        assert out == "both"
+        out = engine.evaluate(
+            "for $b in /bib/book return "
+            "if (exists $b/price or exists $b/title) then \"any\" else ()",
+            self.DOC,
+        )
+        assert out == "anyany"
+
+    def test_string_comparison(self, engine):
+        out = engine.evaluate(
+            "for $b in /bib/book return "
+            'if ($b/title = "free") then "yes" else "no"',
+            self.DOC,
+        )
+        assert out == "noyes"
+
+    def test_numeric_comparison(self, engine):
+        out = engine.evaluate(
+            "for $b in /bib/book return "
+            "if ($b/price >= 5) then $b/title/text() else ()",
+            self.DOC,
+        )
+        assert out == "priced"
+
+    def test_numeric_comparison_of_numeric_strings(self, engine):
+        # "10" > "5" numerically though not lexicographically
+        out = engine.evaluate(
+            "for $b in /a/b return if ($b/v > 5) then $b/v/text() else ()",
+            "<a><b><v>10</v></b><b><v>4</v></b></a>",
+        )
+        assert out == "10"
+
+    def test_attribute_comparison(self, engine):
+        out = engine.evaluate(
+            'for $b in /a/b return if ($b/@id = "two") then $b else ()',
+            '<a><b id="one">1</b><b id="two">2</b></a>',
+        )
+        assert out == '<b id="two">2</b>'
+
+    def test_attribute_exists(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return if (exists $b/@id) then $b/text() else ()",
+            '<a><b id="x">1</b><b>2</b></a>',
+        )
+        assert out == "1"
+
+    def test_existential_comparison_multiple_values(self, engine):
+        out = engine.evaluate(
+            'for $b in /a/b return if ($b/k = "hit") then $b/@n else ()',
+            '<a><b n="1"><k>miss</k><k>hit</k></b><b n="2"><k>miss</k></b></a>',
+        )
+        assert out == "1"
+
+    def test_comparison_empty_operand_is_false(self, engine):
+        out = engine.evaluate(
+            'for $b in /a/b return if ($b/zzz = "x") then "y" else "n"',
+            "<a><b></b></a>",
+        )
+        assert out == "n"
+
+
+class TestAttributeOutput:
+    def test_attribute_value_output(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return $b/@id", '<a><b id="x1"></b><b id="x2"></b></a>'
+        )
+        assert out == "x1x2"
+
+    def test_missing_attribute_output_empty(self, engine):
+        assert (
+            engine.evaluate("for $b in /a/b return $b/@zz", '<a><b id="x"></b></a>')
+            == ""
+        )
+
+
+class TestJoin:
+    XML = (
+        "<db>"
+        "<people><p id='1'>Ann</p><p id='2'>Bob</p><p id='3'>Cee</p></people>"
+        "<orders>"
+        "<o buyer='2'>socks</o><o buyer='1'>hat</o><o buyer='2'>shoe</o>"
+        "</orders>"
+        "</db>"
+    )
+
+    def test_value_join(self, engine):
+        out = engine.evaluate(
+            """
+            for $db in /db return
+              for $os in $db/orders return
+                for $ps in $db/people return
+                  for $p in $ps/p return
+                    <row>{ $p/text(),
+                      for $o in $os/o return
+                        if ($o/@buyer = $p/@id) then <b>{ $o/text() }</b> else ()
+                    }</row>
+            """,
+            self.XML,
+        )
+        assert out == (
+            "<row>Ann<b>hat</b></row>"
+            "<row>Bob<b>socks</b><b>shoe</b></row>"
+            "<row>Cee</row>"
+        )
+
+    def test_join_buffer_is_linear_but_cleared(self, engine):
+        result = engine.query(
+            """
+            for $db in /db return
+              for $os in $db/orders return
+                for $ps in $db/people return
+                  for $p in $ps/p return
+                    for $o in $os/o return
+                      if ($o/@buyer = $p/@id) then $o else ()
+            """,
+            self.XML,
+        )
+        assert result.stats.final_buffered == 0
+        assert result.stats.watermark >= 3  # all orders held for the join
+
+
+class TestStatsInvariants:
+    def test_buffer_empty_after_run(self, engine):
+        result = engine.query(
+            "for $b in /a/b return $b", "<a><b>1</b><c>z</c><b>2</b></a>"
+        )
+        assert result.stats.final_buffered == 0
+
+    def test_roles_balance_up_to_root(self, engine):
+        result = engine.query(
+            "for $b in /a/b return $b", "<a><b>1</b><b>2</b></a>"
+        )
+        # every assigned instance except the root role is removed
+        assert result.stats.roles_assigned == result.stats.roles_removed + 1
+
+    def test_purged_equals_buffered_after_run(self, engine):
+        result = engine.query("for $b in /a/b return $b", "<a><b>1</b></a>")
+        assert result.stats.nodes_purged == result.stats.nodes_buffered
+
+    def test_series_length_equals_tokens(self, engine):
+        result = engine.query("for $b in /a/b return $b", "<a><b>1</b></a>")
+        assert len(result.stats.series) == result.stats.tokens
+
+    def test_record_series_can_be_disabled(self):
+        engine = GCXEngine(record_series=False)
+        result = engine.query("for $b in /a/b return $b", "<a><b>1</b></a>")
+        assert result.stats.series == []
+        assert result.stats.watermark > 0
+
+
+class TestAblationSwitches:
+    def test_gc_disabled_keeps_projection(self):
+        gc_on = GCXEngine().query("for $b in /a/b return $b", "<a><b>1</b><b>2</b></a>")
+        gc_off = GCXEngine(gc_enabled=False).query(
+            "for $b in /a/b return $b", "<a><b>1</b><b>2</b></a>"
+        )
+        assert gc_on.output == gc_off.output
+        assert gc_off.stats.final_buffered > 0
+        assert gc_off.stats.watermark >= gc_on.stats.watermark
+
+    def test_first_witness_reduces_buffering(self):
+        xml = "<a><b>" + "<p>x</p>" * 20 + "</b></a>"
+        query = "for $b in /a/b return if (exists $b/p) then \"y\" else ()"
+        with_fw = GCXEngine().query(query, xml)
+        without_fw = GCXEngine(first_witness=False).query(query, xml)
+        assert with_fw.output == without_fw.output == "y"
+        assert with_fw.stats.watermark < without_fw.stats.watermark
+
+
+class TestCompiledQueryReuse:
+    def test_one_compile_many_runs(self, engine):
+        compiled = engine.compile("for $b in /a/b return $b")
+        out1 = engine.run(compiled, "<a><b>1</b></a>").output
+        out2 = engine.run(compiled, "<a><b>2</b><b>3</b></a>").output
+        assert out1 == "<b>1</b>"
+        assert out2 == "<b>2</b><b>3</b>"
+
+    def test_describe_mentions_roles(self, engine):
+        compiled = engine.compile("for $b in /a/b return $b")
+        text = compiled.describe()
+        assert "roles:" in text
+        assert "signOff" in text

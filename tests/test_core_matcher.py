@@ -1,0 +1,181 @@
+"""Unit tests for the streaming path matcher."""
+
+import pytest
+
+from repro.core.matcher import MatcherError, PathMatcher
+from repro.xpath.parser import parse_path
+
+
+def match_document(paths, xml_events):
+    """Drive a matcher over a nested-list document description.
+
+    *xml_events* is a recursive structure: (tag, [children]) where a
+    child is either another tuple or the string "#text".
+    Returns {node_path_string: {role: count}} for nodes with roles.
+    """
+    matcher = PathMatcher(paths)
+    assignments = {}
+    doc_states, doc_counts = matcher.initial()
+    if doc_counts:
+        assignments["/"] = dict(doc_counts)
+
+    def visit(states, node, path):
+        tag, children = node
+        new_states, counts = matcher.enter_element(states, tag)
+        label = f"{path}/{tag}"
+        if counts:
+            assignments.setdefault(label, {})
+            for role, n in counts.items():
+                assignments[label][role] = assignments[label].get(role, 0) + n
+        for index, child in enumerate(children):
+            if child == "#text":
+                _, text_counts = matcher.enter_text(new_states)
+                if text_counts:
+                    tlabel = f"{label}/#text{index}"
+                    assignments[tlabel] = dict(text_counts)
+            else:
+                visit(new_states, child, label)
+
+    visit(doc_states, xml_events, "")
+    return assignments
+
+
+class TestChildPaths:
+    def test_exact_match(self):
+        roles = match_document(
+            [("r", parse_path("/a/b"))], ("a", [("b", []), ("c", [])])
+        )
+        assert roles == {"/a/b": {"r": 1}}
+
+    def test_wildcard(self):
+        roles = match_document(
+            [("r", parse_path("/a/*"))], ("a", [("b", []), ("c", [])])
+        )
+        assert roles == {"/a/b": {"r": 1}, "/a/c": {"r": 1}}
+
+    def test_no_match_deeper(self):
+        roles = match_document(
+            [("r", parse_path("/a/b"))], ("a", [("x", [("b", [])])])
+        )
+        assert roles == {}
+
+    def test_root_role(self):
+        roles = match_document([("r1", parse_path("/"))], ("a", []))
+        assert roles == {"/": {"r1": 1}}
+
+    def test_text_test(self):
+        roles = match_document(
+            [("r", parse_path("/a/text()"))], ("a", ["#text", ("b", ["#text"])])
+        )
+        assert roles == {"/a/#text0": {"r": 1}}
+
+
+class TestDescendantPaths:
+    def test_descendant(self):
+        roles = match_document(
+            [("r", parse_path("/a/descendant::b"))],
+            ("a", [("b", [("b", [])]), ("c", [("b", [])])]),
+        )
+        assert roles == {
+            "/a/b": {"r": 1},
+            "/a/b/b": {"r": 1},
+            "/a/c/b": {"r": 1},
+        }
+
+    def test_descendant_or_self_node_subtree(self):
+        roles = match_document(
+            [("r", parse_path("/a/b/descendant-or-self::node()"))],
+            ("a", [("b", [("c", []), "#text"])]),
+        )
+        assert roles == {
+            "/a/b": {"r": 1},
+            "/a/b/c": {"r": 1},
+            "/a/b/#text1": {"r": 1},
+        }
+
+    def test_multiplicity_through_nested_descendants(self):
+        # //a//b assigns twice to a b nested under two a ancestors
+        roles = match_document(
+            [("r", parse_path("//a//b"))],
+            ("a", [("a", [("b", [])])]),
+        )
+        assert roles["/a/a/b"] == {"r": 2}
+
+    def test_descendant_or_self_multiplicity(self):
+        roles = match_document(
+            [("r", parse_path("/a/descendant-or-self::node()/descendant::c"))],
+            ("a", [("b", [("c", [])])]),
+        )
+        # c reached from a and from b
+        assert roles["/a/b/c"] == {"r": 2}
+
+
+class TestFirstWitness:
+    def test_first_only_child(self):
+        roles = match_document(
+            [("r", parse_path("/a/p[1]"))],
+            ("a", [("p", []), ("p", []), ("p", [])]),
+        )
+        assert roles == {"/a/p": {"r": 1}}
+
+    def test_first_only_per_parent(self):
+        roles = match_document(
+            [("r", parse_path("/a/*/p[1]"))],
+            ("a", [("x", [("p", []), ("p", [])]), ("y", [("p", [])])]),
+        )
+        assert roles == {"/a/x/p": {"r": 1}, "/a/y/p": {"r": 1}}
+
+    def test_first_only_skips_non_matching(self):
+        roles = match_document(
+            [("r", parse_path("/a/p[1]"))],
+            ("a", [("q", []), ("p", []), ("p", [])]),
+        )
+        assert roles == {"/a/p": {"r": 1}}
+
+
+class TestMultipleRoles:
+    def test_roles_independent(self):
+        roles = match_document(
+            [
+                ("r1", parse_path("/a/b")),
+                ("r2", parse_path("/a/*")),
+                ("r3", parse_path("/a/b/descendant-or-self::node()")),
+            ],
+            ("a", [("b", [])]),
+        )
+        assert roles["/a/b"] == {"r1": 1, "r2": 1, "r3": 1}
+
+    def test_same_path_twice_assigns_twice(self):
+        roles = match_document(
+            [("r1", parse_path("/a/b")), ("r2", parse_path("/a/b"))],
+            ("a", [("b", [])]),
+        )
+        assert roles["/a/b"] == {"r1": 1, "r2": 1}
+
+
+class TestValidation:
+    def test_relative_path_rejected(self):
+        with pytest.raises(MatcherError, match="absolute"):
+            PathMatcher([("r", parse_path("a/b"))])
+
+    def test_attribute_axis_rejected(self):
+        with pytest.raises(MatcherError, match="attribute"):
+            PathMatcher([("r", parse_path("/a/@id"))])
+
+    def test_first_only_on_descendant_rejected(self):
+        from repro.xpath.ast import Axis, NodeTest, Path, Step
+
+        bad = Path(
+            (Step(Axis.DESCENDANT, NodeTest("name", "b"), True),), absolute=True
+        )
+        with pytest.raises(MatcherError, match="positional"):
+            PathMatcher([("r", bad)])
+
+    def test_position_beyond_one_rejected_for_streaming(self):
+        # [n>1] is supported by the XPath oracle but cannot be counted
+        # consistently over a projected buffer; streaming compilation
+        # rejects it with a clear message
+        from repro.xpath.parser import parse_path as pp
+
+        with pytest.raises(MatcherError, match="first-witness"):
+            PathMatcher([("r", pp("/a/b[2]"))])

@@ -1,0 +1,151 @@
+"""Unit tests for the stream pre-projector."""
+
+from repro.core.buffer import Buffer
+from repro.core.matcher import PathMatcher
+from repro.core.projector import StreamProjector
+from repro.xmlio.lexer import make_lexer
+from repro.xpath.parser import parse_path
+
+
+def project(paths, xml):
+    """Run the projector to the end; returns the buffer."""
+    buffer = Buffer()
+    matcher = PathMatcher([(name, parse_path(p)) for name, p in paths])
+    projector = StreamProjector(make_lexer(xml), matcher, buffer)
+    projector.run_to_end()
+    return buffer
+
+
+def tags_live(buffer):
+    return [n.tag for n in buffer.iter_live() if n.is_element]
+
+
+class TestProjection:
+    def test_only_matching_nodes_buffered(self):
+        buffer = project(
+            [("r1", "/"), ("r2", "/a"), ("r3", "/a/b")],
+            "<a><b></b><c></c></a>",
+        )
+        assert tags_live(buffer) == ["a", "b"]
+
+    def test_unmatched_document_empty_buffer(self):
+        buffer = project([("r", "/x/y")], "<a><b></b></a>")
+        assert buffer.live_count == 0
+        assert buffer.stats.subtrees_skipped == 1
+
+    def test_irrelevant_subtree_skipped(self):
+        buffer = project(
+            [("r1", "/a"), ("r2", "/a/keep")],
+            "<a><skip><deep><deeper></deeper></deep></skip><keep></keep></a>",
+        )
+        assert tags_live(buffer) == ["a", "keep"]
+        assert buffer.stats.subtrees_skipped == 1
+
+    def test_skipped_tokens_counted(self):
+        buffer = project(
+            [("r1", "/a"), ("r2", "/a/keep")],
+            "<a><skip><x></x></skip><keep></keep></a>",
+        )
+        assert buffer.stats.tokens == 8
+
+    def test_spine_materialized_for_deep_match(self):
+        # only the descendant item carries a role: its role-less
+        # ancestors must still be materialized to hold the tree shape
+        buffer = project(
+            [("r1", "/"), ("r2", "/site/descendant::item"), ("keep", "/site")],
+            "<site><regions><europe><item></item></europe></regions></site>",
+        )
+        assert tags_live(buffer) == ["site", "regions", "europe", "item"]
+        regions = buffer.root.children[0].children[0]
+        assert regions.tag == "regions"
+        assert regions.role_count() == 0
+
+    def test_roleless_spine_purged_when_closed_empty(self):
+        # a spine is materialized for the first item, but once the item
+        # and the spine close without roles they are collected
+        buffer = project(
+            [("r", "/a/b/c[1]")],
+            "<a><b><c></c><c></c></b></a>",
+        )
+        # c[1] got the role; second c unmatched; when everything closes
+        # only role-bearing chain remains (role never removed: no GC here)
+        assert tags_live(buffer) == ["a", "b", "c"]
+
+    def test_text_nodes_projected_by_node_test(self):
+        buffer = project(
+            [("r1", "/a"), ("r2", "/a/descendant-or-self::node()")],
+            "<a>hello<b>world</b></a>",
+        )
+        texts = [n.text for n in buffer.iter_live() if n.is_text]
+        assert texts == ["hello", "world"]
+
+    def test_text_not_buffered_without_role(self):
+        buffer = project([("r1", "/a"), ("r2", "/a/b")], "<a>hello<b>x</b></a>")
+        assert [n.text for n in buffer.iter_live() if n.is_text] == []
+
+    def test_attributes_copied_on_materialization(self):
+        buffer = project([("r", "/a/b")], '<a><b id="7" k="v"></b></a>')
+        b = [n for n in buffer.iter_live() if n.tag == "b"][0]
+        assert b.attributes == {"id": "7", "k": "v"}
+
+    def test_attributes_on_spine_nodes(self):
+        buffer = project(
+            [("r", "/a/descendant::c")], '<a x="1"><b y="2"><c></c></b></a>'
+        )
+        a = buffer.root.children[0]
+        assert a.attributes == {"x": "1"}
+        assert a.children[0].attributes == {"y": "2"}
+
+
+class TestTokenAccounting:
+    def test_every_token_recorded(self):
+        buffer = project([("r1", "/"), ("r2", "/a/descendant-or-self::node()")],
+                         "<a><b>t</b></a>")
+        assert buffer.stats.tokens == 5
+        assert len(buffer.stats.series) == 5
+
+    def test_series_monotone_without_gc(self):
+        buffer = project(
+            [("r1", "/"), ("r2", "/a/descendant-or-self::node()")],
+            "<a><b></b><c></c></a>",
+        )
+        series = buffer.stats.series
+        assert series == sorted(series)
+
+    def test_advance_returns_false_at_eof(self):
+        buffer = Buffer()
+        matcher = PathMatcher(
+            [("r", parse_path("/a/descendant-or-self::node()"))]
+        )
+        projector = StreamProjector(make_lexer("<a></a>"), matcher, buffer)
+        assert projector.advance() is True
+        assert projector.advance() is True
+        assert projector.advance() is False
+        assert projector.advance() is False
+        assert buffer.root.closed
+
+    def test_skip_consumes_whole_subtree_in_one_advance(self):
+        # an element with roles but no onward states fast-forwards to
+        # its end tag within a single advance() call
+        buffer = Buffer()
+        matcher = PathMatcher([("r", parse_path("/a"))])
+        projector = StreamProjector(make_lexer("<a><b></b></a>"), matcher, buffer)
+        assert projector.advance() is True
+        assert buffer.stats.tokens == 4  # <a><b></b></a> all consumed
+        assert projector.advance() is False
+
+
+class TestRoleAssignmentCounts:
+    def test_multiplicity_assigned(self):
+        buffer = project(
+            [("r", "//a//b")],
+            "<a><a><b></b></a></a>",
+        )
+        b = [n for n in buffer.iter_live() if n.tag == "b"][0]
+        assert b.roles["r"] == 2
+
+    def test_document_root_role(self):
+        buffer = project([("r1", "/")], "<a></a>")
+        assert buffer.root.roles["r1"] == 1
+        # the root is not part of the live count
+        assert buffer.live_count == 0

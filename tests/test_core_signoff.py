@@ -1,0 +1,142 @@
+"""Unit tests for signOff insertion (the rewritten query)."""
+
+from repro.core.analysis import analyze_query
+from repro.core.signoff import insert_signoffs
+from repro.datasets.bib import BIB_QUERY
+from repro.xquery import ast as q
+from repro.xquery.normalize import normalize_query
+from repro.xquery.parser import parse_query
+
+
+def rewrite(text):
+    normalized = normalize_query(parse_query(text))
+    analysis = analyze_query(normalized)
+    return insert_signoffs(normalized, analysis), analysis
+
+
+def collect_signoffs(expr):
+    return [e for e in q.iter_expressions(expr) if isinstance(e, q.SignOff)]
+
+
+def loop_bodies(expr):
+    """Map loop var -> body expression."""
+    bodies = {}
+    for sub in q.iter_expressions(expr):
+        if isinstance(sub, q.ForExpr):
+            bodies[sub.var] = sub.body
+    return bodies
+
+
+class TestPaperRewriting:
+    def test_every_non_root_role_signed_off_exactly_once(self):
+        rewritten, analysis = rewrite(BIB_QUERY)
+        signoffs = collect_signoffs(rewritten.body)
+        assert sorted(s.role for s in signoffs) == ["r2", "r3", "r4", "r5", "r6", "r7"]
+
+    def test_signoffs_at_end_of_their_loop_body(self):
+        rewritten, analysis = rewrite(BIB_QUERY)
+        bodies = loop_bodies(rewritten.body)
+        x_var = analysis.roles["r3"].anchor_var
+        body = bodies[x_var]
+        assert isinstance(body, q.Sequence)
+        tail_roles = [
+            item.role for item in body.items if isinstance(item, q.SignOff)
+        ]
+        assert tail_roles == ["r3", "r4", "r5"]
+        # the signOffs are the last items of the sequence
+        assert all(
+            isinstance(item, q.SignOff) for item in body.items[-len(tail_roles):]
+        )
+
+    def test_signoff_operands_are_relative_to_loop_var(self):
+        rewritten, analysis = rewrite(BIB_QUERY)
+        signoffs = {s.role: s for s in collect_signoffs(rewritten.body)}
+        x_var = analysis.roles["r3"].anchor_var
+        assert signoffs["r3"].var == x_var
+        assert str(signoffs["r3"].path) == "."
+        assert str(signoffs["r4"].path) == "price[1]"
+        assert str(signoffs["r5"].path) == "descendant-or-self::node()"
+
+    def test_rewritten_matches_paper_text_structurally(self):
+        """Parse the paper's own rewritten query and compare the
+        signOff multiset (role -> operand path) with ours."""
+        paper_text = """
+        <r> {
+        for $bib in /bib return
+        ((for $x in $bib/* return
+        (if (not(exists $x/price)) then $x else (),
+        signOff($x,r3),
+        signOff($x/price[1],r4),
+        signOff($x/descendant-or-self::node(),r5))),
+        (for $b in $bib/book return
+        ($b/title,
+        signOff($b,r6),
+        signOff($b/title/descendant-or-self::node(),r7)
+        )),
+        signOff($bib,r2)) }
+        </r>
+        """
+        paper = parse_query(paper_text)
+        ours, _ = rewrite(BIB_QUERY)
+        paper_sigs = {
+            (s.role, str(s.path)) for s in collect_signoffs(paper.body)
+        }
+        our_sigs = {(s.role, str(s.path)) for s in collect_signoffs(ours.body)}
+        assert our_sigs == paper_sigs
+
+
+class TestPlacementShapes:
+    def test_no_signoff_inside_conditionals(self):
+        rewritten, _ = rewrite(
+            "for $a in /x return if (exists $a/p) then $a/b else ()"
+        )
+
+        def check(expr, inside_if):
+            if isinstance(expr, q.SignOff):
+                assert not inside_if, "signOff must not be conditional"
+            if isinstance(expr, q.IfExpr):
+                check(expr.then, True)
+                check(expr.orelse, True)
+            else:
+                for child in q.child_expressions(expr):
+                    check(child, inside_if)
+
+        check(rewritten.body, False)
+
+    def test_hoisted_signoff_after_offending_loop(self):
+        rewritten, analysis = rewrite(
+            """
+            for $s in /site return
+              for $cl in $s/closed return
+                for $p in $s/person return
+                  for $t in $cl/auction return
+                    if ($t/b = $p/i) then $t/v else ()
+            """
+        )
+        bodies = loop_bodies(rewritten.body)
+        # $cl's body must end with the hoisted signOffs for $t's roles
+        cl_body = bodies["cl"]
+        assert isinstance(cl_body, q.Sequence)
+        hoisted = [i for i in cl_body.items if isinstance(i, q.SignOff)]
+        assert hoisted
+        assert all(s.var == "cl" for s in hoisted)
+        assert any(str(s.path).startswith("auction") for s in hoisted)
+        # and $t's own body carries no signOff for its binding role
+        t_signoffs = collect_signoffs(bodies["t"])
+        t_binding = [r for r in analysis.roles if r.anchor_var == "t"]
+        for role in t_binding:
+            assert all(s.role != role.name for s in t_signoffs)
+
+    def test_query_end_signoffs_appended_to_top_level(self):
+        rewritten, _ = rewrite(
+            "for $a in /x return for $b in /y return "
+            "if ($b/v = $a/w) then $b else ()"
+        )
+        body = rewritten.body
+        assert isinstance(body, q.Sequence)
+        assert isinstance(body.items[-1], q.SignOff)
+        assert body.items[-1].var is None
+
+    def test_loop_without_roles_unchanged(self):
+        rewritten, _ = rewrite('"just text"')
+        assert rewritten.body == q.TextLiteral("just text")

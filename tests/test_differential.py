@@ -1,0 +1,108 @@
+"""Differential tests: the streaming GCX engine against the DOM oracle.
+
+The two engines share no runtime code (different tree representation,
+different path evaluation, different control flow), so agreement over a
+battery of queries × randomized documents is strong evidence that the
+streaming evaluation with active garbage collection does not corrupt
+results — the paper's "these commands must not be issued too early, as
+this could corrupt the query result".
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import FullDomEngine, ProjectionOnlyEngine
+from repro.core.engine import GCXEngine
+
+QUERIES = [
+    "for $x in /r/a return $x",
+    "for $x in /r/* return $x",
+    "for $x in /r/a return $x/b",
+    "for $x in /r/a/b return $x/text()",
+    "for $x in /r/descendant::b return $x",
+    "for $x in /r//b return $x/@k",
+    "for $x in /r/a return if (exists $x/b) then $x else ()",
+    "for $x in /r/a return if (not(exists $x/b)) then $x else ()",
+    'for $x in /r/a return if ($x/@k = "v1") then $x else ()',
+    'for $x in /r/a return if ($x/b = "t1") then "hit" else "miss"',
+    "for $x in /r/a return if ($x/b/@k != $x/@k) then $x/b else ()",
+    "for $x in /r/a return for $y in $x/b return ($y, $y/text())",
+    "<out>{ for $x in /r/a return <w>{ $x/b }</w> }</out>",
+    "(for $x in /r/a return $x/b[1], for $y in /r/a return $y/@k)",
+    "for $x in /r/a return if (exists $x/b and exists $x/c) then $x else ()",
+    "for $x in /r/a return if (exists $x/b or exists $x/c) then $x else ()",
+    "for $x in /r/a where $x/@k >= \"v1\" return $x/b",
+    "for $x in /r/descendant-or-self::a return $x/@k",
+    "for $b in /r/a/b return for $x in /r/a return "
+    "if ($x/@k = $b/@k) then <m>{ $x/@k }</m> else ()",
+    # extension features: aggregation and attribute value templates
+    "for $x in /r/a return <n>{ count($x/b) }</n>",
+    "<t>{ count(/r/descendant::c) }</t>",
+    "for $x in /r/a return if (count($x/b) >= 2) then $x/b else ()",
+    'for $x in /r/a return <w n="{count($x/b)}" k="{$x/@k}"/>',
+    "for $x in /r/a return if (sum($x/b/@k) = 0) then \"zero\" else \"some\"",
+]
+
+
+def random_document(rng: random.Random) -> str:
+    """A small random tree over tags r/a/b/c with text and attributes."""
+
+    def element(depth: int) -> str:
+        tag = rng.choice("abc")
+        attrs = ""
+        if rng.random() < 0.5:
+            attrs = f' k="v{rng.randint(1, 3)}"'
+        if depth >= 3 or rng.random() < 0.3:
+            if rng.random() < 0.5:
+                return f"<{tag}{attrs}>t{rng.randint(1, 3)}</{tag}>"
+            return f"<{tag}{attrs}></{tag}>"
+        children = "".join(
+            element(depth + 1) for _ in range(rng.randint(0, 3))
+        )
+        return f"<{tag}{attrs}>{children}</{tag}>"
+
+    body = "".join(element(1) for _ in range(rng.randint(1, 5)))
+    return f"<r>{body}</r>"
+
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("query", QUERIES)
+def test_gcx_matches_dom_oracle(query, seed):
+    xml = random_document(random.Random(seed * 1000 + 17))
+    gcx = GCXEngine().query(query, xml)
+    dom = FullDomEngine().query(query, xml)
+    assert gcx.output == dom.output, f"query={query!r}\nxml={xml}"
+    # the streaming run must end with an empty buffer on join-free
+    # queries whose loops are unconditional — all queries above qualify
+    assert gcx.stats.final_buffered == 0
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_projection_only_matches_oracle(seed):
+    xml = random_document(random.Random(seed + 99))
+    for query in QUERIES[:8]:
+        proj = ProjectionOnlyEngine().query(query, xml)
+        dom = FullDomEngine().query(query, xml)
+        assert proj.output == dom.output
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_gc_never_changes_results(seed):
+    """Ablation: enabling/disabling GC must be output-invariant."""
+    xml = random_document(random.Random(seed + 7))
+    for query in QUERIES:
+        with_gc = GCXEngine(gc_enabled=True).query(query, xml)
+        without_gc = GCXEngine(gc_enabled=False).query(query, xml)
+        assert with_gc.output == without_gc.output
+        assert with_gc.stats.watermark <= without_gc.stats.watermark
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_first_witness_never_changes_results(seed):
+    xml = random_document(random.Random(seed + 55))
+    for query in QUERIES:
+        fast = GCXEngine(first_witness=True).query(query, xml)
+        slow = GCXEngine(first_witness=False).query(query, xml)
+        assert fast.output == slow.output
+        assert fast.stats.watermark <= slow.stats.watermark

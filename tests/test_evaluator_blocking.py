@@ -1,0 +1,147 @@
+"""Tests for the evaluator's blocking pull protocol and its laziness.
+
+The paper's pipeline reads input strictly on demand.  These tests pin
+*how much* of the stream each operation consumes, using the token
+counter as the observable.
+"""
+
+from repro.core.buffer import Buffer
+from repro.core.engine import GCXEngine
+from repro.core.evaluator import PullEvaluator
+from repro.core.matcher import PathMatcher
+from repro.core.projector import StreamProjector
+from repro.core.stats import BufferStats
+from repro.xmlio.lexer import make_lexer
+from repro.xmlio.writer import XmlWriter
+from repro.xquery.normalize import normalize_query
+from repro.xquery.parser import parse_query
+from repro.core.analysis import analyze_query
+from repro.core.signoff import insert_signoffs
+
+
+def make_pipeline(query_text, xml):
+    """Wire a full pipeline manually, exposing all components."""
+    normalized = normalize_query(parse_query(query_text))
+    analysis = analyze_query(normalized)
+    rewritten = insert_signoffs(normalized, analysis)
+    stats = BufferStats()
+    buffer = Buffer(stats)
+    matcher = PathMatcher([(r.name, r.path) for r in analysis.roles])
+    projector = StreamProjector(make_lexer(xml), matcher, buffer, stats)
+    writer = XmlWriter()
+    evaluator = PullEvaluator(rewritten, projector, buffer, writer, True)
+    return evaluator, projector, buffer, writer, stats
+
+
+class TestLazyConsumption:
+    """A loop must read its parent's scope to its end tag (it cannot
+    know "no more bindings" earlier), so token consumption always spans
+    the stream — exactly like the paper's full-width x-axes.  What the
+    laziness bounds is what gets *buffered*."""
+
+    def test_first_only_loop_buffers_only_the_witness(self):
+        xml = "<r>" + "<e>x</e>" * 100 + "</r>"
+        evaluator, projector, buffer, writer, stats = make_pipeline(
+            "for $e in /r/e[1] return $e", xml
+        )
+        evaluator.run()
+        assert writer.getvalue() == "<e>x</e>"
+        # the matcher exhausted the [1] state after the first <e>: the
+        # other 99 never entered the buffer
+        assert stats.nodes_buffered <= 4  # r, e, its text (+ lookahead)
+
+    def test_exists_stops_at_first_witness(self):
+        # price is the first child: exists must not read the siblings
+        xml = "<r><e><price>1</price>" + "<pad>y</pad>" * 50 + "</e></r>"
+        evaluator, projector, buffer, writer, stats = make_pipeline(
+            "for $e in /r/e return if (exists $e/price) then \"y\" else \"n\"",
+            xml,
+        )
+        # manually evaluate only up to the condition: run the whole
+        # query but snapshot token consumption right after output
+        evaluator.run()
+        assert writer.getvalue() == "y"
+        # the signOff at the loop end forces reading $e to its close,
+        # but that is demanded by the preemption discipline; verify the
+        # witness itself was found long before end-of-stream by the
+        # buffer never holding the pads (they match no projection path)
+        assert all(
+            node.tag != "pad" for node in buffer.iter_live()
+        )
+
+    def test_loop_reads_parent_scope_to_its_end(self):
+        xml = "<r><want>1</want><later>2</later><later>3</later></r>"
+        evaluator, projector, buffer, writer, stats = make_pipeline(
+            "for $w in /r/want return $w", xml
+        )
+        evaluator.run()
+        # the <want> loop needed to learn that no further <want>
+        # arrives: the whole document was consumed, but the <later>
+        # elements were never buffered
+        assert stats.tokens == 11  # the full document
+        assert all(n.tag != "later" for n in buffer.iter_live())
+
+    def test_engine_drain_flag_controls_tail_reading(self):
+        # a query without loops consumes nothing by itself; the drain
+        # flag decides whether the engine still reads the stream for
+        # the buffer-profile statistics
+        xml = "<r>" + "<later>x</later>" * 50 + "</r>"
+        lazy = GCXEngine(drain=False).query('"hello"', xml)
+        eager = GCXEngine(drain=True).query('"hello"', xml)
+        assert lazy.output == eager.output == "hello"
+        assert lazy.stats.tokens == 0
+        assert eager.stats.tokens > 0
+
+
+class TestBlockingPrimitives:
+    def test_next_child_pulls_until_match(self):
+        evaluator, projector, buffer, writer, stats = make_pipeline(
+            "for $b in /r/b return $b", "<r><a>1</a><a>2</a><b>3</b></r>"
+        )
+        root = buffer.root
+        child = evaluator._next_child(
+            root, 0, lambda n: n.is_element and n.tag == "r"
+        )
+        assert child.tag == "r"
+        b = evaluator._next_child(
+            child, 0, lambda n: n.is_element and n.tag == "b"
+        )
+        assert b.tag == "b"
+
+    def test_next_child_returns_none_when_closed(self):
+        evaluator, projector, buffer, writer, stats = make_pipeline(
+            "for $b in /r/b return $b", "<r><a>1</a></r>"
+        )
+        root = buffer.root
+        r = evaluator._next_child(root, 0, lambda n: n.is_element)
+        missing = evaluator._next_child(
+            r, 0, lambda n: n.is_element and n.tag == "zzz"
+        )
+        assert missing is None
+        assert r.closed
+
+    def test_ensure_closed_reads_to_end_tag(self):
+        evaluator, projector, buffer, writer, stats = make_pipeline(
+            "for $r in /r return $r", "<r><x>1</x><y>2</y></r>"
+        )
+        root = buffer.root
+        r = evaluator._next_child(root, 0, lambda n: n.is_element)
+        assert not r.closed
+        evaluator._ensure_closed(r)
+        assert r.closed
+
+
+class TestSkippedRegionsDuringEvaluation:
+    def test_unprojected_siblings_never_buffered(self):
+        xml = (
+            "<site>"
+            "<junk><deep><deeper>z</deeper></deep></junk>"
+            "<want><v>1</v></want>"
+            "<junk2><x>y</x></junk2>"
+            "</site>"
+        )
+        result = GCXEngine().query("for $w in /site/want return $w", xml)
+        assert result.output == "<want><v>1</v></want>"
+        assert result.stats.subtrees_skipped == 2
+        # junk subtrees contribute tokens but never nodes
+        assert result.stats.nodes_buffered <= 4

@@ -1,0 +1,204 @@
+"""Tests for the fragment extensions: aggregation and attribute value
+templates (features the 2007 GCX did "not yet cover")."""
+
+import pytest
+
+from repro.baselines import FluxLikeEngine, FullDomEngine, UnsupportedQueryError
+from repro.core.engine import GCXEngine
+from repro.core.evaluator import compute_aggregate, format_number
+from repro.core.roles import RoleReason
+from repro.xquery import ast as q
+from repro.xquery.normalize import NormalizationError, normalize_query
+from repro.xquery.parser import XQueryParseError, parse_query
+
+XML = "<a><b><v>1</v><v>2</v><v>3</v></b><b><v>10</v></b><b></b></a>"
+
+
+@pytest.fixture
+def engine():
+    return GCXEngine()
+
+
+class TestAggregateParsing:
+    def test_count_expression(self):
+        body = parse_query("for $b in /a/b return count($b/v)").body.body
+        assert isinstance(body, q.AggregateExpr)
+        assert body.aggregate.func == "count"
+
+    def test_all_functions_parse(self):
+        for func in ("count", "sum", "avg", "min", "max"):
+            query = parse_query(f"<t>{{ {func}(/a/b/v) }}</t>")
+            assert isinstance(query.body.body, q.AggregateExpr)
+
+    def test_aggregate_in_comparison(self):
+        body = parse_query(
+            "for $b in /a/b return if (count($b/v) > 2) then $b else ()"
+        ).body.body
+        assert isinstance(body.condition.left, q.Aggregate)
+
+    def test_element_named_count_still_works(self):
+        # 'count' as an element name in a path must not be hijacked
+        body = parse_query("for $b in /a/count return $b").body
+        assert str(body.source.path) == "/a/count"
+
+    def test_aggregate_over_bare_variable_rejected(self):
+        with pytest.raises(NormalizationError, match="bare"):
+            normalize_query(parse_query("for $b in /a/b return count($b)"))
+
+
+class TestAggregateEvaluation:
+    def test_count(self, engine):
+        assert engine.evaluate("<t>{ count(/a/b/v) }</t>", XML) == "<t>4</t>"
+
+    def test_count_per_binding(self, engine):
+        out = engine.evaluate("for $b in /a/b return <n>{ count($b/v) }</n>", XML)
+        assert out == "<n>3</n><n>1</n><n>0</n>"
+
+    def test_sum(self, engine):
+        assert engine.evaluate("<t>{ sum(/a/b/v) }</t>", XML) == "<t>16</t>"
+
+    def test_avg(self, engine):
+        assert engine.evaluate("<t>{ avg(/a/b/v) }</t>", XML) == "<t>4</t>"
+
+    def test_min_max(self, engine):
+        assert engine.evaluate("<t>{ min(/a/b/v) }</t>", XML) == "<t>1</t>"
+        assert engine.evaluate("<t>{ max(/a/b/v) }</t>", XML) == "<t>10</t>"
+
+    def test_empty_sequence_aggregates_to_zero(self, engine):
+        assert engine.evaluate("<t>{ sum(/a/zzz) }</t>", XML) == "<t>0</t>"
+        assert engine.evaluate("<t>{ count(/a/zzz) }</t>", XML) == "<t>0</t>"
+
+    def test_count_of_attributes(self, engine):
+        xml = '<a><b id="1"></b><b></b><b id="2"></b></a>'
+        assert engine.evaluate("<t>{ count(/a/b/@id) }</t>", xml) == "<t>2</t>"
+
+    def test_aggregate_comparison(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return if (count($b/v) > 2) then \"big\" else ()", XML
+        )
+        assert out == "big"
+
+    def test_aggregate_comparison_both_sides(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return "
+            "if (sum($b/v) >= count($b/v)) then \"ok\" else ()",
+            XML,
+        )
+        # 6>=3, 10>=1, 0>=0
+        assert out == "okokok"
+
+    def test_non_numeric_values_skipped_in_sum(self, engine):
+        xml = "<a><b><v>3</v><v>oops</v></b></a>"
+        assert engine.evaluate("<t>{ sum(/a/b/v) }</t>", xml) == "<t>3</t>"
+
+    def test_matches_dom_oracle(self, engine):
+        dom = FullDomEngine()
+        for text in (
+            "for $b in /a/b return <n>{ count($b/v) }</n>",
+            "<t>{ avg(/a/b/v) }</t>",
+            "for $b in /a/b return if (max($b/v) >= 10) then $b else ()",
+        ):
+            assert engine.evaluate(text, XML) == dom.evaluate(text, XML)
+
+    def test_buffer_cleared_after_aggregation(self, engine):
+        result = engine.query("for $b in /a/b return count($b/v)", XML)
+        assert result.stats.final_buffered == 0
+
+    def test_count_role_skips_subtrees(self):
+        """Counting buffers matched nodes but not their subtrees."""
+        xml = "<a><b>" + "<v><deep><deeper>x</deeper></deep></v>" * 10 + "</b></a>"
+        count_run = GCXEngine().query("for $b in /a/b return count($b/v)", xml)
+        output_run = GCXEngine().query("for $b in /a/b return $b/v", xml)
+        assert count_run.stats.watermark < output_run.stats.watermark
+
+
+class TestAggregateRoles:
+    def test_count_role_without_subtree_step(self):
+        from repro.core.analysis import analyze_query
+
+        analysis = analyze_query(
+            normalize_query(parse_query("for $b in /a/b return count($b/v)"))
+        )
+        agg = [r for r in analysis.roles if r.reason is RoleReason.AGGREGATE]
+        assert [str(r.path) for r in agg] == ["/a/b/v"]
+
+    def test_sum_role_needs_values(self):
+        from repro.core.analysis import analyze_query
+
+        analysis = analyze_query(
+            normalize_query(parse_query("for $b in /a/b return sum($b/v)"))
+        )
+        agg = [r for r in analysis.roles if r.reason is RoleReason.AGGREGATE]
+        assert [str(r.path) for r in agg] == [
+            "/a/b/v/descendant-or-self::node()"
+        ]
+
+
+class TestAggregateHelpers:
+    def test_compute_aggregate_functions(self):
+        values = ["1", "2", "3"]
+        assert compute_aggregate("count", values) == 3
+        assert compute_aggregate("sum", values) == 6.0
+        assert compute_aggregate("avg", values) == 2.0
+        assert compute_aggregate("min", values) == 1.0
+        assert compute_aggregate("max", values) == 3.0
+
+    def test_format_number(self):
+        assert format_number(3) == "3"
+        assert format_number(3.0) == "3"
+        assert format_number(3.5) == "3.5"
+
+
+class TestAttributeValueTemplates:
+    def test_path_template(self, engine):
+        out = engine.evaluate(
+            'for $b in /a/b return <r n="{count($b/v)}"/>', XML
+        )
+        assert out == '<r n="3"></r><r n="1"></r><r n="0"></r>'
+
+    def test_text_value_template(self, engine):
+        xml = "<db><p><name>Ann</name></p></db>"
+        out = engine.evaluate(
+            'for $p in /db/p return <person name="{$p/name/text()}"/>', xml
+        )
+        assert out == '<person name="Ann"></person>'
+
+    def test_attribute_of_attribute(self, engine):
+        xml = '<db><p id="7"></p></db>'
+        out = engine.evaluate('for $p in /db/p return <q i="{$p/@id}"/>', xml)
+        assert out == '<q i="7"></q>'
+
+    def test_multiple_values_space_joined(self, engine):
+        out = engine.evaluate('<r all="{/a/b/v}"/>', XML)
+        assert out == '<r all="1 2 3 10"></r>'
+
+    def test_constant_attribute_untouched(self, engine):
+        assert engine.evaluate('<r k="plain"/>', XML) == '<r k="plain"></r>'
+
+    def test_escaped_braces_literal(self, engine):
+        # a value that merely contains braces mid-string is constant
+        assert (
+            engine.evaluate('<r k="a{b}c"/>', XML).startswith('<r k="a{b}c"')
+            is True
+        )
+
+    def test_template_matches_oracle(self, engine):
+        dom = FullDomEngine()
+        query = 'for $b in /a/b return <r s="{sum($b/v)}">{ $b/v }</r>'
+        assert engine.evaluate(query, XML) == dom.evaluate(query, XML)
+
+    def test_template_requires_single_expression(self):
+        with pytest.raises(XQueryParseError):
+            parse_query('<r k="{/a/b, /a/c}"/>')
+
+
+class TestFluxRejectsDescendantExtensions:
+    def test_descendant_inside_count_rejected(self):
+        engine = FluxLikeEngine(dtd=None)
+        with pytest.raises(UnsupportedQueryError):
+            engine.compile("for $r in /site/regions return count($r//item)")
+
+    def test_descendant_inside_template_rejected(self):
+        engine = FluxLikeEngine(dtd=None)
+        with pytest.raises(UnsupportedQueryError):
+            engine.compile('for $r in /a return <x n="{count($r//b)}"/>')

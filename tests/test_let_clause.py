@@ -1,0 +1,137 @@
+"""Tests for scalar let clauses (extension)."""
+
+import pytest
+
+from repro.baselines import FullDomEngine
+from repro.core.engine import GCXEngine
+from repro.xquery import ast as q
+from repro.xquery.normalize import NormalizationError, normalize_query
+from repro.xquery.parser import XQueryParseError, parse_query
+
+XML = "<a><b><v>1</v><v>2</v></b><b><v>3</v></b></a>"
+
+
+@pytest.fixture
+def engine():
+    return GCXEngine()
+
+
+class TestParsing:
+    def test_let_parses(self):
+        body = parse_query("let $n := count(/a/b) return <t>{ $n }</t>").body
+        assert isinstance(body, q.LetExpr)
+        assert body.var == "n"
+        assert isinstance(body.value, q.Aggregate)
+
+    def test_let_literal_value(self):
+        body = parse_query('let $n := "x" return $n').body
+        assert body.value == q.Literal("x")
+
+    def test_let_numeric_literal(self):
+        body = parse_query("let $n := 42 return $n").body
+        assert body.value == q.Literal(42)
+
+    def test_let_node_value_rejected(self):
+        with pytest.raises(XQueryParseError, match="scalar"):
+            parse_query("let $n := /a/b return $n")
+
+
+class TestNormalization:
+    def test_let_variable_renamed_apart(self):
+        query = normalize_query(
+            parse_query(
+                "(let $n := count(/a/b) return $n,"
+                " let $n := count(/a/b/v) return $n)"
+            )
+        )
+        first, second = query.body.items
+        assert first.var != second.var
+        assert first.body.var == first.var
+
+    def test_navigation_from_scalar_rejected(self):
+        with pytest.raises(NormalizationError, match="scalar"):
+            normalize_query(
+                parse_query("let $n := count(/a/b) return $n/deeper")
+            )
+
+    def test_iteration_from_scalar_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize_query(
+                parse_query(
+                    "let $n := count(/a/b) return for $x in $n/y return $x"
+                )
+            )
+
+
+class TestEvaluation:
+    def test_let_output(self, engine):
+        out = engine.evaluate("let $n := count(/a/b/v) return <t>{ $n }</t>", XML)
+        assert out == "<t>3</t>"
+
+    def test_let_in_comparison(self, engine):
+        out = engine.evaluate(
+            "let $n := count(/a/b) return "
+            'if ($n >= 2) then "many" else "few"',
+            XML,
+        )
+        assert out == "many"
+
+    def test_let_per_binding(self, engine):
+        out = engine.evaluate(
+            "for $b in /a/b return "
+            "let $n := count($b/v) return <c>{ $n }</c>",
+            XML,
+        )
+        assert out == "<c>2</c><c>1</c>"
+
+    def test_let_string_literal(self, engine):
+        out = engine.evaluate('let $s := "hi" return ($s, $s)', XML)
+        assert out == "hihi"
+
+    def test_let_exists_is_true(self, engine):
+        out = engine.evaluate(
+            'let $n := count(/a/zzz) return if (exists $n) then "y" else "n"',
+            XML,
+        )
+        assert out == "y"
+
+    def test_let_in_attribute_template(self, engine):
+        out = engine.evaluate(
+            'for $b in /a/b return let $n := count($b/v) return <r n="{$n}"/>',
+            XML,
+        )
+        assert out == '<r n="2"></r><r n="1"></r>'
+
+    def test_original_q8_shape_with_let(self, engine):
+        # close to the published XMark Q8: per person, a let-bound count
+        xml = (
+            "<db><people><p id='1'/><p id='2'/></people>"
+            "<orders><o buyer='1'/><o buyer='1'/><o buyer='2'/></orders></db>"
+        )
+        query = """
+        for $db in /db return
+          for $os in $db/orders return
+            for $ps in $db/people return
+              for $p in $ps/p return
+                <item id="{$p/@id}">{
+                  let $n := count($os/o) return $n
+                }</item>
+        """
+        out = engine.evaluate(query, xml)
+        assert out == '<item id="1">3</item><item id="2">3</item>'
+
+    def test_matches_dom_oracle(self, engine):
+        dom = FullDomEngine()
+        for text in (
+            "let $n := count(/a/b/v) return <t>{ $n }</t>",
+            "for $b in /a/b return let $n := sum($b/v) return "
+            "if ($n > 2) then $b else ()",
+            'let $n := avg(/a/b/v) return <r a="{$n}"/>',
+        ):
+            assert engine.evaluate(text, XML) == dom.evaluate(text, XML)
+
+    def test_buffer_cleared(self, engine):
+        result = engine.query(
+            "for $b in /a/b return let $n := count($b/v) return $n", XML
+        )
+        assert result.stats.final_buffered == 0

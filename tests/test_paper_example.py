@@ -1,0 +1,148 @@
+"""Reproduction tests for the paper's worked example (Figures 1 and 3).
+
+These tests pin the externally-reported numbers of the demo paper:
+
+* the role table r1–r7 (checked in test_core_analysis);
+* the Figure 1 role annotations on the buffered prefix;
+* Figure 3(b): nine articles + one book evaluate with a small, bounded
+  buffer;
+* Figure 3(c): nine books + one article build up a staircase, with 23
+  nodes buffered when ``</bib>`` arrives;
+* the documents have 82 tags forming 41 nodes.
+"""
+
+import pytest
+
+from repro.core.buffer import Buffer
+from repro.core.engine import GCXEngine
+from repro.core.matcher import PathMatcher
+from repro.core.projector import StreamProjector
+from repro.datasets.bib import (
+    BIB_QUERY,
+    figure3b_document,
+    figure3c_document,
+    make_bib_document,
+)
+from repro.xmlio.lexer import make_lexer, tokenize
+
+
+class TestDocumentShape:
+    def test_82_tags_41_nodes(self):
+        for doc in (figure3b_document(), figure3c_document()):
+            tokens = list(tokenize(doc))
+            assert len(tokens) == 82
+            starts = sum(1 for t in tokens if t.kind.value == "start")
+            assert starts == 41
+
+
+class TestFigure1RoleAssignment:
+    """Project the stream prefix of Figure 1(a) and compare the role
+    annotations with the paper's drawing."""
+
+    def project_prefix(self, xml):
+        engine = GCXEngine()
+        compiled = engine.compile(BIB_QUERY)
+        buffer = Buffer()
+        matcher = PathMatcher(
+            [(role.name, role.path) for role in compiled.analysis.roles]
+        )
+        projector = StreamProjector(make_lexer(xml), matcher, buffer)
+        projector.run_to_end()
+        return buffer
+
+    def test_prefix_roles_match_figure_1a(self):
+        # "<bib><book><title/><author/></book>" + closing to be well-formed
+        buffer = self.project_prefix("<bib><book><title/><author/></book></bib>")
+        nodes = {n.tag: n for n in buffer.iter_live()}
+        assert nodes["bib"].describe_roles() == "{r2}"
+        assert nodes["book"].describe_roles() == "{r3,r5,r6}"
+        assert nodes["title"].describe_roles() == "{r5,r7}"
+        assert nodes["author"].describe_roles() == "{r5}"
+
+    def test_price_gets_witness_role(self):
+        buffer = self.project_prefix(
+            "<bib><book><price/><price/></book></bib>"
+        )
+        prices = [n for n in buffer.iter_live() if n.tag == "price"]
+        assert prices[0].roles["r4"] == 1
+        assert prices[0].roles["r5"] == 1
+        # the second price is only subtree data: no witness role
+        assert "r4" not in prices[1].roles
+
+
+class TestFigure3b:
+    """Nine articles + one book: bounded buffer, articles one at a time."""
+
+    def test_output(self):
+        result = GCXEngine().query(BIB_QUERY, figure3b_document())
+        # every child has a price, so the first loop outputs nothing;
+        # the single book contributes one title
+        assert result.output == "<r><title></title></r>"
+
+    def test_buffer_bounded(self):
+        result = GCXEngine().query(BIB_QUERY, figure3b_document())
+        # articles are purged one at a time: the buffer never holds
+        # more than a handful of nodes (paper plot stays low)
+        assert result.stats.watermark <= 8
+
+    def test_articles_processed_one_at_a_time(self):
+        result = GCXEngine().query(BIB_QUERY, figure3b_document())
+        series = result.stats.series
+        # the series oscillates: it returns to a small floor after each
+        # article instead of growing
+        floor = min(series[8:])
+        assert series.count(floor) >= 5
+
+    def test_buffer_empty_at_end(self):
+        result = GCXEngine().query(BIB_QUERY, figure3b_document())
+        assert result.stats.final_buffered == 0
+
+
+class TestFigure3c:
+    """Nine books + one article: staircase growth, 23 nodes at </bib>."""
+
+    def test_23_nodes_buffered_at_closing_bib(self):
+        result = GCXEngine().query(BIB_QUERY, figure3c_document())
+        assert result.stats.watermark == 23
+
+    def test_staircase_growth(self):
+        result = GCXEngine().query(BIB_QUERY, figure3c_document())
+        series = result.stats.series
+        # each processed book leaves behind exactly two nodes (book{r6},
+        # title{r7}): successive book boundaries differ by 2
+        boundaries = [series[i] for i in range(7, 7 + 9 * 8, 8)]
+        steps = [b - a for a, b in zip(boundaries, boundaries[1:])]
+        assert all(step == 2 for step in steps)
+
+    def test_output_book_titles(self):
+        result = GCXEngine().query(BIB_QUERY, figure3c_document())
+        assert result.output.count("<title>") == 9
+
+    def test_buffer_empty_at_end(self):
+        result = GCXEngine().query(BIB_QUERY, figure3c_document())
+        assert result.stats.final_buffered == 0
+
+
+class TestFigure1SignoffEffects:
+    """After the first loop processes the book of Figure 1, the buffer
+    holds exactly the nodes of Figure 1(c): bib{r2}, book{r6}, title{r7}."""
+
+    def test_buffer_after_first_iteration(self):
+        # Craft a document where the stream pauses after the book: use
+        # a second child so the first loop requests more input, then
+        # check the buffer through the engine's series instead.
+        doc = make_bib_document(["book", "article"])
+        result = GCXEngine().query(BIB_QUERY, doc)
+        series = result.stats.series
+        # tokens: <bib>=1, book subtree=8 (9 total), article subtree=8
+        # (17), </bib>=18.  After the article's opening tag was pulled
+        # (token 10), the book's signOffs have executed: buffer holds
+        # bib + book{r6} + title{r7} + article skeleton.
+        assert series[8] >= 5  # book fully buffered before signOff
+        # after processing the article's first token the purge happened
+        assert series[9] == 4  # bib, book, title + article
+
+    def test_mixed_document_output(self):
+        doc = make_bib_document(["book", "article"])
+        result = GCXEngine().query(BIB_QUERY, doc)
+        assert result.output == "<r><title></title></r>"

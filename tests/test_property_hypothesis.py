@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Three laws are exercised:
+
+1. **Lexer/serializer round-trip** — tokenizing a serialized random
+   tree reproduces the tree.
+2. **Matcher ≡ oracle** — the total number of role instances the
+   streaming matcher assigns equals the number of match derivations
+   the DOM oracle finds for the same path (the multiplicity semantics
+   active GC depends on).
+3. **Engine invariants** — on randomized documents, the streaming
+   engine agrees with the DOM oracle, ends with an empty buffer, and
+   never buffers more than the projection-only engine.
+"""
+
+import random as _random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import FullDomEngine, ProjectionOnlyEngine
+from repro.core.buffer import Buffer
+from repro.core.engine import GCXEngine
+from repro.core.matcher import PathMatcher
+from repro.core.projector import StreamProjector
+from repro.xmlio.dom import parse_dom
+from repro.xmlio.lexer import make_lexer, tokenize
+from repro.xmlio.tokens import TokenKind
+from repro.xmlio.writer import XmlWriter, serialize_dom
+from repro.xpath.evaluator import evaluate_path
+from repro.xpath.parser import parse_path
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+_TAGS = ("a", "b", "c", "d")
+
+
+@st.composite
+def xml_trees(draw, max_depth=4):
+    """A random XML document string over a small tag alphabet."""
+
+    def node(depth):
+        tag = draw(st.sampled_from(_TAGS))
+        attrs = ""
+        if draw(st.booleans()):
+            value = draw(st.integers(0, 3))
+            attrs = f' k="v{value}"'
+        if depth >= max_depth or draw(st.integers(0, 2)) == 0:
+            if draw(st.booleans()):
+                text = draw(st.sampled_from(("x", "yy", "z1")))
+                return f"<{tag}{attrs}>{text}</{tag}>"
+            return f"<{tag}{attrs}></{tag}>"
+        children = "".join(
+            node(depth + 1) for _ in range(draw(st.integers(0, 3)))
+        )
+        return f"<{tag}{attrs}>{children}</{tag}>"
+
+    return f"<r>{node(1)}{node(1)}</r>"
+
+
+@st.composite
+def role_paths(draw):
+    """A random projection path over the same alphabet."""
+    steps = []
+    for _ in range(draw(st.integers(1, 3))):
+        axis = draw(st.sampled_from(("", "descendant::", "descendant-or-self::")))
+        if axis == "descendant-or-self::":
+            test = "node()"
+        else:
+            test = draw(st.sampled_from(_TAGS + ("*",)))
+        steps.append(axis + test)
+    return "/r/" + "/".join(steps)
+
+
+# ---------------------------------------------------------------------------
+# 1. lexer round-trip
+# ---------------------------------------------------------------------------
+
+
+@given(xml_trees())
+@settings(max_examples=60, deadline=None)
+def test_lexer_serializer_roundtrip(xml):
+    writer = XmlWriter()
+    for token in tokenize(xml):
+        writer.token(token)
+    assert writer.getvalue() == xml
+
+
+@given(xml_trees())
+@settings(max_examples=60, deadline=None)
+def test_dom_roundtrip(xml):
+    assert serialize_dom(parse_dom(xml)) == xml
+
+
+@given(xml_trees())
+@settings(max_examples=40, deadline=None)
+def test_token_nesting_balanced(xml):
+    depth = 0
+    for token in tokenize(xml):
+        if token.kind is TokenKind.START:
+            depth += 1
+        elif token.kind is TokenKind.END:
+            depth -= 1
+        assert depth >= 0
+    assert depth == 0
+
+
+# ---------------------------------------------------------------------------
+# 2. matcher ≡ oracle
+# ---------------------------------------------------------------------------
+
+
+@given(xml_trees(), role_paths())
+@settings(max_examples=80, deadline=None)
+def test_matcher_assigns_oracle_derivation_counts(xml, path_text):
+    path = parse_path(path_text)
+    buffer = Buffer()
+    matcher = PathMatcher([("r", path)])
+    StreamProjector(make_lexer(xml), matcher, buffer).run_to_end()
+    assigned = buffer.stats.roles_assigned
+
+    document = parse_dom(xml)
+    derivations = evaluate_path(path, document, count_derivations=True)
+    assert assigned == len(derivations)
+
+
+@given(xml_trees(), role_paths())
+@settings(max_examples=40, deadline=None)
+def test_projection_buffers_at_most_document(xml, path_text):
+    path = parse_path(path_text)
+    buffer = Buffer()
+    matcher = PathMatcher([("root", parse_path("/")), ("r", path)])
+    StreamProjector(make_lexer(xml), matcher, buffer).run_to_end()
+    total_nodes = parse_dom(xml).count_nodes() - 1  # minus #document
+    assert buffer.live_count <= total_nodes
+
+
+# ---------------------------------------------------------------------------
+# 3. engine invariants
+# ---------------------------------------------------------------------------
+
+_ENGINE_QUERIES = (
+    "for $x in /r/a return $x",
+    "for $x in /r/descendant::b return $x/@k",
+    "for $x in /r/* return if (exists $x/c) then $x/c else ()",
+    'for $x in /r/a return if ($x/@k = "v1") then $x/b else ()',
+    "for $x in /r/a return for $y in $x/b return $y/text()",
+)
+
+
+@given(xml_trees(), st.sampled_from(_ENGINE_QUERIES))
+@settings(max_examples=80, deadline=None)
+def test_streaming_engine_matches_oracle(xml, query):
+    gcx = GCXEngine().query(query, xml)
+    dom = FullDomEngine().query(query, xml)
+    assert gcx.output == dom.output
+
+
+@given(xml_trees(), st.sampled_from(_ENGINE_QUERIES))
+@settings(max_examples=60, deadline=None)
+def test_buffer_empty_and_roles_balanced_after_run(xml, query):
+    result = GCXEngine().query(query, xml)
+    assert result.stats.final_buffered == 0
+    # the only unremoved instance is the root role r1
+    assert result.stats.roles_assigned == result.stats.roles_removed + 1
+    assert result.stats.nodes_purged == result.stats.nodes_buffered
+
+
+@given(xml_trees(), st.sampled_from(_ENGINE_QUERIES))
+@settings(max_examples=40, deadline=None)
+def test_gcx_never_buffers_more_than_projection(xml, query):
+    gcx = GCXEngine().query(query, xml)
+    projection = ProjectionOnlyEngine().query(query, xml)
+    assert gcx.stats.watermark <= projection.stats.watermark
+    assert gcx.output == projection.output
+
+
+@given(xml_trees())
+@settings(max_examples=30, deadline=None)
+def test_identity_query_copies_document(xml):
+    output = GCXEngine().evaluate("for $x in /r return $x", xml)
+    assert output == xml

@@ -1,0 +1,78 @@
+"""Unit tests for the statistics container and the pretty printer."""
+
+from repro.core.stats import BufferStats, DEFAULT_NODE_BYTES
+from repro.xquery.normalize import normalize_query
+from repro.xquery.parser import parse_query
+from repro.xquery.pretty import pretty_print
+
+
+class TestBufferStats:
+    def test_record_token_tracks_watermark(self):
+        stats = BufferStats()
+        for count in (1, 5, 3, 7, 2):
+            stats.record_token(count)
+        assert stats.tokens == 5
+        assert stats.watermark == 7
+        assert stats.series == [1, 5, 3, 7, 2]
+
+    def test_series_disabled(self):
+        stats = BufferStats(record_series=False)
+        stats.record_token(9)
+        assert stats.series == []
+        assert stats.watermark == 9
+        assert stats.tokens == 1
+
+    def test_estimated_bytes(self):
+        stats = BufferStats()
+        stats.record_token(100)
+        assert stats.estimated_buffer_bytes() == 100 * DEFAULT_NODE_BYTES
+        assert stats.estimated_buffer_bytes(node_bytes=10) == 1000
+
+    def test_summary_mentions_key_counters(self):
+        stats = BufferStats()
+        stats.record_token(4)
+        stats.nodes_buffered = 9
+        summary = stats.summary()
+        assert "watermark=4" in summary
+        assert "buffered=9" in summary
+
+
+class TestPrettyPrinter:
+    def test_for_loop_indentation(self):
+        query = parse_query("for $x in /a return for $y in $x/b return $y")
+        text = pretty_print(query)
+        lines = text.splitlines()
+        assert lines[0] == "for $x in /a return"
+        assert lines[1].startswith("  for $y in")
+        assert lines[2].startswith("    $y")
+
+    def test_if_else_structure(self):
+        query = parse_query("if (exists /a) then <y/> else ()")
+        text = pretty_print(query)
+        assert "if (exists /a) then" in text
+        assert "else" in text
+
+    def test_sequence_parenthesised(self):
+        query = parse_query('("a", "b")')
+        text = pretty_print(query)
+        assert text.startswith("(")
+        assert text.rstrip().endswith(")")
+
+    def test_constructor_with_empty_body_self_closes(self):
+        query = parse_query("<r/>")
+        assert pretty_print(query) == "<r/>"
+
+    def test_let_clause_rendered(self):
+        query = parse_query("let $n := count(/a/b) return $n")
+        text = pretty_print(query)
+        assert text.splitlines()[0] == "let $n := count(/a/b) return"
+
+    def test_signoffs_visible_in_rewritten_query(self):
+        from repro.core.analysis import analyze_query
+        from repro.core.signoff import insert_signoffs
+
+        normalized = normalize_query(parse_query("for $x in /a/b return $x"))
+        rewritten = insert_signoffs(normalized, analyze_query(normalized))
+        text = pretty_print(rewritten)
+        assert "signOff($x, r3)" in text
+        assert "signOff($x/descendant-or-self::node(), r4)" in text

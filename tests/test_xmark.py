@@ -1,0 +1,133 @@
+"""Tests for the XMark generator and the adapted queries."""
+
+import pytest
+
+from repro.baselines import FullDomEngine
+from repro.core.engine import GCXEngine
+from repro.xmark.generator import (
+    XMARK_DTD,
+    XMarkGenerator,
+    generate_document,
+    scale_for_bytes,
+)
+from repro.xmark.queries import ADAPTED_QUERIES, EXTRA_QUERIES
+from repro.xmlio.dom import parse_dom
+from repro.xmlio.dtd import parse_dtd
+from repro.xmlio.lexer import tokenize
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_document(0.5, seed=3) == generate_document(0.5, seed=3)
+
+    def test_seed_changes_content(self):
+        assert generate_document(0.5, seed=1) != generate_document(0.5, seed=2)
+
+    def test_well_formed(self):
+        tokens = list(tokenize(generate_document(0.5)))
+        assert tokens  # lexer raises on malformed input
+
+    def test_six_sections_in_order(self):
+        doc = parse_dom(generate_document(0.3))
+        site = doc.children[0]
+        sections = [c.tag for c in site.children if c.is_element]
+        assert sections == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_scale_grows_size(self):
+        small = len(generate_document(0.5))
+        large = len(generate_document(2.0))
+        assert large > 2 * small
+
+    def test_scale_for_bytes_close(self):
+        scale = scale_for_bytes(120_000)
+        size = len(generate_document(scale))
+        assert 0.6 * 120_000 < size < 1.6 * 120_000
+
+    def test_buyer_references_valid_person(self):
+        doc = parse_dom(generate_document(0.5, seed=11))
+        site = doc.children[0]
+        people = [c for c in site.children if c.tag == "people"][0]
+        ids = {p.attributes["id"] for p in people.children if p.is_element}
+        closed = [c for c in site.children if c.tag == "closed_auctions"][0]
+        for auction in closed.children:
+            buyer = [c for c in auction.children if c.tag == "buyer"][0]
+            assert buyer.attributes["person"] in ids
+
+    def test_regions_have_items(self):
+        generator = XMarkGenerator(scale=0.5)
+        doc = parse_dom(generator.generate())
+        regions = doc.children[0].children[0]
+        for region in regions.children:
+            items = [c for c in region.children if c.tag == "item"]
+            assert len(items) == generator.n_items_per_region
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            XMarkGenerator(scale=0)
+
+    def test_dtd_parses(self):
+        dtd = parse_dtd(XMARK_DTD)
+        assert dtd.declaration("site").sequence
+
+
+class TestAdaptedQueries:
+    @pytest.fixture(scope="class")
+    def xml(self):
+        return generate_document(scale=0.6, seed=5)
+
+    @pytest.mark.parametrize("key", sorted(ADAPTED_QUERIES))
+    def test_matches_oracle(self, key, xml):
+        query = ADAPTED_QUERIES[key]
+        gcx = GCXEngine().query(query.text, xml)
+        dom = FullDomEngine().query(query.text, xml)
+        assert gcx.output == dom.output
+
+    @pytest.mark.parametrize("key", sorted(ADAPTED_QUERIES))
+    def test_nonempty_results(self, key, xml):
+        # every adapted query must actually exercise its operators
+        output = GCXEngine().query(ADAPTED_QUERIES[key].text, xml).output
+        assert len(output) > len("<result></result>")
+
+    def test_q1_finds_person0(self, xml):
+        output = GCXEngine().query(ADAPTED_QUERIES["q1"].text, xml).output
+        assert output.count("<name>") == 1
+
+    def test_q6_counts_all_items(self, xml):
+        doc = parse_dom(xml)
+        items = sum(
+            1 for n in doc.iter_descendants() if n.is_element and n.tag == "item"
+        )
+        output = GCXEngine().query(ADAPTED_QUERIES["q6"].text, xml).output
+        assert output.count("<item>") == items
+
+    def test_q8_join_is_blocking(self, xml):
+        from repro.baselines import ProjectionOnlyEngine
+
+        q8 = ADAPTED_QUERIES["q8"]
+        gcx = GCXEngine().query(q8.text, xml)
+        proj = ProjectionOnlyEngine().query(q8.text, xml)
+        # a join cannot do much better than its projection
+        assert gcx.stats.watermark >= 0.5 * proj.stats.watermark
+
+    def test_streaming_queries_have_small_buffers(self, xml):
+        for key in ("q1", "q6", "q13", "q20"):
+            result = GCXEngine().query(ADAPTED_QUERIES[key].text, xml)
+            assert result.stats.watermark < 60, key
+
+    def test_q20_grouped_buffers_people_section(self, xml):
+        grouped = GCXEngine().query(EXTRA_QUERIES["q20-grouped"].text, xml)
+        single = GCXEngine().query(ADAPTED_QUERIES["q20"].text, xml)
+        assert grouped.stats.watermark > 3 * single.stats.watermark
+
+    def test_q20_variants_consistent(self, xml):
+        dom = FullDomEngine()
+        grouped = dom.query(EXTRA_QUERIES["q20-grouped"].text, xml).output
+        gcx_grouped = GCXEngine().query(EXTRA_QUERIES["q20-grouped"].text, xml).output
+        assert grouped == gcx_grouped

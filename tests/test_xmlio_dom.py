@@ -1,0 +1,94 @@
+"""Unit tests for the DOM substrate."""
+
+import pytest
+
+from repro.xmlio.dom import parse_dom
+from repro.xmlio.writer import serialize_dom
+
+
+class TestParseDom:
+    def test_document_wraps_root(self):
+        doc = parse_dom("<a></a>")
+        assert doc.is_document
+        assert len(doc.children) == 1
+        assert doc.children[0].tag == "a"
+
+    def test_parent_links(self):
+        doc = parse_dom("<a><b><c></c></b></a>")
+        c = doc.children[0].children[0].children[0]
+        assert c.tag == "c"
+        assert c.parent.tag == "b"
+        assert list(c.ancestors())[-1] is doc
+
+    def test_attributes(self):
+        doc = parse_dom('<a x="1" y="2"></a>')
+        assert doc.children[0].attributes == {"x": "1", "y": "2"}
+
+    def test_text_nodes(self):
+        doc = parse_dom("<a>one<b>two</b>three</a>")
+        a = doc.children[0]
+        assert [child.is_text for child in a.children] == [True, False, True]
+
+    def test_document_order_is_preorder(self):
+        doc = parse_dom("<a><b><c></c></b><d></d></a>")
+        orders = [n.order for n in doc.iter_descendants()]
+        assert orders == sorted(orders)
+
+    def test_whitespace_dropped_by_default(self):
+        doc = parse_dom("<a>\n  <b></b>\n</a>")
+        assert all(not c.is_text for c in doc.children[0].children)
+
+    def test_whitespace_kept_on_request(self):
+        doc = parse_dom("<a> <b></b></a>", keep_whitespace=True)
+        assert doc.children[0].children[0].is_text
+
+
+class TestNodeQueries:
+    def test_string_value_concatenates_subtree(self):
+        doc = parse_dom("<a>one<b>two</b>three</a>")
+        assert doc.children[0].string_value() == "onetwothree"
+
+    def test_string_value_of_text_node(self):
+        doc = parse_dom("<a>x</a>")
+        assert doc.children[0].children[0].string_value() == "x"
+
+    def test_string_value_empty_element(self):
+        doc = parse_dom("<a></a>")
+        assert doc.children[0].string_value() == ""
+
+    def test_count_nodes(self):
+        doc = parse_dom("<a><b>t</b><c></c></a>")
+        # a, b, text, c
+        assert doc.children[0].count_nodes() == 4
+
+    def test_iter_descendants_include_self(self):
+        doc = parse_dom("<a><b></b></a>")
+        a = doc.children[0]
+        assert [n.tag for n in a.iter_descendants(include_self=True)] == ["a", "b"]
+
+    def test_classification_properties(self):
+        doc = parse_dom("<a>t</a>")
+        a = doc.children[0]
+        text = a.children[0]
+        assert doc.is_document and not doc.is_element and not doc.is_text
+        assert a.is_element and not a.is_document
+        assert text.is_text and not text.is_element
+
+
+class TestSerializeDom:
+    def test_roundtrip_simple(self):
+        xml = "<a><b>text</b><c></c></a>"
+        assert serialize_dom(parse_dom(xml)) == xml
+
+    def test_attributes_sorted_and_escaped(self):
+        doc = parse_dom('<a b="x&amp;y"></a>')
+        assert serialize_dom(doc) == '<a b="x&amp;y"></a>'
+
+    def test_text_escaped(self):
+        doc = parse_dom("<a>&lt;tag&gt;</a>")
+        assert serialize_dom(doc) == "<a>&lt;tag&gt;</a>"
+
+    def test_serialize_subtree_only(self):
+        doc = parse_dom("<a><b>inner</b></a>")
+        b = doc.children[0].children[0]
+        assert serialize_dom(b) == "<b>inner</b>"

@@ -1,0 +1,68 @@
+"""Unit tests for the minimal DTD parser."""
+
+from repro.xmark.generator import XMARK_DTD
+from repro.xmlio.dtd import parse_dtd
+
+
+class TestParseDtd:
+    def test_sequence_model(self):
+        dtd = parse_dtd("<!ELEMENT site (regions, people, auctions)>")
+        decl = dtd.declaration("site")
+        assert decl.children == ("regions", "people", "auctions")
+        assert decl.sequence is True
+        assert not decl.mixed
+
+    def test_choice_model_is_not_sequence(self):
+        dtd = parse_dtd("<!ELEMENT bib (book|article)*>")
+        decl = dtd.declaration("bib")
+        assert decl.sequence is False
+        assert set(decl.children) == {"book", "article"}
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA|em)*>")
+        decl = dtd.declaration("p")
+        assert decl.mixed is True
+        assert "em" in decl.children
+
+    def test_empty_content(self):
+        dtd = parse_dtd("<!ELEMENT br EMPTY>")
+        assert dtd.declaration("br").empty is True
+
+    def test_occurrence_markers_ignored(self):
+        dtd = parse_dtd("<!ELEMENT a (b?, c*, d+)>")
+        assert dtd.declaration("a").children == ("b", "c", "d")
+        assert dtd.declaration("a").sequence is True
+
+    def test_unknown_element_is_none(self):
+        dtd = parse_dtd("<!ELEMENT a (b)>")
+        assert dtd.declaration("zzz") is None
+
+    def test_multiline_declarations(self):
+        dtd = parse_dtd("<!ELEMENT a\n  (b,\n   c)>")
+        assert dtd.declaration("a").children == ("b", "c")
+
+
+class TestSchemaInference:
+    def test_no_more_children_in_sequence(self):
+        dtd = parse_dtd("<!ELEMENT site (regions, people, auctions)>")
+        # once 'people' is seen, no further 'regions' child can occur
+        assert dtd.no_more_children_of("site", seen="people", wanted="regions")
+        assert not dtd.no_more_children_of("site", seen="people", wanted="auctions")
+
+    def test_choice_model_gives_no_inference(self):
+        dtd = parse_dtd("<!ELEMENT bib (book|article)*>")
+        assert not dtd.no_more_children_of("bib", seen="article", wanted="book")
+
+    def test_unknown_parent_gives_no_inference(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c)>")
+        assert not dtd.no_more_children_of("zzz", seen="c", wanted="b")
+
+    def test_xmark_dtd_sections_ordered(self):
+        dtd = parse_dtd(XMARK_DTD)
+        assert dtd.no_more_children_of("site", seen="people", wanted="regions")
+        assert dtd.no_more_children_of(
+            "site", seen="closed_auctions", wanted="open_auctions"
+        )
+        assert not dtd.no_more_children_of(
+            "site", seen="regions", wanted="closed_auctions"
+        )

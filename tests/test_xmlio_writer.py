@@ -1,0 +1,51 @@
+"""Unit tests for XML serialization."""
+
+from repro.xmlio.lexer import tokenize
+from repro.xmlio.writer import XmlWriter, escape_attribute, escape_text
+
+
+class TestEscaping:
+    def test_text_escapes_angle_brackets_and_amp(self):
+        assert escape_text("<a> & </a>") == "&lt;a&gt; &amp; &lt;/a&gt;"
+
+    def test_text_leaves_quotes(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+    def test_attribute_escapes_quote(self):
+        assert escape_attribute('a"b') == "a&quot;b"
+
+    def test_attribute_escapes_amp_and_lt(self):
+        assert escape_attribute("a<&b") == "a&lt;&amp;b"
+
+
+class TestXmlWriter:
+    def test_element_with_attributes(self):
+        writer = XmlWriter()
+        writer.start_element("a", [("x", "1")])
+        writer.text("body")
+        writer.end_element("a")
+        assert writer.getvalue() == '<a x="1">body</a>'
+
+    def test_empty_attribute_list(self):
+        writer = XmlWriter()
+        writer.start_element("a", [])
+        writer.end_element("a")
+        assert writer.getvalue() == "<a></a>"
+
+    def test_raw_passthrough(self):
+        writer = XmlWriter()
+        writer.raw("<pre&served/>")
+        assert writer.getvalue() == "<pre&served/>"
+
+    def test_token_roundtrip(self):
+        xml = '<a x="1">t<b></b></a>'
+        writer = XmlWriter()
+        for token in tokenize(xml):
+            writer.token(token)
+        assert writer.getvalue() == xml
+
+    def test_len_counts_characters(self):
+        writer = XmlWriter()
+        writer.text("abc")
+        writer.text("de")
+        assert len(writer) == 5

@@ -1,0 +1,120 @@
+"""Unit tests for the reference XPath evaluator (the oracle)."""
+
+from repro.xmlio.dom import parse_dom
+from repro.xpath.evaluator import AttributeRef, evaluate_path, item_string_value
+from repro.xpath.parser import parse_path
+
+
+def tags(items):
+    return [item.tag for item in items]
+
+
+DOC = parse_dom(
+    '<bib><book id="b1"><title>T1</title><price>10</price></book>'
+    '<article id="a1"><title>T2</title></article>'
+    "<book id='b2'><title>T3</title><price>20</price></book></bib>"
+)
+
+
+class TestChildSteps:
+    def test_absolute_child(self):
+        assert tags(evaluate_path(parse_path("/bib/book"), DOC)) == ["book", "book"]
+
+    def test_wildcard(self):
+        assert tags(evaluate_path(parse_path("/bib/*"), DOC)) == [
+            "book",
+            "article",
+            "book",
+        ]
+
+    def test_relative_from_context(self):
+        book = evaluate_path(parse_path("/bib/book"), DOC)[0]
+        assert tags(evaluate_path(parse_path("title"), book)) == ["title"]
+
+    def test_absolute_from_inner_context_rebases_to_root(self):
+        book = evaluate_path(parse_path("/bib/book"), DOC)[0]
+        assert len(evaluate_path(parse_path("/bib/book"), book)) == 2
+
+    def test_no_match_empty(self):
+        assert evaluate_path(parse_path("/bib/zzz"), DOC) == []
+
+
+class TestDescendantSteps:
+    def test_descendant(self):
+        titles = evaluate_path(parse_path("/bib/descendant::title"), DOC)
+        assert len(titles) == 3
+
+    def test_descendant_or_self(self):
+        doc2 = parse_dom("<a><a><a></a></a></a>")
+        result = evaluate_path(parse_path("/a/descendant-or-self::a"), doc2)
+        assert len(result) == 3
+
+    def test_double_slash(self):
+        assert len(evaluate_path(parse_path("//title"), DOC)) == 3
+
+    def test_descendant_text(self):
+        texts = evaluate_path(parse_path("/bib/book/descendant::text()"), DOC)
+        assert [t.text for t in texts] == ["T1", "10", "T3", "20"]
+
+    def test_nodeset_is_document_order_and_deduplicated(self):
+        doc2 = parse_dom("<a><b><c></c></b></a>")
+        # //descendant-or-self reaches c through several derivations
+        path = parse_path("/a/descendant-or-self::node()/descendant::c")
+        result = evaluate_path(path, doc2)
+        assert tags(result) == ["c"]
+
+    def test_derivation_mode_counts_multiplicity(self):
+        doc2 = parse_dom("<a><b><c></c></b></a>")
+        path = parse_path("/a/descendant-or-self::node()/descendant::c")
+        result = evaluate_path(path, doc2, count_derivations=True)
+        # c is reached from a (descendant) and from b (descendant)
+        assert tags(result) == ["c", "c"]
+
+
+class TestPredicates:
+    def test_first_only_per_context(self):
+        prices = evaluate_path(parse_path("/bib/*/price[1]"), DOC)
+        assert [p.string_value() for p in prices] == ["10", "20"]
+
+    def test_first_only_single_context(self):
+        first = evaluate_path(parse_path("/bib/*[1]"), DOC)
+        assert [f.attributes["id"] for f in first] == ["b1"]
+
+    def test_general_position(self):
+        second = evaluate_path(parse_path("/bib/*[2]"), DOC)
+        assert [s.attributes["id"] for s in second] == ["a1"]
+
+    def test_position_beyond_matches_is_empty(self):
+        assert evaluate_path(parse_path("/bib/*[9]"), DOC) == []
+
+
+class TestAttributes:
+    def test_attribute_axis(self):
+        ids = evaluate_path(parse_path("/bib/book/@id"), DOC)
+        assert all(isinstance(item, AttributeRef) for item in ids)
+        assert [item.value for item in ids] == ["b1", "b2"]
+
+    def test_attribute_wildcard(self):
+        attrs = evaluate_path(parse_path("/bib/*/@*"), DOC)
+        assert sorted(a.value for a in attrs) == ["a1", "b1", "b2"]
+
+    def test_missing_attribute(self):
+        assert evaluate_path(parse_path("/bib/book/@nope"), DOC) == []
+
+    def test_item_string_value_of_attribute(self):
+        ref = evaluate_path(parse_path("/bib/book/@id"), DOC)[0]
+        assert item_string_value(ref) == "b1"
+
+    def test_item_string_value_of_element(self):
+        book = evaluate_path(parse_path("/bib/book"), DOC)[0]
+        assert item_string_value(book) == "T110"
+
+
+class TestTextTest:
+    def test_text_children(self):
+        texts = evaluate_path(parse_path("/bib/book/title/text()"), DOC)
+        assert [t.text for t in texts] == ["T1", "T3"]
+
+    def test_node_test_matches_everything(self):
+        nodes = evaluate_path(parse_path("/bib/book/node()"), DOC)
+        assert tags(nodes) == ["title", "price", "title", "price"]

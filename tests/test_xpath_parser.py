@@ -1,0 +1,176 @@
+"""Unit tests for the XPath parser."""
+
+import pytest
+
+from repro.xpath.ast import Axis, Path
+from repro.xpath.parser import XPathParseError, parse_path
+
+
+class TestBasicPaths:
+    def test_absolute_single_step(self):
+        path = parse_path("/bib")
+        assert path.absolute
+        assert len(path.steps) == 1
+        assert path.steps[0].axis is Axis.CHILD
+        assert path.steps[0].test.name == "bib"
+
+    def test_root_path(self):
+        path = parse_path("/")
+        assert path.absolute and not path.steps
+        assert path.is_root
+
+    def test_relative_path(self):
+        path = parse_path("title")
+        assert not path.absolute
+        assert path.steps[0].test.name == "title"
+
+    def test_multi_step(self):
+        path = parse_path("/bib/book/title")
+        assert [s.test.name for s in path.steps] == ["bib", "book", "title"]
+
+    def test_dot_is_empty_relative_path(self):
+        path = parse_path(".")
+        assert not path.absolute and not path.steps
+
+
+class TestNodeTests:
+    def test_wildcard(self):
+        path = parse_path("/bib/*")
+        assert path.steps[1].test.kind == "wildcard"
+
+    def test_text_test(self):
+        path = parse_path("name/text()")
+        assert path.steps[1].test.kind == "text"
+
+    def test_node_test(self):
+        path = parse_path("self::node()")
+        assert path.steps[0].test.kind == "node"
+
+    def test_name_with_underscore_and_digits(self):
+        path = parse_path("/open_auctions/open_auction2")
+        assert path.steps[1].test.name == "open_auction2"
+
+
+class TestAxes:
+    def test_explicit_child_axis(self):
+        path = parse_path("child::book")
+        assert path.steps[0].axis is Axis.CHILD
+
+    def test_descendant_axis(self):
+        path = parse_path("descendant::item")
+        assert path.steps[0].axis is Axis.DESCENDANT
+
+    def test_descendant_or_self_axis(self):
+        path = parse_path("descendant-or-self::node()")
+        assert path.steps[0].axis is Axis.DESCENDANT_OR_SELF
+
+    def test_attribute_axis_at_shorthand(self):
+        path = parse_path("@id")
+        assert path.steps[0].axis is Axis.ATTRIBUTE
+        assert path.steps[0].test.name == "id"
+
+    def test_attribute_axis_explicit(self):
+        path = parse_path("attribute::id")
+        assert path.steps[0].axis is Axis.ATTRIBUTE
+
+    def test_double_slash_collapses_to_descendant(self):
+        # //item desugars to descendant-or-self::node()/child::item and
+        # is then collapsed to the equivalent single descendant step so
+        # streaming iteration stays in document order
+        path = parse_path("//item")
+        assert path.absolute
+        assert len(path.steps) == 1
+        assert path.steps[0].axis is Axis.DESCENDANT
+        assert path.steps[0].test.name == "item"
+
+    def test_inner_double_slash(self):
+        path = parse_path("/site//item")
+        assert len(path.steps) == 2
+        assert path.steps[1].axis is Axis.DESCENDANT
+
+    def test_double_slash_with_first_witness_not_collapsed(self):
+        # //t[1] means "first t-child per ancestor-or-self node" and
+        # must keep the two-step form
+        path = parse_path("/a//t[1]")
+        assert len(path.steps) == 3
+        assert path.steps[1].axis is Axis.DESCENDANT_OR_SELF
+        assert path.steps[2].first_only
+
+    def test_trailing_double_slash_node_not_collapsed(self):
+        path = parse_path("/a/descendant-or-self::node()")
+        assert len(path.steps) == 2
+        assert path.steps[1].axis is Axis.DESCENDANT_OR_SELF
+
+
+class TestPredicates:
+    def test_first_witness(self):
+        path = parse_path("/bib/*/price[1]")
+        assert path.steps[-1].first_only is True
+
+    def test_predicate_with_spaces(self):
+        path = parse_path("price[ 1 ]")
+        assert path.steps[0].first_only
+
+    def test_general_positional_predicate(self):
+        path = parse_path("price[3]")
+        assert path.steps[0].position == 3
+        assert not path.steps[0].first_only
+        assert str(path) == "price[3]"
+
+    def test_zero_position_rejected(self):
+        with pytest.raises(XPathParseError, match="1-based"):
+            parse_path("price[0]")
+
+
+class TestErrors:
+    def test_empty_path(self):
+        with pytest.raises(XPathParseError, match="empty"):
+            parse_path("   ")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XPathParseError):
+            parse_path("/a$")
+
+    def test_missing_node_test(self):
+        with pytest.raises(XPathParseError):
+            parse_path("/a/")
+
+    def test_attribute_with_function_test_rejected(self):
+        with pytest.raises(XPathParseError, match="attribute axis"):
+            parse_path("@text()")
+
+
+class TestPathAlgebra:
+    def test_str_roundtrip(self):
+        for text in (
+            "/bib/*/price[1]",
+            "/bib/book/title/descendant-or-self::node()",
+            "descendant::item",
+            "@id",
+        ):
+            assert str(parse_path(text)) == text
+
+    def test_concat(self):
+        combined = parse_path("/bib").concat(parse_path("book/title"))
+        assert str(combined) == "/bib/book/title"
+
+    def test_concat_absolute_rejected(self):
+        with pytest.raises(ValueError):
+            parse_path("/a").concat(parse_path("/b"))
+
+    def test_with_descendant_or_self_idempotent(self):
+        once = parse_path("/a").with_descendant_or_self()
+        assert once.with_descendant_or_self() == once
+
+    def test_starts_with_and_suffix(self):
+        long = parse_path("/site/people/person")
+        short = parse_path("/site/people")
+        assert long.starts_with(short)
+        assert str(long.suffix_after(short)) == "person"
+
+    def test_suffix_after_non_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            parse_path("/a/b").suffix_after(parse_path("/x"))
+
+    def test_paths_hashable(self):
+        assert len({parse_path("/a"), parse_path("/a"), parse_path("/b")}) == 2
