@@ -1,15 +1,28 @@
 """Microbenchmarks: throughput of the pipeline stages.
 
 Not a paper table, but the numbers the paper's timing column depends
-on: raw lexer speed, projector speed with a selective vs subtree-heavy
-path set, and full engine throughput.  Useful for tracking performance
-regressions of the reproduction itself.
+on: raw lexer speed (whole-string and chunked), projector speed with a
+selective vs subtree-heavy path set, full engine throughput in pull
+mode and through a push-based :class:`StreamSession`, and the cost of
+compilation with and without the plan cache.  Useful for tracking
+performance regressions of the reproduction itself.
+
+Besides the pytest-benchmark timings, every test records one plain
+measurement into ``BENCH_throughput.json`` at the repository root
+(MB/s and peak buffered nodes), so the perf trajectory stays diffable
+across pull requests.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
+from repro.bench.harness import run_chunked
+from repro.bench.reporting import write_bench_json
 from repro.core.buffer import Buffer
 from repro.core.engine import GCXEngine
 from repro.core.matcher import PathMatcher
@@ -17,6 +30,60 @@ from repro.core.projector import StreamProjector
 from repro.xmark.queries import ADAPTED_QUERIES
 from repro.xmlio.lexer import make_lexer, tokenize
 from repro.xpath.parser import parse_path
+
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_throughput.json",
+)
+_CHUNK = 64 * 1024
+
+_records: dict[str, dict] = {}
+
+
+def _record(name: str, seconds: float, input_bytes: int, peak_buffer: int) -> None:
+    """One measurement entry for the JSON file."""
+    _records[name] = {
+        "mb_per_s": round(input_bytes / 1e6 / seconds, 3) if seconds else 0.0,
+        "seconds": round(seconds, 5),
+        "input_bytes": input_bytes,
+        "peak_buffer_nodes": peak_buffer,
+    }
+
+
+def _record_benchmark(
+    benchmark, fallback, name: str, input_bytes: int, peak_buffer: int
+) -> None:
+    """Record the best time pytest-benchmark already measured.
+
+    Falls back to one plain timed run only when the benchmark stats
+    are unavailable (e.g. ``--benchmark-disable``).
+    """
+    try:
+        seconds = benchmark.stats.stats.min
+    except AttributeError:
+        started = time.perf_counter()
+        fallback()
+        seconds = time.perf_counter() - started
+    _record(name, seconds, input_bytes, peak_buffer)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    if not _records:
+        return
+    # Merge with existing entries so a filtered run ('-k lexer') does
+    # not silently drop the other tracked measurements.
+    merged = {}
+    try:
+        with open(_BENCH_JSON, encoding="utf-8") as handle:
+            existing = json.load(handle).get("entries")
+            if isinstance(existing, dict):
+                merged.update(existing)
+    except (OSError, ValueError):
+        pass
+    merged.update(_records)
+    write_bench_json(_BENCH_JSON, merged)
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +100,25 @@ def test_lexer_throughput(benchmark, document):
 
     tokens = benchmark(run)
     assert tokens > 10_000
+    _record_benchmark(benchmark, run, "lexer", len(document), 0)
+
+
+def test_lexer_chunked_throughput(benchmark, document):
+    """The incremental path: the same stream cut into 64 KiB chunks."""
+    chunks = [
+        document[start : start + _CHUNK]
+        for start in range(0, len(document), _CHUNK)
+    ]
+
+    def run():
+        count = 0
+        for _token in tokenize(iter(chunks)):
+            count += 1
+        return count
+
+    tokens = benchmark(run)
+    assert tokens > 10_000
+    _record_benchmark(benchmark, run, "lexer_chunked", len(document), 0)
 
 
 def test_projector_selective_path(benchmark, document):
@@ -48,6 +134,7 @@ def test_projector_selective_path(benchmark, document):
 
     tokens = benchmark(run)
     assert tokens > 10_000
+    _record_benchmark(benchmark, run, "projector_selective", len(document), 0)
 
 
 def test_projector_subtree_heavy_path(benchmark, document):
@@ -76,9 +163,45 @@ def test_engine_q1_throughput(benchmark, document):
         lambda: engine.run(compiled, document), rounds=3, iterations=1
     )
     assert result.stats.final_buffered == 0
+    _record_benchmark(
+        benchmark,
+        lambda: engine.run(compiled, document),
+        "engine_q1_pull",
+        len(document),
+        result.stats.watermark,
+    )
+
+
+def test_session_q1_throughput(benchmark, document):
+    """Push mode: the same workload fed chunk-wise through a session."""
+    engine = GCXEngine(record_series=False)
+    plan = engine.compile(ADAPTED_QUERIES["q1"].text)
+
+    def run():
+        return run_chunked(engine, plan, document, _CHUNK)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.final_buffered == 0
+    _record_benchmark(
+        benchmark, run, "engine_q1_session", len(document), result.stats.watermark
+    )
 
 
 def test_compile_throughput(benchmark):
     engine = GCXEngine()
-    compiled = benchmark(lambda: engine.compile(ADAPTED_QUERIES["q8"].text))
+    compile_uncached = lambda: engine._compile(ADAPTED_QUERIES["q8"].text)  # noqa: E731
+    compiled = benchmark(compile_uncached)
     assert len(compiled.analysis.roles) > 5
+    _record_benchmark(benchmark, compile_uncached, "compile_uncached", 0, 0)
+
+
+def test_plan_cache_hit_throughput(benchmark):
+    """A cache hit must be orders of magnitude cheaper than a compile."""
+    engine = GCXEngine()
+    engine.compile(ADAPTED_QUERIES["q8"].text)  # warm the cache
+
+    compile_cached = lambda: engine.compile(ADAPTED_QUERIES["q8"].text)  # noqa: E731
+    compiled = benchmark(compile_cached)
+    assert len(compiled.analysis.roles) > 5
+    assert engine.plan_cache.stats.misses == 1
+    _record_benchmark(benchmark, compile_cached, "compile_cached", 0, 0)

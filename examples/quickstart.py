@@ -1,4 +1,9 @@
-"""Quickstart: compile and run a streaming XQuery with GCX.
+"""Quickstart: compile once, stream many with GCX.
+
+Shows the three ways to drive the engine — one-shot evaluation, the
+compile-once plan reused across documents (with the plan cache doing
+the bookkeeping), and a push-based :class:`StreamSession` fed the
+document in arbitrary chunks, the way a server would.
 
 Run with::
 
@@ -13,6 +18,12 @@ XML = """
   <book year="1999"><title>Old Classics</title><pages>400</pages></book>
   <journal><title>VLDB Proceedings</title></journal>
   <book year="2006"><title>Buffer Management</title><pages>8</pages></book>
+</library>
+"""
+
+MORE_XML = """
+<library>
+  <book year="2024"><title>Chunked Parsing</title><pages>7</pages></book>
 </library>
 """
 
@@ -43,11 +54,29 @@ def main() -> None:
     print(f"  buffered at the end .... {stats.final_buffered}")
     print()
 
+    # Compile once, stream many: static analysis runs a single time,
+    # then the immutable plan serves any number of documents.
+    plan = engine.compile(QUERY)
+    for label, doc in (("XML", XML), ("MORE_XML", MORE_XML)):
+        print(f"plan over {label}: {engine.run(plan, doc).output}")
+    print(f"plan cache: {engine.plan_cache.stats}")
+    print()
+
+    # Push mode: feed the document in arbitrary chunks (here: tiny
+    # 16-character pieces) through a StreamSession.  Output, watermark
+    # and series are identical to the one-shot run above.
+    session = engine.session(plan)
+    for start in range(0, len(XML), 16):
+        session.feed(XML[start : start + 16])
+    streamed = session.finish()
+    print("session result:", streamed.output)
+    print("identical to one-shot:", streamed.output == result.output)
+    print()
+
     # The static analysis behind it: projection paths become roles and
     # signOff statements (the paper's Figure 3(a) visualisation).
-    compiled = engine.compile(QUERY)
     print("static analysis:")
-    print(compiled.describe())
+    print(plan.describe())
 
 
 if __name__ == "__main__":

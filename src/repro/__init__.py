@@ -16,26 +16,42 @@ Public API::
     result.stats.watermark  # peak number of buffered nodes
     result.stats.series     # buffered nodes after every input token
 
+Compile once, stream many (the session architecture, DESIGN.md §1)::
+
+    plan = engine.compile(query_text)      # cached; analysis runs once
+    session = engine.session(plan)         # one per concurrent stream
+    for chunk in chunks:
+        session.feed(chunk)                # arbitrary chunk boundaries
+    result = session.finish()
+
 Baselines for the paper's comparative experiments live in
 :mod:`repro.baselines`, the XMark-style workload generator in
 :mod:`repro.xmark`, and the benchmark harness in :mod:`repro.bench`.
 """
 
-from repro.core.engine import CompiledQuery, GCXEngine, RunResult
+from repro.core.engine import CompiledQuery, GCXEngine, QueryPlan, RunResult
+from repro.core.plan import PlanCache, PlanCacheStats
+from repro.core.session import SessionStateError, StreamSession
 from repro.core.stats import BufferStats
 from repro.xquery.parser import XQueryParseError, parse_query
 from repro.xquery.normalize import NormalizationError, normalize_query
-from repro.xmlio.errors import XmlSyntaxError
+from repro.xmlio.errors import XmlStarvedError, XmlSyntaxError
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "BufferStats",
     "CompiledQuery",
     "GCXEngine",
     "NormalizationError",
+    "PlanCache",
+    "PlanCacheStats",
+    "QueryPlan",
     "RunResult",
+    "SessionStateError",
+    "StreamSession",
     "XQueryParseError",
+    "XmlStarvedError",
     "XmlSyntaxError",
     "__version__",
     "normalize_query",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 
-from repro.core.engine import RunResult
+from repro.core.engine import DEFAULT_CHUNK_SIZE, RunResult, _file_chunks
 from repro.core.stats import BufferStats
 from repro.xmlio.dom import DomNode, build_dom
 from repro.xmlio.lexer import tokenize
@@ -178,12 +178,19 @@ class FullDomEngine:
         """Parse and normalize; no static buffer analysis exists here."""
         return normalize_query(parse_query(query_text))
 
-    def run(self, compiled: q.Query, xml_text: str) -> RunResult:
+    def run(
+        self, compiled: q.Query, xml_source, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> RunResult:
+        """Evaluate over *xml_source* — a string, a file-like object,
+        or an iterable of chunks (all tokens are retained regardless:
+        this baseline is deliberately non-streaming)."""
+        if hasattr(xml_source, "read"):
+            xml_source = _file_chunks(xml_source, chunk_size)
         stats = BufferStats(record_series=self.record_series)
         started = time.perf_counter()
         live = 0
         tokens = []
-        for token in tokenize(xml_text):
+        for token in tokenize(xml_source):
             tokens.append(token)
             if token.kind in (TokenKind.START, TokenKind.TEXT):
                 live += 1

@@ -88,6 +88,10 @@ class FluxLikeEngine(GCXEngine):
 
     name = "flux-like"
 
+    # Flux plans have coarsened signOff placements; they must never be
+    # shared with plain GCX plans in a common cache.
+    plan_namespace = "flux"
+
     def __init__(
         self,
         dtd: Dtd | None = None,
@@ -105,9 +109,21 @@ class FluxLikeEngine(GCXEngine):
         )
         self.dtd = dtd
 
-    def compile(self, query_text: str) -> CompiledQuery:
-        parsed = parse_query(query_text)
-        normalized = normalize_query(parsed)
+    def _cache_namespace(self) -> str:
+        # Scope coarsening only happens with schema knowledge, so a
+        # DTD-less engine compiles different plans than a schema-aware
+        # one and the two must not share cache entries.
+        return (
+            f"{self.plan_namespace}:fw={int(self.first_witness)}"
+            f":dtd={int(self.dtd is not None)}"
+        )
+
+    def _compile(self, query_text: str, context=None) -> CompiledQuery:
+        if context is None:
+            parsed = parse_query(query_text)
+            normalized = normalize_query(parsed)
+        else:
+            parsed, normalized = context
         _check_no_descendant_axes(normalized)
         analysis = analyze_query(normalized, first_witness=self.first_witness)
         if self.dtd is not None:

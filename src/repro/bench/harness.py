@@ -1,4 +1,12 @@
-"""Engine runners and measurement collection for the benchmarks."""
+"""Engine runners and measurement collection for the benchmarks.
+
+All runners follow the compile-once / stream-many discipline: the
+query is compiled to a plan a single time, then timed runs stream the
+document through that shared plan — either in one piece (pull mode) or
+in fixed-size chunks through a :class:`~repro.core.session.StreamSession`
+(push mode, ``chunk_size=``), which is how a server would drive the
+engine.
+"""
 
 from __future__ import annotations
 
@@ -20,11 +28,22 @@ class BenchResult:
     tokens: int
     output_chars: int
     supported: bool = True
+    #: characters of XML input (0 when unknown)
+    input_bytes: int = 0
+    #: chunk size of the push-mode run (0 = one-piece pull mode)
+    chunk_size: int = 0
 
     @property
     def estimated_mb(self) -> float:
         """Watermark converted to MB (see stats.DEFAULT_NODE_BYTES)."""
         return self.watermark * DEFAULT_NODE_BYTES / 1e6
+
+    @property
+    def mb_per_s(self) -> float:
+        """Input throughput of the best run, in MB/s."""
+        if not self.seconds or not self.input_bytes:
+            return 0.0
+        return self.input_bytes / 1e6 / self.seconds
 
     def cell(self) -> str:
         """Render like a Figure 5 cell: ``0.18s / 1.2MB``.
@@ -38,6 +57,31 @@ class BenchResult:
         memory = f"{mb:.2f}MB" if mb >= 1.0 else f"{mb * 1000:.1f}KB"
         return f"{self.seconds:.2f}s / {memory}"
 
+    def as_record(self) -> dict:
+        """JSON-ready dict (the BENCH_*.json schema)."""
+        return {
+            "engine": self.engine,
+            "query": self.query,
+            "document": self.document,
+            "seconds": round(self.seconds, 6),
+            "mb_per_s": round(self.mb_per_s, 3),
+            "watermark": self.watermark,
+            "estimated_mb": round(self.estimated_mb, 4),
+            "tokens": self.tokens,
+            "input_bytes": self.input_bytes,
+            "output_chars": self.output_chars,
+            "chunk_size": self.chunk_size,
+            "supported": self.supported,
+        }
+
+
+def run_chunked(engine, plan, xml_text: str, chunk_size: int):
+    """One push-mode run: feed *xml_text* in *chunk_size* pieces."""
+    session = engine.session(plan)
+    for start in range(0, len(xml_text), chunk_size):
+        session.feed(xml_text[start : start + chunk_size])
+    return session.finish()
+
 
 def run_engine(
     engine,
@@ -46,18 +90,38 @@ def run_engine(
     query_label: str = "",
     doc_label: str = "",
     repeat: int = 1,
+    chunk_size: int = 0,
 ) -> BenchResult:
     """Run *engine* over the workload; keep the best of *repeat* runs.
+
+    The query is compiled exactly once (outside the timed region — the
+    plan cache makes repeated compiles free anyway); each repeat
+    streams the document through the shared plan.  With *chunk_size*
+    the document is pushed through a session in that many-character
+    pieces (engines without sessions fall back to a chunk-iterable pull
+    run).
 
     The per-token series recording is left to the engine configuration;
     for timing-sensitive runs construct engines with
     ``record_series=False``.
     """
+    plan = engine.compile(query_text)
     best = None
     result = None
     for _ in range(max(1, repeat)):
         started = time.perf_counter()
-        result = engine.query(query_text, xml_text)
+        if chunk_size and hasattr(engine, "session"):
+            result = run_chunked(engine, plan, xml_text, chunk_size)
+        elif chunk_size:
+            result = engine.run(
+                plan,
+                (
+                    xml_text[start : start + chunk_size]
+                    for start in range(0, len(xml_text), chunk_size)
+                ),
+            )
+        else:
+            result = engine.run(plan, xml_text)
         elapsed = time.perf_counter() - started
         if best is None or elapsed < best:
             best = elapsed
@@ -69,6 +133,8 @@ def run_engine(
         watermark=result.stats.watermark,
         tokens=result.stats.tokens,
         output_chars=result.stats.output_chars,
+        input_bytes=len(xml_text),
+        chunk_size=chunk_size,
     )
 
 
@@ -79,7 +145,12 @@ def buffer_profile(engine, query_text: str, xml_text: str) -> list[int]:
 
 
 def compare_engines(
-    engines, query_text: str, xml_text: str, query_label: str = "", doc_label: str = ""
+    engines,
+    query_text: str,
+    xml_text: str,
+    query_label: str = "",
+    doc_label: str = "",
+    chunk_size: int = 0,
 ) -> list[BenchResult]:
     """Run every engine on the same workload (one Figure 5 row).
 
@@ -92,7 +163,14 @@ def compare_engines(
         name = getattr(engine, "name", type(engine).__name__)
         try:
             results.append(
-                run_engine(engine, query_text, xml_text, query_label, doc_label)
+                run_engine(
+                    engine,
+                    query_text,
+                    xml_text,
+                    query_label,
+                    doc_label,
+                    chunk_size=chunk_size,
+                )
             )
         except ValueError:
             results.append(
@@ -105,6 +183,8 @@ def compare_engines(
                     tokens=0,
                     output_chars=0,
                     supported=False,
+                    input_bytes=len(xml_text),
+                    chunk_size=chunk_size,
                 )
             )
     return results

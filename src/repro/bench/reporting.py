@@ -1,12 +1,43 @@
-"""Plain-text reporting: tables and ASCII buffer plots.
+"""Reporting: tables, ASCII buffer plots, and machine-readable JSON.
 
 The demo paper presents its results as buffer plots (node count over
 tokens processed) and a cell table; these helpers render both on a
 terminal so the benchmark scripts can print exactly the rows and series
-the paper reports.
+the paper reports.  :func:`write_bench_json` additionally persists
+measurements (``BENCH_*.json``) so the performance trajectory of the
+reproduction is diffable across pull requests.
 """
 
 from __future__ import annotations
+
+import json
+
+#: schema tag stamped into every BENCH_*.json payload
+BENCH_JSON_SCHEMA = "gcx-bench/v1"
+
+
+def write_bench_json(path: str, entries, meta: dict | None = None) -> str:
+    """Write benchmark *entries* to *path* as a stable JSON document.
+
+    Args:
+        path: output file; conventionally ``BENCH_<topic>.json`` at the
+            repository root so per-PR diffs show the perf trajectory.
+        entries: a list of JSON-ready dicts (e.g.
+            :meth:`repro.bench.harness.BenchResult.as_record`) or a
+            name → dict mapping.
+        meta: optional extra top-level fields (document sizes, config).
+
+    Returns:
+        *path*, for chaining into report summaries.
+    """
+    payload = {"schema": BENCH_JSON_SCHEMA}
+    if meta:
+        payload.update(meta)
+    payload["entries"] = entries
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def format_table(headers: list[str], rows: list[list[str]]) -> str:

@@ -2,16 +2,44 @@
 
 Ties the pipeline together exactly as the paper's Figure 2 sketches:
 query → static analysis (projection paths, roles, signOff insertion) →
-runtime (stream pre-projector → buffer manager → pull evaluator).
+runtime (stream pre-projector → buffer manager → pull evaluator) — but
+split into a **compile-once / stream-many** architecture (DESIGN.md §1):
+
+* :meth:`GCXEngine.compile` produces an immutable
+  :class:`~repro.core.plan.QueryPlan`, cached in a per-engine LRU
+  (:class:`~repro.core.plan.PlanCache`) keyed by the normalized query
+  text — static analysis runs once per distinct query, no matter how
+  many documents follow;
+* :meth:`GCXEngine.run` evaluates a plan over one document, accepting a
+  complete string, a file-like object (read in bounded chunks), or any
+  iterable of string chunks;
+* :meth:`GCXEngine.session` opens a push-based
+  :class:`~repro.core.session.StreamSession` that accepts XML in
+  arbitrary chunks via ``feed()`` / ``finish()`` while evaluation and
+  active garbage collection progress concurrently.
 
 Typical use::
 
     from repro import GCXEngine
 
     engine = GCXEngine()
+
+    # one-shot (compiles, cached for next time):
     result = engine.query(query_text, xml_text)
     print(result.output)
     print(result.stats.summary())
+
+    # compile once, stream many:
+    plan = engine.compile(query_text)
+    for path in documents:
+        with open(path, encoding="utf-8") as handle:
+            print(engine.run(plan, handle).stats.summary())
+
+    # push chunks as they arrive (e.g. from a socket):
+    session = engine.session(plan)
+    for chunk in chunks:
+        session.feed(chunk)
+    result = session.finish()
 
 Ablation switches:
 
@@ -27,41 +55,40 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.analysis import StaticAnalysis, analyze_query
+from repro.core.analysis import analyze_query
 from repro.core.buffer import Buffer
 from repro.core.matcher import PathMatcher
+from repro.core.plan import CompiledQuery, PlanCache, QueryPlan
 from repro.core.projector import StreamProjector
 from repro.core.evaluator import PullEvaluator
+from repro.core.session import StreamSession
 from repro.core.signoff import insert_signoffs
 from repro.core.stats import BufferStats
 from repro.xmlio.lexer import make_lexer
 from repro.xmlio.writer import XmlWriter
-from repro.xquery import ast as q
 from repro.xquery.normalize import normalize_query
 from repro.xquery.parser import parse_query
 from repro.xquery.pretty import pretty_print
 
+__all__ = [
+    "CompiledQuery",
+    "DEFAULT_CHUNK_SIZE",
+    "GCXEngine",
+    "QueryPlan",
+    "RunResult",
+]
 
-@dataclass
-class CompiledQuery:
-    """A query after static analysis, ready to run over any stream."""
+#: Default read size when streaming from a file-like object.
+DEFAULT_CHUNK_SIZE = 64 * 1024
 
-    source: str
-    parsed: q.Query
-    normalized: q.Query
-    analysis: StaticAnalysis
-    rewritten: q.Query
-    matcher: PathMatcher
 
-    def describe(self) -> str:
-        """Role table plus the rewritten query — the textual analogue
-        of the demo's static-analysis visualisation (Figure 3(a))."""
-        return (
-            "roles:\n"
-            + self.analysis.describe_roles()
-            + "\n\nrewritten query:\n"
-            + pretty_print(self.rewritten)
-        )
+def _file_chunks(handle, chunk_size: int):
+    """Yield *handle* in ``chunk_size`` reads until exhausted."""
+    while True:
+        chunk = handle.read(chunk_size)
+        if not chunk:
+            return
+        yield chunk
 
 
 @dataclass
@@ -70,7 +97,7 @@ class RunResult:
 
     output: str
     stats: BufferStats
-    compiled: CompiledQuery
+    compiled: QueryPlan
 
 
 class GCXEngine:
@@ -78,61 +105,108 @@ class GCXEngine:
 
     name = "gcx"
 
+    #: namespace under which this engine's plans are cached; subclasses
+    #: with a different compile pipeline must override it.
+    plan_namespace = "gcx"
+
     def __init__(
         self,
         gc_enabled: bool = True,
         first_witness: bool = True,
         record_series: bool = True,
         drain: bool = True,
+        plan_cache: PlanCache | None = None,
     ):
         self.gc_enabled = gc_enabled
         self.first_witness = first_witness
         self.record_series = record_series
         self.drain = drain
+        #: LRU of compiled plans; pass a shared :class:`PlanCache` to
+        #: let several engines reuse each other's compilations.
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
 
     # ------------------------------------------------------------------
+    # compilation (the plan layer)
+    # ------------------------------------------------------------------
 
-    def compile(self, query_text: str) -> CompiledQuery:
+    def compile(self, query_text: str) -> QueryPlan:
         """Parse, normalize and statically analyze *query_text*.
+
+        Cached: recompiling the same (or a whitespace-variant) query
+        returns the shared immutable plan without re-running analysis.
 
         Raises:
             XQueryParseError / NormalizationError / AnalysisError /
             MatcherError: when the query is outside the supported
             fragment.
         """
+        return self.plan_cache.get_or_compile(
+            query_text,
+            self._compile,
+            namespace=self._cache_namespace(),
+            canonicalize_fn=self._canonicalize,
+        )
+
+    def _cache_namespace(self) -> str:
+        # first_witness changes the derived roles, so plans must not
+        # leak between engines that disagree on it.
+        return f"{self.plan_namespace}:fw={int(self.first_witness)}"
+
+    def _canonicalize(self, query_text: str):
+        """Parse + normalize only — enough for the cache to decide
+        whether an equivalent plan already exists, without paying for
+        static analysis."""
         parsed = parse_query(query_text)
         normalized = normalize_query(parsed)
+        return pretty_print(normalized), (parsed, normalized)
+
+    def _compile(self, query_text: str, context=None) -> QueryPlan:
+        """The uncached compile pipeline (one full static analysis)."""
+        if context is None:
+            parsed = parse_query(query_text)
+            normalized = normalize_query(parsed)
+        else:
+            parsed, normalized = context
         analysis = analyze_query(normalized, first_witness=self.first_witness)
         rewritten = insert_signoffs(normalized, analysis)
         matcher_spec = [(role.name, role.path) for role in analysis.roles]
         matcher = PathMatcher(matcher_spec)
-        return CompiledQuery(
+        return QueryPlan(
             query_text, parsed, normalized, analysis, rewritten, matcher
         )
 
+    # ------------------------------------------------------------------
+    # execution (the stream layer)
+    # ------------------------------------------------------------------
+
     def run(
-        self, compiled: CompiledQuery, xml_text, output_stream=None
+        self,
+        compiled: QueryPlan,
+        xml_source,
+        output_stream=None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> RunResult:
-        """Evaluate a compiled query over *xml_text*.
+        """Evaluate a compiled plan over one document (pull mode).
 
         Args:
             compiled: result of :meth:`compile`.
-            xml_text: document string, or a file-like object with
-                ``read()`` (read once; only the buffer is minimized).
+            xml_source: the document — a complete string, a file-like
+                object with ``read()`` (read incrementally in
+                *chunk_size* pieces), or an iterable of string chunks
+                (consumed lazily; the raw input is never joined).
             output_stream: optional sink with ``write()``.  When given,
                 results are emitted incrementally as evaluation
                 progresses and ``RunResult.output`` is empty.
+            chunk_size: read size for file-like sources.
         """
-        if hasattr(xml_text, "read"):
-            xml_text = xml_text.read()
+        if hasattr(xml_source, "read"):
+            xml_source = _file_chunks(xml_source, chunk_size)
         stats = BufferStats(record_series=self.record_series)
         buffer = Buffer(stats)
-        # A fresh matcher per run: state instances are per-stream.
-        matcher = PathMatcher(
-            [(role.name, role.path) for role in compiled.analysis.roles]
-        )
-        lexer = make_lexer(xml_text)
-        projector = StreamProjector(lexer, matcher, buffer, stats)
+        lexer = make_lexer(xml_source)
+        # The plan's matcher is immutable (per-stream match state lives
+        # in the projector's state-instance lists), so runs share it.
+        projector = StreamProjector(lexer, compiled.matcher, buffer, stats)
         writer = XmlWriter(stream=output_stream)
         evaluator = PullEvaluator(
             compiled.rewritten, projector, buffer, writer, self.gc_enabled
@@ -148,10 +222,40 @@ class GCXEngine:
         stats.output_chars = writer.chars_written
         return RunResult(output, stats, compiled)
 
-    def query(self, query_text: str, xml_text: str) -> RunResult:
-        """Compile and run in one call."""
-        return self.run(self.compile(query_text), xml_text)
+    def session(
+        self,
+        query: QueryPlan | str,
+        output_stream=None,
+        max_pending_chunks: int | None = None,
+    ) -> StreamSession:
+        """Open a push-based streaming session (see
+        :class:`~repro.core.session.StreamSession`).
 
-    def evaluate(self, query_text: str, xml_text: str) -> str:
+        Args:
+            query: a compiled :class:`QueryPlan`, or query text (which
+                is compiled through the plan cache).
+            output_stream: optional incremental result sink.
+            max_pending_chunks: bound on chunks queued ahead of
+                evaluation (backpressure); defaults to the session
+                module's :data:`DEFAULT_MAX_PENDING_CHUNKS`.
+        """
+        plan = query if isinstance(query, QueryPlan) else self.compile(query)
+        kwargs = {}
+        if max_pending_chunks is not None:
+            kwargs["max_pending_chunks"] = max_pending_chunks
+        return StreamSession(
+            plan,
+            gc_enabled=self.gc_enabled,
+            record_series=self.record_series,
+            drain=self.drain,
+            output_stream=output_stream,
+            **kwargs,
+        )
+
+    def query(self, query_text: str, xml_source) -> RunResult:
+        """Compile (through the plan cache) and run in one call."""
+        return self.run(self.compile(query_text), xml_source)
+
+    def evaluate(self, query_text: str, xml_source) -> str:
         """Convenience: return just the serialized output."""
-        return self.query(query_text, xml_text).output
+        return self.query(query_text, xml_source).output

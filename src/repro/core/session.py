@@ -1,0 +1,244 @@
+"""Push-based streaming sessions: feed XML chunks, pull results.
+
+The paper's runtime is a *pull* chain — evaluator → buffer manager →
+stream pre-projector → lexer — which blocks whenever the next token has
+not arrived (Section 3).  Network servers, however, receive input
+*push*-style, in arbitrary chunks.  :class:`StreamSession` bridges the
+two: the pull chain runs on a dedicated worker while ``feed(chunk)``
+hands input across a small bounded channel, so evaluation, active
+garbage collection and (optionally) result emission all progress
+concurrently with input arrival.  The observable behaviour — output
+bytes, buffer watermark, per-token series — is byte-for-byte identical
+to a one-shot :meth:`repro.GCXEngine.run`, regardless of how the input
+is chunked, because the evaluator consumes the very same token stream
+in the very same order.
+
+Many sessions may run concurrently over one immutable
+:class:`~repro.core.plan.QueryPlan`; each session owns its mutable
+runtime state (matcher instances, buffer, stats, writer) and nothing
+else is shared.
+
+Typical use::
+
+    engine = GCXEngine()
+    plan = engine.compile(query_text)          # once
+    session = engine.session(plan)             # per stream
+    for chunk in chunks:                       # arbitrary chunking
+        session.feed(chunk)
+    result = session.finish()                  # RunResult, as ever
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.core.buffer import Buffer
+from repro.core.evaluator import PullEvaluator
+from repro.core.plan import QueryPlan
+from repro.core.projector import StreamProjector
+from repro.core.stats import BufferStats
+from repro.xmlio.lexer import XmlLexer
+from repro.xmlio.writer import XmlWriter
+
+#: Default upper bound on chunks queued between ``feed()`` and the
+#: worker.  A small bound gives backpressure: a producer cannot race
+#: megabytes ahead of evaluation, so input memory stays O(chunks).
+DEFAULT_MAX_PENDING_CHUNKS = 8
+
+
+class SessionStateError(RuntimeError):
+    """A session method was called in the wrong lifecycle state."""
+
+
+class _ChunkChannel:
+    """Bounded single-producer / single-consumer chunk hand-off.
+
+    Three terminal states matter: *closed* (producer signalled end of
+    input; consumer drains what remains), and *abandoned* (consumer is
+    gone — finished or failed; producers stop blocking and their input
+    is discarded).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_MAX_PENDING_CHUNKS):
+        self._chunks: deque[str] = deque()
+        self._capacity = max(1, capacity)
+        self._closed = False
+        self._abandoned = False
+        self._cond = threading.Condition()
+
+    def put(self, chunk: str) -> bool:
+        """Queue *chunk*; blocks while full.  False if abandoned."""
+        with self._cond:
+            while len(self._chunks) >= self._capacity and not self._abandoned:
+                self._cond.wait()
+            if self._abandoned:
+                return False
+            if self._closed:
+                raise SessionStateError("channel already closed")
+            self._chunks.append(chunk)
+            self._cond.notify_all()
+            return True
+
+    def close(self) -> None:
+        """Producer side: no more chunks will arrive."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def abandon(self) -> None:
+        """Consumer side: stop accepting input, release producers."""
+        with self._cond:
+            self._abandoned = True
+            self._chunks.clear()
+            self._cond.notify_all()
+
+    def get(self) -> str | None:
+        """Next chunk; blocks while empty.  ``None`` at end of input."""
+        with self._cond:
+            while not self._chunks and not self._closed and not self._abandoned:
+                self._cond.wait()
+            if self._chunks:
+                chunk = self._chunks.popleft()
+                self._cond.notify_all()
+                return chunk
+            return None
+
+
+class StreamSession:
+    """One streaming evaluation of one plan over one pushed document.
+
+    Sessions are single-use: construct (evaluation starts immediately),
+    ``feed()`` any number of chunks, then ``finish()`` exactly once to
+    collect the :class:`~repro.core.engine.RunResult`.  Sessions also
+    work as context managers; leaving the block finishes the session
+    (or aborts it if an exception is already propagating).
+
+    Errors raised by the pipeline — malformed XML, evaluation errors —
+    surface on the next ``feed()`` or at ``finish()``.
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        gc_enabled: bool = True,
+        record_series: bool = True,
+        drain: bool = True,
+        output_stream=None,
+        max_pending_chunks: int = DEFAULT_MAX_PENDING_CHUNKS,
+    ):
+        self.plan = plan
+        self._drain = drain
+        self._channel = _ChunkChannel(max_pending_chunks)
+        self._stats = BufferStats(record_series=record_series)
+        self._buffer = Buffer(self._stats)
+        self._lexer = XmlLexer(refill=self._channel.get)
+        # The plan's matcher is immutable (per-stream match state lives
+        # in the projector's state-instance lists): sessions share it.
+        self._projector = StreamProjector(
+            self._lexer, plan.matcher, self._buffer, self._stats
+        )
+        self._writer = XmlWriter(stream=output_stream)
+        self._evaluator = PullEvaluator(
+            plan.rewritten, self._projector, self._buffer, self._writer, gc_enabled
+        )
+        self._error: BaseException | None = None
+        self._result = None
+        self._bytes_fed = 0
+        self._started = time.perf_counter()
+        self._worker = threading.Thread(
+            target=self._run, name="gcx-stream-session", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # worker side (the pull chain)
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            self._evaluator.run()
+            if self._drain:
+                self._projector.run_to_end()
+        except BaseException as exc:  # noqa: BLE001 - reraised on the caller side
+            self._error = exc
+        finally:
+            # Unblock any producer; late input is irrelevant now.
+            self._channel.abandon()
+
+    # ------------------------------------------------------------------
+    # caller side (the push interface)
+    # ------------------------------------------------------------------
+
+    def feed(self, chunk: str) -> "StreamSession":
+        """Hand the next input chunk to the session.
+
+        Chunk boundaries are arbitrary — any byte offset, even inside a
+        tag name or an entity reference, is fine.  Blocks briefly when
+        the session is more than a few chunks behind (backpressure).
+        """
+        if self._result is not None:
+            raise SessionStateError("session already finished")
+        self._raise_pending()
+        if chunk:
+            self._bytes_fed += len(chunk)
+            self._channel.put(chunk)
+            self._raise_pending()
+        return self
+
+    def finish(self):
+        """Signal end of input and return the :class:`RunResult`.
+
+        Idempotent: repeated calls return the same result object.
+        """
+        if self._result is not None:
+            return self._result
+        self._channel.close()
+        self._worker.join()
+        self._raise_pending()
+        from repro.core.engine import RunResult  # circular at import time
+
+        stats = self._stats
+        stats.elapsed = time.perf_counter() - self._started
+        stats.final_buffered = self._buffer.live_count
+        self._buffer.clear()
+        output = self._writer.getvalue()
+        stats.output_chars = self._writer.chars_written
+        self._result = RunResult(output, stats, self.plan)
+        return self._result
+
+    def abort(self) -> None:
+        """Tear the session down without collecting a result."""
+        self._channel.abandon()
+        self._channel.close()
+        self._worker.join()
+
+    @property
+    def bytes_fed(self) -> int:
+        """Total input characters accepted so far."""
+        return self._bytes_fed
+
+    @property
+    def finished(self) -> bool:
+        return self._result is not None
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            # Sticky: every later feed()/finish() re-raises the same
+            # failure.  Make sure the worker is gone before handing
+            # control back.
+            self._channel.close()
+            self._worker.join()
+            raise self._error
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif self._result is None:
+            self.finish()

@@ -14,10 +14,10 @@ from repro.xmlio.tokens import (
     Token,
     TokenKind,
 )
-from repro.xmlio.lexer import XmlLexer, tokenize
+from repro.xmlio.lexer import XmlLexer, make_lexer, tokenize
 from repro.xmlio.dom import DomNode, parse_dom
 from repro.xmlio.writer import XmlWriter, escape_attribute, escape_text
-from repro.xmlio.errors import XmlSyntaxError
+from repro.xmlio.errors import XmlStarvedError, XmlSyntaxError
 from repro.xmlio.dtd import Dtd, ElementDecl, parse_dtd
 
 __all__ = [
@@ -31,10 +31,12 @@ __all__ = [
     "Token",
     "TokenKind",
     "XmlLexer",
+    "XmlStarvedError",
     "XmlSyntaxError",
     "XmlWriter",
     "escape_attribute",
     "escape_text",
+    "make_lexer",
     "parse_dom",
     "parse_dtd",
     "tokenize",

@@ -20,3 +20,15 @@ class XmlSyntaxError(ValueError):
 
 class DtdSyntaxError(ValueError):
     """Raised when a DTD fragment cannot be parsed."""
+
+
+class XmlStarvedError(RuntimeError):
+    """Raised when a token is pulled from an incremental lexer that has
+    no complete token in its buffer and has not been closed.
+
+    Only push-mode lexers (driven by ``feed()``/``close()`` without a
+    refill source) raise this; lexers over a complete string or a chunk
+    iterable acquire more input themselves.  Deliberately *not* an
+    :class:`XmlSyntaxError`: the input is not malformed, merely not yet
+    complete.
+    """

@@ -1,9 +1,23 @@
-"""Incremental, character-level XML tokenizer.
+"""Truly incremental, restartable XML tokenizer.
 
 This is the lowest layer of the reproduction: a from-scratch streaming
-lexer that turns a string (or an iterable of string chunks) into the
-token stream consumed by the GCX stream pre-projector.  It supports the
-subset of XML needed by the paper's workloads plus the common
+lexer that turns XML input into the token stream consumed by the GCX
+stream pre-projector.  Input can arrive three ways:
+
+* a complete document string,
+* an iterable of string chunks, pulled lazily as tokens are requested
+  (the raw input is never joined into one string),
+* push mode: no source at construction time, the caller supplies data
+  with :meth:`XmlLexer.feed` and ends it with :meth:`XmlLexer.close`.
+
+All tokenizer state — half-read tags, entities, CDATA sections and
+comments split across chunk boundaries — survives between chunks: a
+scan that reaches the end of the buffered input mid-token leaves no
+partial state behind and resumes from the token start once more data
+arrives, so the token stream is byte-for-byte identical to tokenizing
+the concatenated document in one piece.
+
+The supported XML subset covers the paper's workloads plus the common
 conveniences one meets in real documents:
 
 * elements with attributes (single- or double-quoted),
@@ -15,6 +29,12 @@ conveniences one meets in real documents:
 * an XML declaration and a DOCTYPE with an optional internal DTD subset
   (the subset text is preserved for :mod:`repro.xmlio.dtd`).
 
+Two fast paths keep the hot loop cheap: complete start/end tags are
+recognised with precompiled regexes (falling back to the exact
+character-level scanner for Unicode names, unusual spacing, or
+incomplete input), and tag/attribute names are interned so the matcher
+and buffer compare pointers instead of strings.
+
 Namespace processing is intentionally out of scope: GCX's fragment and
 the XMark workloads are namespace-free, and prefixed names pass through
 verbatim as part of the tag name.
@@ -22,10 +42,12 @@ verbatim as part of the tag name.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+import re
+import sys
+from collections.abc import Callable, Iterable, Iterator
 
-from repro.xmlio.errors import XmlSyntaxError
-from repro.xmlio.tokens import Attribute, EndTag, StartTag, Text, Token
+from repro.xmlio.errors import XmlStarvedError, XmlSyntaxError
+from repro.xmlio.tokens import Attribute, EndTag, StartTag, Text, Token, TokenKind
 
 _PREDEFINED_ENTITIES = {
     "lt": "<",
@@ -38,6 +60,35 @@ _PREDEFINED_ENTITIES = {
 _NAME_START_EXTRA = "_:"
 _NAME_EXTRA = "_:.-"
 
+#: Markup constructs other than start tags, by their literal prefix.
+#: When the buffered input ends inside one of these prefixes the
+#: construct cannot be classified yet — the lexer must wait for more
+#: data instead of misreading e.g. ``<!`` as a malformed start tag.
+_MARKUP_PREFIXES = ("<!--", "<![CDATA[", "<?", "<!DOCTYPE", "</")
+_LONGEST_PREFIX = max(len(p) for p in _MARKUP_PREFIXES)
+
+# Fast-path recognisers for complete tags.  The name and whitespace
+# classes are the exact subsets the character-level scanner accepts
+# (ASCII names, XML's four whitespace chars — NOT Python's Unicode
+# \s); anything the regexes do not match (Unicode names, missing
+# inter-attribute space, malformed or incomplete markup) falls back to
+# the exact scanner, so a regex match can never disagree with it.
+_NAME_RE_SRC = r"[A-Za-z_:][A-Za-z0-9_:.\-]*"
+_WS_RE_SRC = r"[ \t\r\n]"
+_START_TAG_RE = re.compile(
+    r"<(" + _NAME_RE_SRC + r")"
+    r"((?:" + _WS_RE_SRC + r"+" + _NAME_RE_SRC
+    + _WS_RE_SRC + r"*=" + _WS_RE_SRC + r"*(?:\"[^\"]*\"|'[^']*'))*)"
+    + _WS_RE_SRC + r"*(/?)>"
+)
+_ATTR_RE = re.compile(
+    _WS_RE_SRC + r"+(" + _NAME_RE_SRC + r")"
+    + _WS_RE_SRC + r"*=" + _WS_RE_SRC + r"*(?:\"([^\"]*)\"|'([^']*)')"
+)
+_END_TAG_RE = re.compile(r"</(" + _NAME_RE_SRC + r")" + _WS_RE_SRC + r"*>")
+
+_intern = sys.intern
+
 
 def _is_name_start(ch: str) -> bool:
     return ch.isalpha() or ch in _NAME_START_EXTRA
@@ -47,24 +98,129 @@ def _is_name_char(ch: str) -> bool:
     return ch.isalnum() or ch in _NAME_EXTRA
 
 
-class XmlLexer:
-    """Pull-based tokenizer over a complete document string.
+class _Starved(Exception):
+    """Internal signal: the buffer ended mid-token and input is open."""
 
-    The whole input string is held by the lexer, but tokens are produced
-    strictly on demand (:meth:`next_token`), which is what gives the GCX
-    projector its one-token-lookahead discipline.
+
+class XmlLexer:
+    """Pull-based tokenizer with incremental (chunked) input.
+
+    Tokens are produced strictly on demand (:meth:`next_token`), which
+    is what gives the GCX projector its one-token-lookahead discipline.
+    Consumed input is discarded as chunks arrive, so memory is bounded
+    by one chunk plus the longest in-flight token — the raw input is
+    never retained behind the scan position.
+
+    Args:
+        source: a complete document string, an iterable of string
+            chunks (pulled lazily), or ``None`` for push mode
+            (``feed()`` / ``close()``).
+        keep_whitespace: emit whitespace-only text tokens instead of
+            dropping them.
+        refill: optional zero-argument callable returning the next
+            chunk (or ``None``/``""`` at end of input); called whenever
+            the lexer runs out of buffered data.  Mutually exclusive
+            with an iterable *source*.
     """
 
-    def __init__(self, text: str, keep_whitespace: bool = False):
-        self._text = text
+    def __init__(
+        self,
+        source: str | Iterable[str] | None = None,
+        keep_whitespace: bool = False,
+        refill: Callable[[], str | None] | None = None,
+    ):
+        self._buf = ""
         self._pos = 0
+        #: absolute document offset of ``self._buf[0]`` (consumed input
+        #: is compacted away; token offsets stay absolute).
+        self._base = 0
         self._keep_whitespace = keep_whitespace
         self._open_tags: list[str] = []
         self._started = False
         # Synthetic end tag queued by a self-closing start tag.
         self._pending_end: EndTag | None = None
+        #: chars (relative to the pending construct's start) already
+        #: searched without finding its terminator — lets a text/CDATA/
+        #: comment/PI scan that starved resume where it left off
+        #: instead of rescanning the whole run on every refill.
+        self._resume = 0
+        #: substring the starved construct cannot complete without
+        #: (e.g. "<" for a text run, "]]>" for CDATA); refill chunks
+        #: that do not contain it are parked in ``_pending_chunks``
+        #: instead of being merged, so one huge token arriving in many
+        #: chunks costs one join, not one buffer copy per chunk.
+        self._need: str | None = None
+        self._pending_chunks: list[str] = []
+        #: last 2 chars of all accumulated input (buffer + parked
+        #: chunks) — covers terminators straddling a chunk boundary.
+        self._joint = ""
         #: raw text of the internal DTD subset, if a DOCTYPE carried one.
         self.internal_subset: str | None = None
+        self._closed = False
+        self._refill: Callable[[], str | None] | None = None
+        if isinstance(source, str):
+            self._buf = source
+        elif source is not None:
+            chunks = iter(source)
+
+            def _next_nonempty() -> str | None:
+                # Empty chunks are legitimate (e.g. a producer with
+                # nothing to say this round) and must not read as end
+                # of input — only iterator exhaustion does.
+                for chunk in chunks:
+                    if chunk:
+                        return chunk
+                return None
+
+            self._refill = _next_nonempty
+        if refill is not None:
+            if self._refill is not None:
+                raise TypeError(
+                    "pass either an iterable source or refill=, not both"
+                )
+            self._refill = refill
+        # A plain string with no refill source is complete input.
+        if isinstance(source, str) and self._refill is None:
+            self._closed = True
+        self._joint = self._buf[-2:]
+
+    # ------------------------------------------------------------------
+    # incremental input
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once end of input has been signalled."""
+        return self._closed
+
+    def feed(self, chunk: str) -> "XmlLexer":
+        """Append *chunk* to the pending input (push mode)."""
+        if self._closed:
+            raise ValueError("cannot feed a closed lexer")
+        if chunk:
+            self._append(chunk)
+        return self
+
+    def close(self) -> "XmlLexer":
+        """Signal end of input; pending partial tokens become errors."""
+        self._closed = True
+        return self
+
+    def _append(self, chunk: str) -> None:
+        """Merge parked chunks + *chunk* into the scan buffer,
+        compacting consumed text out of it."""
+        if self._pos:
+            self._base += self._pos
+            self._buf = self._buf[self._pos :]
+            self._pos = 0
+        if self._pending_chunks:
+            self._pending_chunks.append(chunk)
+            self._buf += "".join(self._pending_chunks)
+            self._pending_chunks.clear()
+        else:
+            self._buf += chunk
+        self._joint = self._buf[-2:]
+        self._need = None
 
     # ------------------------------------------------------------------
     # public API
@@ -75,18 +231,36 @@ class XmlLexer:
 
         Raises:
             XmlSyntaxError: on malformed markup or mismatched tags.
+            XmlStarvedError: in push mode, when no complete token is
+                buffered and the lexer has not been closed.
         """
         while True:
-            token = self._scan_once()
-            if token is None:
-                return None
-            if (
-                not self._keep_whitespace
-                and token.kind.value == "text"
-                and not token.content.strip()
-            ):
-                continue
-            return token
+            try:
+                return self._pull_token()
+            except _Starved:
+                if self._refill is None:
+                    raise XmlStarvedError(
+                        "no complete token buffered; feed() more input "
+                        "or close() the lexer"
+                    ) from None
+                while True:
+                    chunk = self._refill()
+                    if not chunk:
+                        self._closed = True
+                        self._append("")  # merge any parked chunks
+                        break
+                    if (
+                        self._need is not None
+                        and self._need not in self._joint + chunk
+                    ):
+                        # The construct's terminator is not in this
+                        # chunk (nor straddling the boundary): park it
+                        # without paying for a buffer merge or rescan.
+                        self._pending_chunks.append(chunk)
+                        self._joint = (self._joint + chunk)[-2:]
+                        continue
+                    self._append(chunk)
+                    break
 
     def __iter__(self) -> Iterator[Token]:
         while True:
@@ -104,6 +278,25 @@ class XmlLexer:
     # scanning
     # ------------------------------------------------------------------
 
+    def _starved(self, need: str | None) -> _Starved:
+        """Record what the pending construct needs before signalling
+        starvation (None = any new input could complete it)."""
+        self._need = need
+        return _Starved()
+
+    def _pull_token(self) -> Token | None:
+        while True:
+            token = self._scan_once()
+            if token is None:
+                return None
+            if (
+                not self._keep_whitespace
+                and token.kind is TokenKind.TEXT
+                and not token.content.strip()
+            ):
+                continue
+            return token
+
     def _scan_once(self) -> Token | None:
         if self._pending_end is not None:
             token = self._pending_end
@@ -111,76 +304,115 @@ class XmlLexer:
             popped = self._open_tags.pop()
             assert popped == token.name
             return token
-        text = self._text
-        pos = self._pos
-        if pos >= len(text):
-            if self._open_tags:
-                raise XmlSyntaxError(
-                    f"unexpected end of input; unclosed element "
-                    f"<{self._open_tags[-1]}>",
-                    pos,
-                )
-            return None
-        if text[pos] != "<":
-            return self._scan_text()
-        # Markup.
-        if text.startswith("<!--", pos):
-            self._skip_comment()
-            return self._scan_once()
-        if text.startswith("<![CDATA[", pos):
-            return self._scan_cdata()
-        if text.startswith("<?", pos):
-            self._skip_pi()
-            return self._scan_once()
-        if text.startswith("<!DOCTYPE", pos):
-            self._skip_doctype()
-            return self._scan_once()
-        if text.startswith("</", pos):
-            return self._scan_end_tag()
-        return self._scan_start_tag()
+        while True:
+            text = self._buf
+            pos = self._pos
+            if pos >= len(text):
+                if not self._closed:
+                    raise self._starved(None)
+                if self._open_tags:
+                    raise XmlSyntaxError(
+                        f"unexpected end of input; unclosed element "
+                        f"<{self._open_tags[-1]}>",
+                        self._base + pos,
+                    )
+                return None
+            if text[pos] != "<":
+                return self._scan_text()
+            # Markup.
+            if text.startswith("<!--", pos):
+                self._skip_comment()
+                continue
+            if text.startswith("<![CDATA[", pos):
+                return self._scan_cdata()
+            if text.startswith("<?", pos):
+                self._skip_pi()
+                continue
+            if text.startswith("<!DOCTYPE", pos):
+                self._skip_doctype()
+                continue
+            if text.startswith("</", pos):
+                return self._scan_end_tag()
+            if not self._closed and len(text) - pos < _LONGEST_PREFIX:
+                rest = text[pos:]
+                if any(p.startswith(rest) for p in _MARKUP_PREFIXES):
+                    # Could still become a comment/CDATA/PI/DOCTYPE/end
+                    # tag once more input arrives.
+                    raise self._starved(None)
+            return self._scan_start_tag()
 
     def _scan_text(self) -> Text:
-        text = self._text
+        text = self._buf
         start = self._pos
-        end = text.find("<", start)
+        end = text.find("<", start + self._resume)
         if end == -1:
+            if not self._closed:
+                # A text run is maximal: it only ends at markup or at
+                # the true end of input, never at a chunk boundary.
+                self._resume = len(text) - start
+                raise self._starved("<")
             end = len(text)
+        self._resume = 0
         raw = text[start:end]
         self._pos = end
+        offset = self._base + start
         if not self._open_tags and raw.strip():
-            raise XmlSyntaxError("character data outside the root element", start)
-        return Text(self._resolve_entities(raw, start), start)
+            raise XmlSyntaxError("character data outside the root element", offset)
+        return Text(self._resolve_entities(raw, offset), offset)
 
     def _scan_cdata(self) -> Text:
         start = self._pos
-        end = self._text.find("]]>", start + 9)
+        text = self._buf
+        end = text.find("]]>", max(start + 9, start + self._resume))
         if end == -1:
-            raise XmlSyntaxError("unterminated CDATA section", start)
-        content = self._text[start + 9 : end]
+            if not self._closed:
+                # Keep the last 2 chars rescannable: they may be the
+                # head of a "]]>" split across the chunk boundary.
+                self._resume = max(0, len(text) - start - 2)
+                raise self._starved("]]>")
+            raise XmlSyntaxError(
+                "unterminated CDATA section", self._base + start
+            )
+        self._resume = 0
+        content = text[start + 9 : end]
         self._pos = end + 3
         if not self._open_tags:
-            raise XmlSyntaxError("CDATA section outside the root element", start)
-        return Text(content, start)
+            raise XmlSyntaxError(
+                "CDATA section outside the root element", self._base + start
+            )
+        return Text(content, self._base + start)
 
     def _skip_comment(self) -> None:
         start = self._pos
-        end = self._text.find("-->", start + 4)
+        text = self._buf
+        end = text.find("-->", max(start + 4, start + self._resume))
         if end == -1:
-            raise XmlSyntaxError("unterminated comment", start)
+            if not self._closed:
+                self._resume = max(0, len(text) - start - 2)
+                raise self._starved("-->")
+            raise XmlSyntaxError("unterminated comment", self._base + start)
+        self._resume = 0
         self._pos = end + 3
 
     def _skip_pi(self) -> None:
         start = self._pos
-        end = self._text.find("?>", start + 2)
+        text = self._buf
+        end = text.find("?>", max(start + 2, start + self._resume))
         if end == -1:
-            raise XmlSyntaxError("unterminated processing instruction", start)
+            if not self._closed:
+                self._resume = max(0, len(text) - start - 1)
+                raise self._starved("?>")
+            raise XmlSyntaxError(
+                "unterminated processing instruction", self._base + start
+            )
+        self._resume = 0
         self._pos = end + 2
 
     def _skip_doctype(self) -> None:
         # <!DOCTYPE name [internal subset]? >
         start = self._pos
         pos = start + len("<!DOCTYPE")
-        text = self._text
+        text = self._buf
         depth = 0
         subset_start = None
         while pos < len(text):
@@ -197,86 +429,179 @@ class XmlLexer:
                 self._pos = pos + 1
                 return
             pos += 1
-        raise XmlSyntaxError("unterminated DOCTYPE declaration", start)
+        if not self._closed:
+            raise self._starved(">")
+        raise XmlSyntaxError(
+            "unterminated DOCTYPE declaration", self._base + start
+        )
 
     def _scan_start_tag(self) -> StartTag:
-        text = self._text
+        text = self._buf
         start = self._pos
+        match = _START_TAG_RE.match(text, start)
+        if match is not None:
+            return self._start_tag_from_match(match)
+        # Exact character-level scan: Unicode names, unusual spacing,
+        # malformed markup, or a tag still incomplete in the buffer.
         pos = start + 1
-        if pos >= len(text) or not _is_name_start(text[pos]):
-            raise XmlSyntaxError("malformed start tag", start)
+        if pos >= len(text):
+            if not self._closed:
+                raise self._starved(">")
+            raise XmlSyntaxError("malformed start tag", self._base + start)
+        if not _is_name_start(text[pos]):
+            raise XmlSyntaxError("malformed start tag", self._base + start)
         name, pos = self._scan_name(pos)
         attributes: list[Attribute] = []
         seen: set[str] = set()
         while True:
             pos = self._skip_ws(pos)
             if pos >= len(text):
-                raise XmlSyntaxError(f"unterminated start tag <{name}", start)
+                if not self._closed:
+                    raise self._starved(None)
+                raise XmlSyntaxError(
+                    f"unterminated start tag <{name}", self._base + start
+                )
             ch = text[pos]
             if ch == ">":
                 self._pos = pos + 1
-                self._check_single_root(start)
+                self._check_single_root(self._base + start)
                 self._open_tags.append(name)
-                return StartTag(name, tuple(attributes), start)
+                return StartTag(name, tuple(attributes), self._base + start)
             if ch == "/":
+                if pos + 1 >= len(text) and not self._closed:
+                    raise self._starved(">")
                 if not text.startswith("/>", pos):
-                    raise XmlSyntaxError(f"malformed start tag <{name}", pos)
+                    raise XmlSyntaxError(
+                        f"malformed start tag <{name}", self._base + pos
+                    )
                 self._pos = pos + 2
-                self._check_single_root(start)
+                self._check_single_root(self._base + start)
                 self._open_tags.append(name)
-                self._pending_end = EndTag(name, start)
-                return StartTag(name, tuple(attributes), start, self_closing=True)
+                self._pending_end = EndTag(name, self._base + start)
+                return StartTag(
+                    name, tuple(attributes), self._base + start, self_closing=True
+                )
             if not _is_name_start(ch):
                 raise XmlSyntaxError(
-                    f"unexpected character {ch!r} in start tag <{name}", pos
+                    f"unexpected character {ch!r} in start tag <{name}",
+                    self._base + pos,
                 )
             attr_name, pos = self._scan_name(pos)
             pos = self._skip_ws(pos)
+            if pos >= len(text):
+                if not self._closed:
+                    raise self._starved(None)
             if pos >= len(text) or text[pos] != "=":
                 raise XmlSyntaxError(
-                    f"attribute {attr_name!r} without value in <{name}", pos
+                    f"attribute {attr_name!r} without value in <{name}>",
+                    self._base + pos,
                 )
             pos = self._skip_ws(pos + 1)
+            if pos >= len(text):
+                if not self._closed:
+                    raise self._starved(None)
             if pos >= len(text) or text[pos] not in "\"'":
                 raise XmlSyntaxError(
-                    f"unquoted value for attribute {attr_name!r} in <{name}", pos
+                    f"unquoted value for attribute {attr_name!r} in <{name}>",
+                    self._base + pos,
                 )
             quote = text[pos]
             value_end = text.find(quote, pos + 1)
             if value_end == -1:
+                if not self._closed:
+                    raise self._starved(">")
                 raise XmlSyntaxError(
-                    f"unterminated value for attribute {attr_name!r}", pos
+                    f"unterminated value for attribute {attr_name!r}",
+                    self._base + pos,
                 )
             raw_value = text[pos + 1 : value_end]
             if attr_name in seen:
                 raise XmlSyntaxError(
-                    f"duplicate attribute {attr_name!r} in <{name}", pos
+                    f"duplicate attribute {attr_name!r} in <{name}>",
+                    self._base + pos,
                 )
             seen.add(attr_name)
             attributes.append(
-                Attribute(attr_name, self._resolve_entities(raw_value, pos))
+                Attribute(
+                    attr_name, self._resolve_entities(raw_value, self._base + pos)
+                )
             )
             pos = value_end + 1
 
-    def _scan_end_tag(self) -> EndTag:
-        text = self._text
+    def _start_tag_from_match(self, match: re.Match) -> StartTag:
+        """Commit a regex-recognised (complete) start tag."""
         start = self._pos
+        offset = self._base + start
+        name = _intern(match.group(1))
+        attr_src = match.group(2)
+        attributes: tuple[Attribute, ...] = ()
+        if attr_src:
+            attrs = []
+            seen: set[str] = set()
+            for attr in _ATTR_RE.finditer(attr_src):
+                attr_name = _intern(attr.group(1))
+                raw_value = attr.group(2)
+                if raw_value is None:
+                    raw_value = attr.group(3)
+                if attr_name in seen:
+                    raise XmlSyntaxError(
+                        f"duplicate attribute {attr_name!r} in <{name}>", offset
+                    )
+                seen.add(attr_name)
+                attrs.append(
+                    Attribute(attr_name, self._resolve_entities(raw_value, offset))
+                )
+            attributes = tuple(attrs)
+        self._pos = match.end()
+        self._check_single_root(offset)
+        self._open_tags.append(name)
+        if match.group(3):
+            self._pending_end = EndTag(name, offset)
+            return StartTag(name, attributes, offset, self_closing=True)
+        return StartTag(name, attributes, offset)
+
+    def _scan_end_tag(self) -> EndTag:
+        text = self._buf
+        start = self._pos
+        match = _END_TAG_RE.match(text, start)
+        if match is not None:
+            self._pos = match.end()
+            return self._close_tag(_intern(match.group(1)), start)
         pos = start + 2
-        if pos >= len(text) or not _is_name_start(text[pos]):
-            raise XmlSyntaxError("malformed end tag", start)
+        if pos >= len(text):
+            if not self._closed:
+                raise self._starved(">")
+            raise XmlSyntaxError("malformed end tag", self._base + start)
+        if not _is_name_start(text[pos]):
+            raise XmlSyntaxError("malformed end tag", self._base + start)
         name, pos = self._scan_name(pos)
         pos = self._skip_ws(pos)
-        if pos >= len(text) or text[pos] != ">":
-            raise XmlSyntaxError(f"malformed end tag </{name}", start)
+        if pos >= len(text):
+            if not self._closed:
+                raise self._starved(">")
+            raise XmlSyntaxError(
+                f"malformed end tag </{name}", self._base + start
+            )
+        if text[pos] != ">":
+            raise XmlSyntaxError(
+                f"malformed end tag </{name}", self._base + start
+            )
         self._pos = pos + 1
+        return self._close_tag(name, start)
+
+    def _close_tag(self, name: str, start: int) -> EndTag:
+        offset = self._base + start
         if not self._open_tags:
-            raise XmlSyntaxError(f"end tag </{name}> with no open element", start)
+            raise XmlSyntaxError(
+                f"end tag </{name}> with no open element", offset
+            )
         expected = self._open_tags.pop()
         if expected != name:
             raise XmlSyntaxError(
-                f"mismatched end tag: expected </{expected}>, got </{name}>", start
+                f"mismatched end tag: expected </{expected}>, got </{name}>",
+                offset,
             )
-        return EndTag(name, start)
+        return EndTag(name, offset)
 
     # ------------------------------------------------------------------
     # helpers
@@ -288,15 +613,15 @@ class XmlLexer:
         self._started = True
 
     def _scan_name(self, pos: int) -> tuple[str, int]:
-        text = self._text
+        text = self._buf
         start = pos
         pos += 1
         while pos < len(text) and _is_name_char(text[pos]):
             pos += 1
-        return text[start:pos], pos
+        return _intern(text[start:pos]), pos
 
     def _skip_ws(self, pos: int) -> int:
-        text = self._text
+        text = self._buf
         while pos < len(text) and text[pos] in " \t\r\n":
             pos += 1
         return pos
@@ -336,21 +661,32 @@ def tokenize(
     """Tokenize *source* into a stream of XML tokens.
 
     Args:
-        source: a complete document string, or an iterable of chunks
-            (joined before scanning — the *buffer*, not the raw input,
-            is what GCX minimises, and the engine never retains input
-            that the projector has passed over).
+        source: a complete document string, or an iterable of chunks —
+            consumed lazily, one chunk at a time, as tokens are pulled
+            (the raw input is never joined; only the token being
+            scanned is ever buffered).
         keep_whitespace: emit whitespace-only text tokens instead of
             dropping them.
 
     Yields:
         ``StartTag`` / ``EndTag`` / ``Text`` tokens in document order.
     """
-    if not isinstance(source, str):
-        source = "".join(source)
     yield from XmlLexer(source, keep_whitespace)
 
 
-def make_lexer(source: str, keep_whitespace: bool = False) -> XmlLexer:
-    """Return a pull-based lexer over *source*."""
-    return XmlLexer(source, keep_whitespace)
+def make_lexer(
+    source: str | Iterable[str] | None,
+    keep_whitespace: bool = False,
+    refill: Callable[[], str | None] | None = None,
+) -> XmlLexer:
+    """Return a pull-based lexer over *source*.
+
+    Args:
+        source: a complete document string, an iterable of string
+            chunks (consumed lazily as tokens are pulled), or ``None``
+            for a push-mode lexer driven by ``feed()`` / ``close()``.
+        keep_whitespace: emit whitespace-only text tokens.
+        refill: optional callable supplying the next chunk on demand
+            (see :class:`XmlLexer`).
+    """
+    return XmlLexer(source, keep_whitespace, refill=refill)

@@ -208,3 +208,99 @@ class TestPullInterface:
     def test_offsets_are_monotonic(self):
         offsets = [t.offset for t in tokenize("<a><b>x</b><c></c></a>")]
         assert offsets == sorted(offsets)
+
+
+class TestIncremental:
+    """Push-mode lexing: feed()/close() with arbitrary chunk splits."""
+
+    DOC = (
+        '<!DOCTYPE a [<!ELEMENT a (b)>]>'
+        '<a x="1&amp;2"><!-- c --><b><![CDATA[<x>&]]></b>t&#65;x<c/></a>'
+    )
+
+    @staticmethod
+    def drain(lexer):
+        from repro.xmlio.errors import XmlStarvedError
+
+        tokens = []
+        while True:
+            try:
+                token = lexer.next_token()
+            except XmlStarvedError:
+                return tokens, False
+            if token is None:
+                return tokens, True
+            tokens.append(token)
+
+    def test_every_split_offset_token_identical(self):
+        from repro.xmlio.lexer import XmlLexer
+
+        whole = list(tokenize(self.DOC))
+        for offset in range(len(self.DOC) + 1):
+            lexer = XmlLexer(None)
+            tokens = []
+            for part in (self.DOC[:offset], self.DOC[offset:]):
+                lexer.feed(part)
+                got, _done = self.drain(lexer)
+                tokens.extend(got)
+            lexer.close()
+            got, done = self.drain(lexer)
+            tokens.extend(got)
+            assert done
+            assert tokens == whole, offset
+
+    def test_starved_pull_raises_until_closed(self):
+        from repro.xmlio.errors import XmlStarvedError
+        from repro.xmlio.lexer import XmlLexer
+
+        lexer = XmlLexer(None)
+        lexer.feed("<a>text-without-markup")
+        assert lexer.next_token().name == "a"
+        with pytest.raises(XmlStarvedError):
+            lexer.next_token()  # the text run may continue
+        lexer.feed("-more</a>")
+        assert lexer.next_token().content == "text-without-markup-more"
+
+    def test_feed_after_close_rejected(self):
+        from repro.xmlio.lexer import XmlLexer
+
+        lexer = XmlLexer(None)
+        lexer.close()
+        with pytest.raises(ValueError, match="closed"):
+            lexer.feed("<a/>")
+
+    def test_offsets_survive_compaction(self):
+        whole = [t.offset for t in tokenize(self.DOC)]
+        one_byte = [t.offset for t in tokenize(iter(self.DOC))]
+        assert one_byte == whole
+
+    def test_internal_subset_split_across_chunks(self):
+        from repro.xmlio.lexer import XmlLexer
+
+        doc = "<!DOCTYPE a [<!ELEMENT a (b)>]><a><b/></a>"
+        lexer = XmlLexer(iter([doc[:20], doc[20:]]))
+        list(lexer)
+        assert "<!ELEMENT a (b)>" in lexer.internal_subset
+
+    def test_entity_split_across_chunks(self):
+        tokens = list(tokenize(["<a>x&am", "p;y</a>"]))
+        assert tokens[1].content == "x&y"
+
+    def test_empty_chunks_are_not_end_of_input(self):
+        tokens = list(tokenize(["", "<a>", "", "", "x</a>", ""]))
+        assert [str(t) for t in tokens] == ["<a>", "x", "</a>"]
+
+    def test_refill_callable_source(self):
+        chunks = ["<a><b>1</b>", "<b>2</b></a>"]
+        lexer = make_lexer(None, refill=lambda: chunks.pop(0) if chunks else None)
+        assert len(list(lexer)) == 8
+
+    def test_unicode_names_fall_back_to_exact_scanner(self):
+        (start, _end) = tokenize("<élan å='1'></élan>")
+        assert start.name == "élan"
+        assert start.attribute("å") == "1"
+
+    def test_tag_names_are_interned(self):
+        tokens = [t for t in tokenize(["<a><b/>", "<b/></a>"])
+                  if t.kind is TokenKind.START]
+        assert tokens[1].name is tokens[2].name
