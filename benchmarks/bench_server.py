@@ -1,0 +1,103 @@
+"""Load generator for the concurrent query service.
+
+Starts a real :class:`~repro.server.service.GCXServer` (TCP, in this
+process) and drives it with N blocking clients on N threads, each
+streaming XMark Q1 over the shared benchmark document several times.
+This measures what DESIGN.md §8 promises: one process serving many
+concurrent streams off one shared plan, with per-stream memory bounded
+by active garbage collection.
+
+Every run appends an aggregate entry — MB/s of XML pushed through the
+server and completed requests/s — to ``BENCH_throughput.json`` next to
+the single-stream numbers, so the concurrency overhead of the service
+stays diffable across pull requests.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.bench.reporting import merge_bench_json
+from repro.core.engine import GCXEngine
+from repro.server.client import GCXClient
+from repro.server.service import ServerThread
+from repro.xmark.queries import ADAPTED_QUERIES
+
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_throughput.json",
+)
+_CHUNK = 64 * 1024
+_CLIENTS = 8
+_REQUESTS_PER_CLIENT = 3
+
+
+def _drive_client(host, port, query, document, requests, outputs, index):
+    with GCXClient(host, port, chunk_size=_CHUNK) as client:
+        for _ in range(requests):
+            outputs[index].append(client.run_query(query, document).output)
+
+
+def test_server_throughput(xmark_fig4):
+    query = ADAPTED_QUERIES["q1"].text
+    document = xmark_fig4
+    expected = GCXEngine(record_series=False).query(query, document).output
+
+    outputs: list[list[str]] = [[] for _ in range(_CLIENTS)]
+    with ServerThread(max_sessions=_CLIENTS) as handle:
+        threads = [
+            threading.Thread(
+                target=_drive_client,
+                args=(
+                    handle.host,
+                    handle.port,
+                    query,
+                    document,
+                    _REQUESTS_PER_CLIENT,
+                    outputs,
+                    index,
+                ),
+                name=f"bench-client-{index}",
+            )
+            for index in range(_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        snapshot = handle.server.scheduler.snapshot()
+
+    requests = _CLIENTS * _REQUESTS_PER_CLIENT
+    for per_client in outputs:
+        assert len(per_client) == _REQUESTS_PER_CLIENT
+        for output in per_client:
+            assert output == expected
+
+    # One shared plan for all clients: the analysis ran exactly once.
+    assert snapshot["plan_cache"]["misses"] == 1
+    assert snapshot["sessions"]["completed"] == requests
+
+    total_bytes = len(document) * requests
+    merge_bench_json(
+        _BENCH_JSON,
+        {
+            f"server_q1_{_CLIENTS}clients": {
+                "mb_per_s": round(total_bytes / 1e6 / elapsed, 3),
+                "requests_per_s": round(requests / elapsed, 3),
+                "seconds": round(elapsed, 5),
+                "input_bytes": total_bytes,
+                "clients": _CLIENTS,
+                "requests": requests,
+                "peak_buffer_nodes": snapshot["peak_buffer_watermark"],
+                "latency_ms_p99": snapshot["latency_ms"]["p99"],
+            }
+        },
+    )

@@ -15,14 +15,13 @@ across pull requests.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
 import pytest
 
 from repro.bench.harness import run_chunked
-from repro.bench.reporting import write_bench_json
+from repro.bench.reporting import merge_bench_json
 from repro.core.buffer import Buffer
 from repro.core.engine import GCXEngine
 from repro.core.matcher import PathMatcher
@@ -74,16 +73,7 @@ def _emit_bench_json():
         return
     # Merge with existing entries so a filtered run ('-k lexer') does
     # not silently drop the other tracked measurements.
-    merged = {}
-    try:
-        with open(_BENCH_JSON, encoding="utf-8") as handle:
-            existing = json.load(handle).get("entries")
-            if isinstance(existing, dict):
-                merged.update(existing)
-    except (OSError, ValueError):
-        pass
-    merged.update(_records)
-    write_bench_json(_BENCH_JSON, merged)
+    merge_bench_json(_BENCH_JSON, _records)
 
 
 @pytest.fixture(scope="module")

@@ -27,6 +27,9 @@ Compile once, stream many (the session architecture, DESIGN.md §1)::
 Baselines for the paper's comparative experiments live in
 :mod:`repro.baselines`, the XMark-style workload generator in
 :mod:`repro.xmark`, and the benchmark harness in :mod:`repro.bench`.
+The concurrent query service — an asyncio TCP server multiplexing
+many sessions over one shared plan cache, with admission control and
+live metrics (DESIGN.md §8) — lives in :mod:`repro.server`.
 """
 
 from repro.core.engine import CompiledQuery, GCXEngine, QueryPlan, RunResult
@@ -37,7 +40,7 @@ from repro.xquery.parser import XQueryParseError, parse_query
 from repro.xquery.normalize import NormalizationError, normalize_query
 from repro.xmlio.errors import XmlStarvedError, XmlSyntaxError
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "BufferStats",

@@ -40,6 +40,27 @@ def write_bench_json(path: str, entries, meta: dict | None = None) -> str:
     return path
 
 
+def merge_bench_json(path: str, entries: dict, meta: dict | None = None) -> str:
+    """Merge *entries* (a name → dict mapping) into an existing
+    ``BENCH_*.json``, keeping every entry other benchmarks recorded.
+
+    A filtered benchmark run — or a different benchmark module writing
+    to the same file, like ``benchmarks/bench_server.py`` — must not
+    silently drop the measurements it did not produce.  Missing or
+    unreadable files start from scratch.
+    """
+    merged: dict = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle).get("entries")
+            if isinstance(existing, dict):
+                merged.update(existing)
+    except (OSError, ValueError):
+        pass
+    merged.update(entries)
+    return write_bench_json(path, merged, meta)
+
+
 def format_table(headers: list[str], rows: list[list[str]]) -> str:
     """Monospace table with column alignment."""
     widths = [len(h) for h in headers]

@@ -7,6 +7,8 @@ Subcommands::
     gcx explain QUERY.xq
     gcx profile QUERY.xq INPUT.xml [--width 72] [--height 16]
     gcx xmark --scale 1.0 [--seed 42]
+    gcx serve [--host H] [--port P] [--max-sessions N]
+    gcx stats [--host H] [--port P] [--json]
 
 (``gcx`` is the console script; ``python -m repro.cli`` works too.)
 
@@ -14,12 +16,21 @@ Documents are never slurped: the input file is read in ``--chunk-size``
 pieces and pushed through a :class:`~repro.core.session.StreamSession`
 (GCX-family engines) or the engine's chunked pull path (the DOM
 baseline), so the CLI exercises exactly the compile-once /
-stream-many architecture the library exposes.
+stream-many architecture the library exposes.  ``serve`` exposes the
+same session layer over TCP (DESIGN.md §8); ``stats`` asks a running
+server for its live metrics.
+
+Failures — unparsable queries, malformed or truncated XML
+(:class:`~repro.xmlio.errors.XmlSyntaxError`), a starved incremental
+lexer (:class:`~repro.xmlio.errors.XmlStarvedError`), evaluation
+errors — exit non-zero with a one-line ``error:`` message, never a
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.baselines import (
@@ -29,8 +40,25 @@ from repro.baselines import (
 )
 from repro.bench.reporting import ascii_plot
 from repro.core.engine import DEFAULT_CHUNK_SIZE, GCXEngine, _file_chunks
+from repro.core.evaluator import EvaluationError
+from repro.core.session import SessionStateError
 from repro.xmark.generator import XMARK_DTD, generate_document
+from repro.server.protocol import DEFAULT_PORT
 from repro.xmlio.dtd import parse_dtd
+from repro.xmlio.errors import XmlStarvedError
+
+#: everything a command may fail with that deserves a one-line
+#: ``error:`` message and exit code 1 instead of a traceback (the
+#: ValueError family covers XmlSyntaxError, XQueryParseError,
+#: AnalysisError, ...; OSError covers missing files and refused
+#: connections)
+_CLI_ERRORS = (
+    ValueError,
+    OSError,
+    XmlStarvedError,
+    EvaluationError,
+    SessionStateError,
+)
 
 
 def _make_engine(name: str):
@@ -107,6 +135,57 @@ def _cmd_xmark(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server.service import GCXServer
+
+    async def _main() -> None:
+        server = GCXServer(
+            host=args.host, port=args.port, max_sessions=args.max_sessions
+        )
+        await server.start()
+        print(
+            f"gcx server listening on {server.host}:{server.port} "
+            f"(max {server.scheduler.max_sessions} concurrent sessions; "
+            "Ctrl-C to stop)",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("gcx server stopped", file=sys.stderr)
+    return 0
+
+
+def _flatten(mapping: dict, prefix: str = ""):
+    """``{'a': {'b': 1}} -> [('a.b', 1)]`` for line-per-metric output."""
+    for key, value in sorted(mapping.items()):
+        if isinstance(value, dict):
+            yield from _flatten(value, f"{prefix}{key}.")
+        else:
+            yield f"{prefix}{key}", value
+
+
+def _cmd_stats(args) -> int:
+    from repro.server.client import GCXClient
+
+    with GCXClient(args.host, args.port, timeout=args.timeout) as client:
+        snapshot = client.stats()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        for name, value in _flatten(snapshot):
+            print(f"{name} = {value}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gcx",
@@ -163,6 +242,31 @@ def build_parser() -> argparse.ArgumentParser:
     xmark.add_argument("--seed", type=int, default=42)
     xmark.set_defaults(func=_cmd_xmark)
 
+    serve = sub.add_parser(
+        "serve", help="serve concurrent streaming sessions over TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="admission bound: concurrent sessions beyond this get BUSY "
+        "(default %(default)s)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats", help="print a running server's live metrics"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=DEFAULT_PORT)
+    stats.add_argument("--timeout", type=float, default=10.0)
+    stats.add_argument(
+        "--json", action="store_true", help="raw JSON instead of one line per metric"
+    )
+    stats.set_defaults(func=_cmd_stats)
+
     return parser
 
 
@@ -171,7 +275,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except (ValueError, OSError) as exc:
+    except _CLI_ERRORS as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -97,6 +97,16 @@ class PlanCacheStats:
         )
 
 
+class _Flight:
+    """One in-progress compilation that other threads can wait on."""
+
+    __slots__ = ("event", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.error: BaseException | None = None
+
+
 class PlanCache:
     """Thread-safe LRU cache of :class:`QueryPlan` objects.
 
@@ -106,6 +116,12 @@ class PlanCache:
     a primary miss the query's canonical (parsed + normalized) text is
     consulted, so differently-written but equivalent queries converge
     on one shared plan object without re-running static analysis.
+
+    Compilation is *single-flight*: when N threads miss on the same
+    plan at once, exactly one runs the static analysis while the others
+    wait on its result — a guarantee a multi-session server relies on,
+    since 64 connections opening the same query must not trigger 64
+    analyses.  ``misses`` therefore counts actual compilations.
     """
 
     def __init__(self, capacity: int = 128):
@@ -117,6 +133,8 @@ class PlanCache:
         self._plans: OrderedDict[tuple, tuple[QueryPlan, tuple]] = OrderedDict()
         #: canonical key -> primary key currently holding the plan
         self._canonical: dict[tuple, tuple] = {}
+        #: compilation key -> in-progress flight other threads join
+        self._inflight: dict[tuple, _Flight] = {}
         self._hits = 0
         self._misses = 0
         self._canonical_reuses = 0
@@ -150,9 +168,9 @@ class PlanCache:
         analysis runs (the context — e.g. the parsed/normalized ASTs —
         is passed back to ``compile_fn(query_text, context)`` on a real
         miss so the work is not repeated).  Concurrent first
-        compilations of the same query may race, in which case one
-        result wins and the duplicates are discarded — plans are
-        immutable, so either object is correct.
+        compilations of one plan are single-flighted: one thread runs
+        ``compile_fn`` while the rest wait and then take the cached
+        result (a compile failure is re-raised in every waiter).
         """
         key = self.source_key(query_text, namespace)
         with self._lock:
@@ -166,30 +184,62 @@ class PlanCache:
         if canonicalize_fn is not None:
             canonical_text, context = canonicalize_fn(query_text)
             canonical = (namespace, canonical_text)
+        # Flights dedupe on the canonical key when one is known (so
+        # differently-written equivalents share one compilation) and on
+        # the exact source key otherwise.
+        flight_key = canonical if canonical is not None else key
+        while True:
             with self._lock:
+                entry = self._plans.get(key)
+                if entry is not None:
+                    self._plans.move_to_end(key)
+                    self._hits += 1
+                    return entry[0]
+                if canonical is not None:
+                    holder = self._canonical.get(canonical)
+                    if holder is not None and holder in self._plans:
+                        # A differently-written equivalent is already
+                        # cached; alias this source to the existing plan
+                        # without re-running the analysis.
+                        plan = self._plans[holder][0]
+                        self._canonical_reuses += 1
+                        self._store(key, plan, canonical)
+                        return plan
+                flight = self._inflight.get(flight_key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[flight_key] = flight
+                    break  # this thread owns the compilation
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            # The owner stored its plan before signalling; loop to
+            # re-probe (and recompile only if it was already evicted).
+        try:
+            plan = (
+                compile_fn(query_text)
+                if context is None
+                else compile_fn(query_text, context)
+            )
+            if canonical is None:
+                canonical = (namespace, plan.canonical_text())
+            with self._lock:
+                self._misses += 1
                 holder = self._canonical.get(canonical)
                 if holder is not None and holder in self._plans:
-                    # A differently-written equivalent is already
-                    # cached; alias this source to the existing plan
-                    # without re-running the analysis.
                     plan = self._plans[holder][0]
-                    self._canonical_reuses += 1
-                    self._store(key, plan, canonical)
-                    return plan
-        plan = (
-            compile_fn(query_text)
-            if context is None
-            else compile_fn(query_text, context)
-        )
-        if canonical is None:
-            canonical = (namespace, plan.canonical_text())
-        with self._lock:
-            self._misses += 1
-            holder = self._canonical.get(canonical)
-            if holder is not None and holder in self._plans:
-                plan = self._plans[holder][0]
-            self._store(key, plan, canonical)
-        return plan
+                self._store(key, plan, canonical)
+            return plan
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            # Always retire the flight and wake the waiters — a failure
+            # anywhere above (compile, canonical_text, storage) must
+            # never leave them blocked on an unsignalled event.
+            with self._lock:
+                self._inflight.pop(flight_key, None)
+            flight.event.set()
 
     def _store(self, key: tuple, plan: QueryPlan, canonical: tuple) -> None:
         """Insert under the lock and evict past capacity."""

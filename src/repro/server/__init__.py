@@ -1,0 +1,57 @@
+"""Concurrent query service: serve many streaming sessions per process.
+
+The paper's point — active buffer garbage collection keeps per-stream
+memory tiny — only pays off when many streams share one process.  This
+package turns the compile-once / stream-many core into a measurable
+multi-client service (DESIGN.md §8):
+
+* :mod:`repro.server.protocol` — length-prefixed frames (OPEN / CHUNK /
+  FINISH / RESULT / ERROR / BUSY / STATS) usable over asyncio or
+  blocking sockets;
+* :mod:`repro.server.scheduler` — admission control: at most
+  ``max_sessions`` concurrent :class:`~repro.core.session.StreamSession`
+  instances over one shared :class:`~repro.core.plan.PlanCache`;
+* :mod:`repro.server.service` — the asyncio TCP server with
+  per-connection backpressure and graceful shutdown;
+* :mod:`repro.server.metrics` — a lock-safe registry behind the STATS
+  frame and ``gcx stats``;
+* :mod:`repro.server.client` — the blocking client the CLI, tests and
+  ``benchmarks/bench_server.py`` drive the server with.
+"""
+
+import importlib
+
+#: public name -> home module; resolved lazily (PEP 562) so that
+#: importing one light module (e.g. ``repro.server.protocol`` for
+#: DEFAULT_PORT in the CLI) does not drag in asyncio, sockets and the
+#: executor machinery of the whole service stack
+_EXPORTS = {
+    "DEFAULT_PORT": "repro.server.protocol",
+    "Frame": "repro.server.protocol",
+    "FrameType": "repro.server.protocol",
+    "ProtocolError": "repro.server.protocol",
+    "GCXClient": "repro.server.client",
+    "QueryOutcome": "repro.server.client",
+    "ServerBusyError": "repro.server.client",
+    "ServerError": "repro.server.client",
+    "ServerMetrics": "repro.server.metrics",
+    "ManagedSession": "repro.server.scheduler",
+    "SessionScheduler": "repro.server.scheduler",
+    "GCXServer": "repro.server.service",
+    "ServerThread": "repro.server.service",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    home = _EXPORTS.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(home), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

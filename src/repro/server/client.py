@@ -1,0 +1,153 @@
+"""Blocking client for the query service.
+
+Used by ``gcx stats``, the test suite and the
+``benchmarks/bench_server.py`` load generator.  The client pipelines a
+whole query — OPEN, every CHUNK, FINISH — before reading results; the
+server guarantees this cannot deadlock because after an ERROR it keeps
+draining (and discarding) the remainder of the query's frames instead
+of closing the socket under the writer.
+
+Granular ``open()`` / ``send_chunk()`` / ``finish()`` calls are public
+so tests can hold a session open (to probe admission control) or chunk
+input at chosen boundaries; :meth:`GCXClient.run_query` composes them.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.server.protocol import (
+    DEFAULT_PORT,
+    Frame,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+    read_frame_blocking,
+)
+
+#: default size of the CHUNK frames ``run_query`` cuts a string into
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+class ServerError(RuntimeError):
+    """The server answered with an ERROR frame (one-line message)."""
+
+
+class ServerBusyError(ServerError):
+    """Admission was refused (BUSY): the server is at max sessions."""
+
+
+@dataclass
+class QueryOutcome:
+    """One completed query: the output plus the server's session summary."""
+
+    output: str
+    #: the FINISH frame's JSON payload (elapsed_s, watermark, ...)
+    session: dict
+
+
+class GCXClient:
+    """One TCP connection to a :class:`~repro.server.service.GCXServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 60.0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
+        self.chunk_size = max(1, chunk_size)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # frame plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, ftype: FrameType, payload: bytes | str = b"") -> None:
+        self._sock.sendall(encode_frame(ftype, payload))
+
+    def _recv(self) -> Frame:
+        frame = read_frame_blocking(self._sock)
+        if frame is None:
+            raise ConnectionError("server closed the connection")
+        if frame.type is FrameType.ERROR:
+            raise ServerError(frame.text)
+        return frame
+
+    # ------------------------------------------------------------------
+    # the query conversation
+    # ------------------------------------------------------------------
+
+    def open(self, query_text: str) -> int:
+        """Start a session; returns the server-side session id.
+
+        Raises :class:`ServerBusyError` when admission is refused and
+        :class:`ServerError` when the query does not compile.
+        """
+        self._send(FrameType.OPEN, query_text)
+        frame = self._recv()
+        if frame.type is FrameType.BUSY:
+            raise ServerBusyError(frame.text)
+        if frame.type is not FrameType.OPENED:
+            raise ProtocolError(f"expected OPENED, got {frame.type.name}")
+        return int(frame.text)
+
+    def send_chunk(self, chunk: str) -> None:
+        """Push one XML input chunk (any boundary is fine)."""
+        if chunk:
+            self._send(FrameType.CHUNK, chunk)
+
+    def finish(self) -> QueryOutcome:
+        """End the input and collect RESULT frames until FINISH."""
+        self._send(FrameType.FINISH)
+        parts: list[str] = []
+        while True:
+            frame = self._recv()
+            if frame.type is FrameType.RESULT:
+                parts.append(frame.text)
+            elif frame.type is FrameType.FINISH:
+                summary = json.loads(frame.text) if frame.payload else {}
+                return QueryOutcome("".join(parts), summary)
+            else:
+                raise ProtocolError(
+                    f"expected RESULT or FINISH, got {frame.type.name}"
+                )
+
+    def run_query(self, query_text: str, document: str | Iterable[str]) -> QueryOutcome:
+        """Evaluate *query_text* over *document* in one conversation.
+
+        *document* may be a complete string (cut into ``chunk_size``
+        CHUNK frames) or any iterable of string chunks.
+        """
+        self.open(query_text)
+        if isinstance(document, str):
+            text = document
+            document = (
+                text[start : start + self.chunk_size]
+                for start in range(0, len(text), self.chunk_size)
+            )
+        for chunk in document:
+            self.send_chunk(chunk)
+        return self.finish()
+
+    def stats(self) -> dict:
+        """The server's metrics snapshot (the STATS frame)."""
+        self._send(FrameType.STATS)
+        frame = self._recv()
+        if frame.type is not FrameType.STATS:
+            raise ProtocolError(f"expected STATS, got {frame.type.name}")
+        return json.loads(frame.text)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "GCXClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,118 @@
+"""Lock-safe service metrics: what the STATS frame and ``gcx stats`` report.
+
+The registry is written from three kinds of threads at once — the
+asyncio event loop (admission, rejection), the feed/finish executor
+threads, and indirectly the per-session workers whose results are
+recorded at finish — so every update takes one short lock.  Latencies
+are kept in a bounded window; p50/p99 are computed on snapshot, never
+on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+def _percentile(sorted_values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(quantile * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+class ServerMetrics:
+    """Counters and latency window of one running service."""
+
+    def __init__(self, latency_window: int = 2048):
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._sessions_opened = 0
+        self._sessions_active = 0
+        self._sessions_completed = 0
+        self._sessions_failed = 0
+        self._sessions_rejected = 0
+        self._bytes_in = 0
+        self._bytes_out = 0
+        self._peak_watermark = 0
+        #: most recent session latencies, seconds (bounded window so a
+        #: long-lived server cannot grow without bound)
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def session_opened(self) -> None:
+        with self._lock:
+            self._sessions_opened += 1
+            self._sessions_active += 1
+
+    def session_finished(self, latency_seconds: float, watermark: int) -> None:
+        with self._lock:
+            self._sessions_active -= 1
+            self._sessions_completed += 1
+            self._latencies.append(latency_seconds)
+            if watermark > self._peak_watermark:
+                self._peak_watermark = watermark
+
+    def session_failed(self) -> None:
+        with self._lock:
+            self._sessions_active -= 1
+            self._sessions_failed += 1
+
+    def session_rejected(self) -> None:
+        with self._lock:
+            self._sessions_rejected += 1
+
+    def add_bytes_in(self, count: int) -> None:
+        with self._lock:
+            self._bytes_in += count
+
+    def add_bytes_out(self, count: int) -> None:
+        with self._lock:
+            self._bytes_out += count
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self, plan_cache=None) -> dict:
+        """A JSON-ready view of the registry.
+
+        *plan_cache* takes a :class:`~repro.core.plan.PlanCacheStats`;
+        when given, the snapshot includes the compile-once counters and
+        the hit rate the service's shared cache achieves.
+        """
+        with self._lock:
+            latencies = sorted(self._latencies)
+            snap = {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "sessions": {
+                    "opened": self._sessions_opened,
+                    "active": self._sessions_active,
+                    "completed": self._sessions_completed,
+                    "failed": self._sessions_failed,
+                    "rejected": self._sessions_rejected,
+                },
+                "bytes": {"in": self._bytes_in, "out": self._bytes_out},
+                "peak_buffer_watermark": self._peak_watermark,
+                "latency_ms": {
+                    "count": len(latencies),
+                    "p50": round(_percentile(latencies, 0.50) * 1000, 3),
+                    "p99": round(_percentile(latencies, 0.99) * 1000, 3),
+                },
+            }
+        if plan_cache is not None:
+            lookups = plan_cache.hits + plan_cache.misses
+            snap["plan_cache"] = {
+                "hits": plan_cache.hits,
+                "misses": plan_cache.misses,
+                "canonical_reuses": plan_cache.canonical_reuses,
+                "size": plan_cache.size,
+                "capacity": plan_cache.capacity,
+                "hit_rate": round(plan_cache.hits / lookups, 4) if lookups else 0.0,
+            }
+        return snap

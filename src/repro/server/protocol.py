@@ -1,0 +1,186 @@
+"""Length-prefixed framing for the query service.
+
+One frame is a 5-byte header — one byte of frame type, four bytes of
+big-endian payload length — followed by the payload::
+
+    +------+----------------+=================+
+    | type | payload length |     payload     |
+    | (1B) |   (4B, BE)     | (length bytes)  |
+    +------+----------------+=================+
+
+Textual payloads (queries, XML chunks, results, error messages, JSON
+stats) are UTF-8.  The same encoding serves three transports: the
+asyncio server (:func:`read_frame`), the blocking client
+(:func:`read_frame_blocking`) and anything byte-at-a-time
+(:class:`FrameDecoder`), so the tests can drive each against the
+others.
+
+Conversation shape (client frames on the left, server on the right)::
+
+    OPEN(query)       ->
+                      <-  OPENED(session id)   | BUSY(reason) | ERROR(msg)
+    CHUNK(xml)*       ->
+    FINISH()          ->
+                      <-  RESULT(output part)*
+                      <-  FINISH(session stats JSON)  | ERROR(msg)
+    STATS()           ->
+                      <-  STATS(metrics JSON)
+
+A BUSY or a query ERROR (compile failure, malformed XML, evaluation
+error) leaves the connection usable: the client may OPEN again
+(overload is refusal, never queueing — DESIGN.md §8).  Two failure
+classes close the connection instead: framing-level
+:class:`ProtocolError` cases, because byte streams cannot resynchronise
+after a corrupt header, and protocol-state violations (OPEN while a
+session is active, CHUNK/FINISH before any OPEN), because they mean
+the client's view of the conversation has diverged from the server's.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import NamedTuple
+
+#: default TCP port of the service (``gcx serve`` / ``gcx stats``)
+DEFAULT_PORT = 7733
+
+#: frame header: type byte + big-endian payload length
+HEADER = struct.Struct(">BI")
+
+#: refuse frames larger than this (a corrupt header otherwise asks the
+#: reader to allocate gigabytes)
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """The byte stream is not a well-formed frame sequence."""
+
+
+class FrameType(enum.IntEnum):
+    """Wire identifiers of the frame kinds."""
+
+    OPEN = 1  # client: start a session; payload = query text
+    CHUNK = 2  # client: next XML input chunk
+    FINISH = 3  # client: end of input / server: end of results (+stats)
+    RESULT = 4  # server: one part of the serialized output
+    ERROR = 5  # server: evaluation or protocol failure, one line
+    BUSY = 6  # server: admission refused, retry later
+    STATS = 7  # client: request metrics / server: metrics JSON
+    OPENED = 8  # server: session admitted; payload = session id
+
+
+class Frame(NamedTuple):
+    """One decoded frame."""
+
+    type: FrameType
+    payload: bytes
+
+    @property
+    def text(self) -> str:
+        """The payload decoded as UTF-8."""
+        return self.payload.decode("utf-8")
+
+
+def _check_header(type_byte: int, length: int, max_payload: int) -> FrameType:
+    try:
+        ftype = FrameType(type_byte)
+    except ValueError:
+        raise ProtocolError(f"unknown frame type {type_byte}") from None
+    if length > max_payload:
+        raise ProtocolError(
+            f"frame payload of {length} bytes exceeds the {max_payload} limit"
+        )
+    return ftype
+
+
+def encode_frame(ftype: FrameType, payload: bytes | str = b"") -> bytes:
+    """Serialize one frame; *payload* strings are UTF-8 encoded."""
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the {MAX_PAYLOAD} limit"
+        )
+    return HEADER.pack(int(ftype), len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder: feed bytes in arbitrary pieces, get frames.
+
+    Mirrors the incremental lexer's contract — any split point is fine,
+    state survives between ``feed()`` calls.
+    """
+
+    def __init__(self, max_payload: int = MAX_PAYLOAD):
+        self._buffer = bytearray()
+        self._max_payload = max_payload
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Decode every complete frame now available."""
+        self._buffer.extend(data)
+        frames: list[Frame] = []
+        while len(self._buffer) >= HEADER.size:
+            type_byte, length = HEADER.unpack_from(self._buffer)
+            ftype = _check_header(type_byte, length, self._max_payload)
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            frames.append(Frame(ftype, bytes(self._buffer[HEADER.size : end])))
+            del self._buffer[:end]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+
+async def read_frame(reader, max_payload: int = MAX_PAYLOAD) -> Frame | None:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean end of stream (connection closed at a
+    frame boundary); raises :class:`ProtocolError` when the stream ends
+    mid-frame or the header is invalid.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame header") from None
+    type_byte, length = HEADER.unpack(header)
+    ftype = _check_header(type_byte, length, max_payload)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed inside a frame payload") from None
+    return Frame(ftype, payload)
+
+
+def _recv_exactly(sock, count: int) -> bytes:
+    """Blocking read of exactly *count* bytes (short only at EOF)."""
+    parts = bytearray()
+    while len(parts) < count:
+        piece = sock.recv(count - len(parts))
+        if not piece:
+            break
+        parts.extend(piece)
+    return bytes(parts)
+
+
+def read_frame_blocking(sock, max_payload: int = MAX_PAYLOAD) -> Frame | None:
+    """Read one frame from a blocking socket (``None`` at clean EOF)."""
+    header = _recv_exactly(sock, HEADER.size)
+    if not header:
+        return None
+    if len(header) < HEADER.size:
+        raise ProtocolError("connection closed inside a frame header")
+    type_byte, length = HEADER.unpack(header)
+    ftype = _check_header(type_byte, length, max_payload)
+    payload = _recv_exactly(sock, length)
+    if len(payload) < length:
+        raise ProtocolError("connection closed inside a frame payload")
+    return Frame(ftype, payload)

@@ -1,0 +1,130 @@
+"""Session multiplexing: admission control over a shared plan cache.
+
+The scheduler is the server's policy layer.  It owns one
+:class:`~repro.core.engine.GCXEngine` (and therefore one shared
+:class:`~repro.core.plan.PlanCache`: every connection compiling the
+same query gets the same immutable plan, analysis running once), and
+it enforces the only queueing discipline the service has: at most
+``max_sessions`` concurrent :class:`~repro.core.session.StreamSession`
+instances; everything beyond that is *refused* (the caller sends BUSY),
+never queued, so overload degrades into fast rejections instead of
+unbounded memory growth.
+
+Per-session flow control is not here — it falls out of the session's
+own bounded chunk channel: ``ManagedSession.feed`` blocks while the
+channel is full, and the connection handler awaits that call before
+reading the next frame, so a fast producer is paused at the socket.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+from repro.core.engine import GCXEngine, RunResult
+from repro.server.metrics import ServerMetrics
+
+#: default admission bound of a service
+DEFAULT_MAX_SESSIONS = 64
+
+
+class ManagedSession:
+    """One admitted session plus its accounting.
+
+    Wraps a :class:`~repro.core.session.StreamSession` so that exactly
+    one release — on :meth:`finish` or :meth:`abort`, whichever comes
+    first — returns the admission slot and records the outcome.
+    """
+
+    def __init__(self, scheduler: "SessionScheduler", session, session_id: int):
+        self._scheduler = scheduler
+        self._session = session
+        self.id = session_id
+        self._opened = time.perf_counter()
+        self._released = False
+
+    def feed(self, chunk: str) -> None:
+        """Forward one input chunk (blocks under backpressure).
+
+        Byte accounting is the caller's job — the service counts the
+        wire bytes of the CHUNK frame, which a decoded ``str`` cannot
+        reproduce for non-ASCII input.
+        """
+        self._session.feed(chunk)
+
+    def finish(self) -> RunResult:
+        """Close the input side and collect the result."""
+        result = self._session.finish()
+        self._scheduler._release(self, result)
+        return result
+
+    def abort(self) -> None:
+        """Tear the session down (errors, client gone, shutdown)."""
+        self._session.abort()
+        self._scheduler._release(self, None)
+
+
+class SessionScheduler:
+    """Admit sessions while capacity lasts; refuse cleanly beyond it."""
+
+    def __init__(
+        self,
+        engine: GCXEngine | None = None,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        metrics: ServerMetrics | None = None,
+    ):
+        #: all sessions share this engine's plan cache; record_series is
+        #: off because a server never plots per-token series and the
+        #: series would grow with the document
+        self.engine = engine if engine is not None else GCXEngine(record_series=False)
+        self.max_sessions = max(1, max_sessions)
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self._lock = threading.Lock()
+        self._active = 0
+        self._ids = itertools.count(1)
+
+    @property
+    def active(self) -> int:
+        """Sessions currently holding an admission slot."""
+        with self._lock:
+            return self._active
+
+    def try_admit(self, query_text: str) -> ManagedSession | None:
+        """Admit a session for *query_text*, or ``None`` when full.
+
+        Compilation goes through the shared plan cache; compile errors
+        (unparsable query, unsupported fragment) propagate to the
+        caller after the provisional slot is returned.
+        """
+        with self._lock:
+            if self._active >= self.max_sessions:
+                self.metrics.session_rejected()
+                return None
+            self._active += 1
+        try:
+            plan = self.engine.compile(query_text)
+            session = self.engine.session(plan)
+        except BaseException:
+            with self._lock:
+                self._active -= 1
+            raise
+        self.metrics.session_opened()
+        return ManagedSession(self, session, next(self._ids))
+
+    def _release(self, managed: ManagedSession, result: RunResult | None) -> None:
+        with self._lock:
+            if managed._released:
+                return
+            managed._released = True
+            self._active -= 1
+        if result is not None:
+            self.metrics.session_finished(
+                time.perf_counter() - managed._opened, result.stats.watermark
+            )
+        else:
+            self.metrics.session_failed()
+
+    def snapshot(self) -> dict:
+        """Service metrics plus the shared plan cache's counters."""
+        return self.metrics.snapshot(plan_cache=self.engine.plan_cache.stats)

@@ -1,0 +1,375 @@
+"""The asyncio TCP service: many concurrent streaming sessions, one process.
+
+Each connection is one handler task reading frames in order.  The
+pull-chain work — ``feed()`` under backpressure, ``finish()`` — runs in
+a bounded thread pool via ``run_in_executor`` so the event loop never
+blocks; because the handler *awaits* each feed before reading the next
+frame, a session whose chunk channel is full transparently pauses that
+connection's reads (per-connection backpressure) while every other
+connection keeps streaming.
+
+Failure semantics (DESIGN.md §8):
+
+* admission refused → BUSY; the connection stays usable and may retry;
+* query compile error / malformed XML / evaluation error → one ERROR
+  frame with a one-line message; the remainder of that query's frames
+  is drained and discarded so a pipelining client never deadlocks, and
+  the connection stays usable for the next OPEN;
+* framing error or protocol-state violation (OPEN mid-session, CHUNK
+  before any OPEN) → ERROR, then the connection closes: the byte
+  stream (or the client's view of the conversation) can no longer be
+  trusted.
+
+Shutdown closes the listener, cancels the connection tasks and aborts
+their sessions; :class:`ServerThread` packages start/stop on a daemon
+thread for blocking callers (tests, benchmarks, the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.evaluator import EvaluationError
+from repro.core.session import SessionStateError
+from repro.server.protocol import (
+    Frame,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+)
+from repro.server.scheduler import DEFAULT_MAX_SESSIONS, SessionScheduler
+from repro.xmlio.errors import XmlStarvedError
+
+#: everything a query can fail with that deserves an ERROR frame (the
+#: ValueError family covers XmlSyntaxError, XQueryParseError,
+#: NormalizationError, AnalysisError, MatcherError, ...)
+QUERY_ERRORS = (ValueError, XmlStarvedError, EvaluationError, SessionStateError)
+
+#: serialized output is returned in RESULT frames of at most this size,
+#: so one huge result never occupies a single giant frame
+DEFAULT_RESULT_FRAME_SIZE = 64 * 1024
+
+
+def _one_line(exc: BaseException) -> str:
+    """A single-line ``Type: message`` rendering of an exception."""
+    text = f"{type(exc).__name__}: {exc}"
+    return text.splitlines()[0] if text else type(exc).__name__
+
+
+def _abort_orphaned_admission(future) -> None:
+    """Release a session admitted after its handler was cancelled.
+
+    ``abort()`` joins the session's worker thread, so it runs on a
+    throwaway thread rather than the event loop (the server's executor
+    may already be shutting down when this fires).
+    """
+    try:
+        managed = future.result()
+    except BaseException:  # noqa: BLE001 - admission failed: nothing to release
+        return
+    if managed is not None:
+        threading.Thread(
+            target=managed.abort, name="gcx-abort-orphan", daemon=True
+        ).start()
+
+
+class GCXServer:
+    """Asyncio TCP front end over a :class:`SessionScheduler`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        scheduler: SessionScheduler | None = None,
+        result_frame_size: int = DEFAULT_RESULT_FRAME_SIZE,
+    ):
+        self.host = host
+        self.port = port  # 0 = ephemeral; replaced by the bound port on start()
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else SessionScheduler(max_sessions=max_sessions)
+        )
+        self.result_frame_size = max(1, result_frame_size)
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        # feed()/finish() block (backpressure, drain); give every
+        # admissible session its own executor slot so one stalled
+        # producer cannot starve the others.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.scheduler.max_sessions + 4,
+            thread_name_prefix="gcx-serve",
+        )
+
+    @property
+    def metrics(self):
+        return self.scheduler.metrics
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "GCXServer":
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(self._on_client, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, cancel live connections, abort their sessions.
+
+        Handlers are cancelled *before* ``wait_closed()`` is awaited:
+        from Python 3.12.1 on, ``wait_closed`` blocks until every
+        connection handler returns, so the old order would deadlock on
+        a client parked in ``read_frame``.
+        """
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # per-connection protocol
+    # ------------------------------------------------------------------
+
+    async def _on_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._handle_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown cancelled this connection: end the task cleanly
+            # (start_server's done-callback re-raises a cancelled state
+            # as event-loop noise otherwise).
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _send(self, writer, ftype: FrameType, payload: bytes | str = b"") -> None:
+        writer.write(encode_frame(ftype, payload))
+        await writer.drain()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        loop = asyncio.get_running_loop()
+        session = None  # the ManagedSession of the query in flight
+        discarding = False  # drain this query's frames after an ERROR
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    with contextlib.suppress(ConnectionError):
+                        await self._send(writer, FrameType.ERROR, _one_line(exc))
+                    return
+                if frame is None:
+                    return
+
+                if frame.type is FrameType.STATS:
+                    payload = json.dumps(self.scheduler.snapshot(), sort_keys=True)
+                    await self._send(writer, FrameType.STATS, payload)
+
+                elif frame.type is FrameType.OPEN:
+                    if session is not None:
+                        await self._send(
+                            writer, FrameType.ERROR, "OPEN while a session is active"
+                        )
+                        return
+                    # An OPEN always starts a fresh query — it ends any
+                    # drain from a previous refusal, so a client that got
+                    # ERROR/BUSY can retry on the same connection.
+                    discarding = False
+                    try:
+                        query_text = frame.text
+                    except UnicodeDecodeError as exc:
+                        await self._send(writer, FrameType.ERROR, _one_line(exc))
+                        discarding = True
+                        continue
+                    # Compilation (parse + static analysis on a cache
+                    # miss) is CPU work: keep it off the event loop.
+                    admit = loop.run_in_executor(
+                        self._executor, self.scheduler.try_admit, query_text
+                    )
+                    try:
+                        session = await asyncio.shield(admit)
+                    except asyncio.CancelledError:
+                        # Shutdown cancelled this handler while admission
+                        # was still running on its executor thread; the
+                        # slot it may yet win must not leak.
+                        admit.add_done_callback(_abort_orphaned_admission)
+                        raise
+                    except QUERY_ERRORS as exc:
+                        await self._send(writer, FrameType.ERROR, _one_line(exc))
+                        discarding = True  # drop this query's pipelined frames
+                        continue
+                    if session is None:
+                        await self._send(
+                            writer,
+                            FrameType.BUSY,
+                            f"server is at its {self.scheduler.max_sessions}-session limit",
+                        )
+                        discarding = True  # drop this query's pipelined frames
+                        continue
+                    await self._send(writer, FrameType.OPENED, str(session.id))
+
+                elif frame.type is FrameType.CHUNK:
+                    if discarding:
+                        continue
+                    if session is None:
+                        await self._send(writer, FrameType.ERROR, "CHUNK before OPEN")
+                        return
+                    self.metrics.add_bytes_in(len(frame.payload))
+                    try:
+                        await loop.run_in_executor(
+                            self._executor, session.feed, frame.text
+                        )
+                    except QUERY_ERRORS as exc:
+                        session, discarding = await self._fail_query(
+                            writer, session, exc
+                        )
+
+                elif frame.type is FrameType.FINISH:
+                    if discarding:
+                        # End of the query whose ERROR was already sent.
+                        discarding = False
+                        continue
+                    if session is None:
+                        await self._send(writer, FrameType.ERROR, "FINISH before OPEN")
+                        return
+                    try:
+                        result = await loop.run_in_executor(
+                            self._executor, session.finish
+                        )
+                    except QUERY_ERRORS as exc:
+                        # Nothing of this query follows FINISH: no drain.
+                        session, _ = await self._fail_query(writer, session, exc)
+                        discarding = False
+                        continue
+                    session = None
+                    await self._send_result(writer, result)
+
+                else:
+                    await self._send(
+                        writer, FrameType.ERROR, f"unexpected {frame.type.name} frame"
+                    )
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; the finally block reclaims the slot
+        finally:
+            if session is not None:
+                # Never block the event loop on the worker join.
+                self._executor.submit(session.abort)
+
+    async def _fail_query(self, writer, session, exc) -> tuple[None, bool]:
+        """Send ERROR, reclaim the slot, and switch to draining mode."""
+        self._executor.submit(session.abort)
+        await self._send(writer, FrameType.ERROR, _one_line(exc))
+        return None, True
+
+    async def _send_result(self, writer, result) -> None:
+        output = result.output
+        # Slice by characters so every RESULT frame stays valid UTF-8 on
+        # its own (the byte size is bounded by 4x the character count);
+        # the bytes_out metric counts actual wire bytes.
+        step = self.result_frame_size
+        for start in range(0, len(output), step):
+            part = output[start : start + step].encode("utf-8")
+            self.metrics.add_bytes_out(len(part))
+            await self._send(writer, FrameType.RESULT, part)
+        summary = json.dumps(
+            {
+                "elapsed_s": round(result.stats.elapsed, 6),
+                "watermark": result.stats.watermark,
+                "tokens": result.stats.tokens,
+                "output_chars": result.stats.output_chars,
+            },
+            sort_keys=True,
+        )
+        await self._send(writer, FrameType.FINISH, summary)
+
+
+class ServerThread:
+    """A :class:`GCXServer` running on a background daemon thread.
+
+    Blocking code — tests, ``benchmarks/bench_server.py``, the CI smoke
+    job — uses this as a context manager::
+
+        with ServerThread(max_sessions=8) as handle:
+            client = GCXClient(handle.host, handle.port)
+            ...
+    """
+
+    def __init__(self, **server_kwargs):
+        self._server_kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self.server: GCXServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="gcx-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread did not start within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+        finally:
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        server = GCXServer(**self._server_kwargs)
+        await server.start()
+        self.server = server
+        self.host = server.host
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.shutdown()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

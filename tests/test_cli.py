@@ -1,9 +1,13 @@
 """Tests for the command-line interface."""
 
+import builtins
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 from repro.datasets.bib import BIB_QUERY, figure3c_document
+from repro.xmlio.errors import XmlStarvedError
 
 
 @pytest.fixture
@@ -41,6 +45,73 @@ class TestRun:
         assert main(["run", str(tmp_path / "nope.xq"), str(tmp_path / "n.xml")]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_input_read_in_bounded_chunks(self, workload, monkeypatch, capsys):
+        """`run` must stream the document, never slurp it."""
+        query, xml = workload
+        reads: list[int] = []
+        real_open = builtins.open
+
+        class SpyHandle:
+            def __init__(self, handle):
+                self._handle = handle
+
+            def read(self, size=-1):
+                reads.append(size)
+                return self._handle.read(size)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._handle.close()
+
+            def __getattr__(self, name):
+                return getattr(self._handle, name)
+
+        def spy_open(path, *args, **kwargs):
+            handle = real_open(path, *args, **kwargs)
+            return SpyHandle(handle) if str(path) == xml else handle
+
+        monkeypatch.setattr(builtins, "open", spy_open)
+        assert main(["run", query, xml, "--chunk-size", "512"]) == 0
+        assert reads, "the input file was never read through its handle"
+        assert all(size == 512 for size in reads)
+
+
+class TestErrorMapping:
+    def test_malformed_input_exits_nonzero_with_one_line(self, tmp_path, capsys):
+        query = tmp_path / "query.xq"
+        query.write_text(BIB_QUERY, encoding="utf-8")
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<bib><book></bib>", encoding="utf-8")
+        assert main(["run", str(query), str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_truncated_input_exits_nonzero(self, tmp_path, capsys):
+        query = tmp_path / "query.xq"
+        query.write_text(BIB_QUERY, encoding="utf-8")
+        truncated = tmp_path / "truncated.xml"
+        truncated.write_text("<bib><book><title>unfin", encoding="utf-8")
+        assert main(["run", str(query), str(truncated)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "unexpected end of input" in err
+
+    def test_starved_lexer_maps_to_clean_exit(self, workload, monkeypatch, capsys):
+        query, xml = workload
+        monkeypatch.setattr(
+            "repro.cli._evaluate",
+            lambda *args, **kwargs: (_ for _ in ()).throw(
+                XmlStarvedError("no complete token buffered")
+            ),
+        )
+        assert main(["run", query, xml]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no complete token buffered" in err
+
 
 class TestExplain:
     def test_explain_prints_roles_and_signoffs(self, workload, capsys):
@@ -67,3 +138,41 @@ class TestXmark:
         out = capsys.readouterr().out
         assert out.startswith("<site>")
         assert out.endswith("</site>")
+
+
+class TestServeAndStats:
+    @pytest.fixture(scope="class")
+    def live_server(self):
+        from repro.server.service import ServerThread
+
+        with ServerThread(max_sessions=4) as handle:
+            yield handle
+
+    def test_serve_subcommand_is_wired(self):
+        args = build_parser().parse_args(["serve", "--port", "0", "--max-sessions", "3"])
+        assert args.port == 0
+        assert args.max_sessions == 3
+        assert args.func.__name__ == "_cmd_serve"
+
+    def test_stats_pretty_output(self, live_server, capsys):
+        assert main(["stats", "--port", str(live_server.port)]) == 0
+        out = capsys.readouterr().out
+        assert "sessions.opened = " in out
+        assert "plan_cache.hit_rate = " in out
+        assert "latency_ms.p99 = " in out
+
+    def test_stats_json_output(self, live_server, capsys):
+        assert main(["stats", "--port", str(live_server.port), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["sessions"]["active"] == 0
+        assert "bytes" in snapshot
+
+    def test_stats_against_dead_server_reports_error(self, capsys):
+        # A port nothing listens on: connection refused -> one-line error.
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        assert main(["stats", "--port", str(free_port), "--timeout", "2"]) == 1
+        assert capsys.readouterr().err.startswith("error:")

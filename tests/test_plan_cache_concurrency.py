@@ -1,0 +1,237 @@
+"""Plan-cache thread safety: concurrent compilation is single-flight.
+
+The server admits many connections that open the same query at the
+same instant; the cache must run the static analysis once per
+canonical plan no matter how the compilations interleave, and its
+hit/miss counters must stay consistent (``misses`` == actual
+compilations).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.engine import GCXEngine
+from repro.core.plan import PlanCache
+
+QUERY = "<r>{ for $x in /doc/item return $x }</r>"
+
+
+@dataclass
+class _FakePlan:
+    """Stands in for a QueryPlan: only canonical_text() is consulted."""
+
+    canonical: str
+    payload: object = field(default_factory=object)
+
+    def canonical_text(self) -> str:
+        return self.canonical
+
+
+class _SlowCompiler:
+    """Counts invocations and dawdles so racing threads really overlap."""
+
+    def __init__(self, canonical_of=lambda text: text.strip(), delay=0.02):
+        self.calls: list[str] = []
+        self._lock = threading.Lock()
+        self._canonical_of = canonical_of
+        self._delay = delay
+
+    def __call__(self, query_text, context=None):
+        with self._lock:
+            self.calls.append(query_text)
+        time.sleep(self._delay)
+        return _FakePlan(self._canonical_of(query_text))
+
+
+def _run_threads(count, target):
+    barrier = threading.Barrier(count)
+    results: list[object] = [None] * count
+    errors: list[BaseException] = []
+
+    def runner(index):
+        try:
+            barrier.wait(timeout=30)
+            results[index] = target(index)
+        except BaseException as exc:  # noqa: BLE001 - asserted by callers
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    return results, errors
+
+
+class TestSingleFlight:
+    def test_same_query_compiles_once_across_threads(self):
+        cache = PlanCache()
+        compiler = _SlowCompiler()
+        results, errors = _run_threads(
+            16, lambda _i: cache.get_or_compile(QUERY, compiler)
+        )
+        assert not errors
+        assert len(compiler.calls) == 1
+        assert all(plan is results[0] for plan in results)
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 15
+        assert stats.size == 1
+
+    def test_distinct_queries_compile_once_each(self):
+        cache = PlanCache()
+        compiler = _SlowCompiler()
+        queries = [f"<r>{{ for $x in /doc/q{n} return $x }}</r>" for n in range(4)]
+        results, errors = _run_threads(
+            16, lambda i: cache.get_or_compile(queries[i % 4], compiler)
+        )
+        assert not errors
+        assert sorted(compiler.calls) == sorted(queries)
+        for index, plan in enumerate(results):
+            assert plan is results[index % 4]
+        stats = cache.stats
+        assert stats.misses == 4
+        assert stats.hits == 12
+        assert stats.size == 4
+
+    def test_whitespace_variants_share_one_flight(self):
+        """Distinct sources with one canonical form analyse once."""
+        cache = PlanCache()
+        compiler = _SlowCompiler(canonical_of=lambda text: text.strip())
+
+        def canonicalize(query_text):
+            return query_text.strip(), None
+
+        variants = [QUERY + " " * pad for pad in range(8)]
+        results, errors = _run_threads(
+            8,
+            lambda i: cache.get_or_compile(
+                variants[i], compiler, canonicalize_fn=canonicalize
+            ),
+        )
+        assert not errors
+        assert len(compiler.calls) == 1
+        assert all(plan is results[0] for plan in results)
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.canonical_reuses == 7
+        assert stats.hits == 0
+
+    def test_failure_after_successful_compile_releases_flight(self):
+        """A raise *after* compile_fn (canonical_text, storage) must
+        retire the flight — otherwise the next lookup waits forever."""
+
+        class _BadPlan:
+            def canonical_text(self):
+                raise RuntimeError("canonicalization exploded")
+
+        cache = PlanCache()
+        with pytest.raises(RuntimeError, match="canonicalization exploded"):
+            cache.get_or_compile(QUERY, lambda text, context=None: _BadPlan())
+        # The flight is gone: this would hang before the fix.
+        good = _SlowCompiler(delay=0)
+        cache.get_or_compile(QUERY, good)
+        assert len(good.calls) == 1
+        assert cache.stats.misses == 1
+
+    def test_compile_failure_released_to_all_waiters(self):
+        cache = PlanCache()
+        attempts: list[str] = []
+        lock = threading.Lock()
+
+        def failing(query_text, context=None):
+            with lock:
+                attempts.append(query_text)
+            time.sleep(0.01)
+            raise ValueError("analysis rejected the query")
+
+        results, errors = _run_threads(
+            8, lambda _i: cache.get_or_compile(QUERY, failing)
+        )
+        assert len(errors) == 8
+        assert all(isinstance(exc, ValueError) for exc in errors)
+        assert all(result is None for result in results)
+        assert cache.stats.misses == 0  # nothing was ever cached
+        # The failed flight is gone: a later compile succeeds normally.
+        good = _SlowCompiler(delay=0)
+        plan = cache.get_or_compile(QUERY, good)
+        assert len(good.calls) == 1
+        assert cache.get_or_compile(QUERY, good) is plan
+        assert cache.stats.misses == 1
+
+
+class TestEngineLevel:
+    def test_concurrent_engine_compiles_run_analysis_once(self, monkeypatch):
+        import repro.core.engine as engine_module
+
+        engine = GCXEngine()
+        calls: list[int] = []
+        lock = threading.Lock()
+        real_analyze = engine_module.analyze_query
+
+        def counting_analyze(*args, **kwargs):
+            with lock:
+                calls.append(1)
+            time.sleep(0.02)
+            return real_analyze(*args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "analyze_query", counting_analyze)
+        results, errors = _run_threads(16, lambda _i: engine.compile(QUERY))
+        assert not errors
+        assert len(calls) == 1
+        assert all(plan is results[0] for plan in results)
+        stats = engine.plan_cache.stats
+        assert stats.misses == 1
+        assert stats.hits + stats.misses + stats.canonical_reuses == 16
+
+    def test_concurrent_whitespace_variants_share_plan(self, monkeypatch):
+        import repro.core.engine as engine_module
+
+        engine = GCXEngine()
+        calls: list[int] = []
+        lock = threading.Lock()
+        real_analyze = engine_module.analyze_query
+
+        def counting_analyze(*args, **kwargs):
+            with lock:
+                calls.append(1)
+            time.sleep(0.02)
+            return real_analyze(*args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "analyze_query", counting_analyze)
+        variants = [f"<r>{{ for $x in /doc/item{'  ' * pad} return $x }}</r>" for pad in range(8)]
+        results, errors = _run_threads(8, lambda i: engine.compile(variants[i]))
+        assert not errors
+        assert len(calls) == 1
+        assert all(plan is results[0] for plan in results)
+        stats = engine.plan_cache.stats
+        assert stats.misses == 1
+        assert stats.canonical_reuses == 7
+
+
+class TestSequentialInvariantsStillHold:
+    """The single-flight rework must not change sequential behaviour."""
+
+    def test_exact_text_hit(self):
+        cache = PlanCache()
+        compiler = _SlowCompiler(delay=0)
+        first = cache.get_or_compile(QUERY, compiler)
+        second = cache.get_or_compile(QUERY, compiler)
+        assert first is second
+        assert len(compiler.calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_then_recompile(self):
+        cache = PlanCache(capacity=1)
+        compiler = _SlowCompiler(delay=0)
+        cache.get_or_compile("q-one", compiler)
+        cache.get_or_compile("q-two", compiler)  # evicts q-one
+        cache.get_or_compile("q-one", compiler)
+        assert compiler.calls == ["q-one", "q-two", "q-one"]
+        assert cache.stats.misses == 3

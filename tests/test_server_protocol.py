@@ -1,0 +1,70 @@
+"""Framing protocol: encoding, incremental decoding, guard rails."""
+
+import pytest
+
+from repro.server.protocol import (
+    HEADER,
+    MAX_PAYLOAD,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+)
+
+
+class TestEncode:
+    def test_header_layout(self):
+        frame = encode_frame(FrameType.OPEN, b"abc")
+        assert frame[:HEADER.size] == HEADER.pack(1, 3)
+        assert frame[HEADER.size:] == b"abc"
+
+    def test_str_payload_is_utf8(self):
+        frame = encode_frame(FrameType.CHUNK, "<é/>")
+        assert frame.endswith("<é/>".encode("utf-8"))
+
+    def test_empty_payload(self):
+        assert encode_frame(FrameType.FINISH) == HEADER.pack(3, 0)
+
+    def test_oversize_payload_refused(self):
+        decoder = FrameDecoder(max_payload=10)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(HEADER.pack(int(FrameType.CHUNK), 11))
+
+
+class TestFrameDecoder:
+    def test_roundtrip_all_types(self):
+        payloads = {ftype: f"payload-{ftype.name}".encode() for ftype in FrameType}
+        wire = b"".join(encode_frame(t, p) for t, p in payloads.items())
+        frames = FrameDecoder().feed(wire)
+        assert frames == [Frame(t, p) for t, p in payloads.items()]
+
+    def test_byte_at_a_time(self):
+        wire = encode_frame(FrameType.OPEN, b"q") + encode_frame(
+            FrameType.CHUNK, b"<doc/>"
+        )
+        decoder = FrameDecoder()
+        frames = []
+        for index in range(len(wire)):
+            frames.extend(decoder.feed(wire[index : index + 1]))
+        assert [frame.type for frame in frames] == [FrameType.OPEN, FrameType.CHUNK]
+        assert frames[1].text == "<doc/>"
+        assert decoder.pending_bytes == 0
+
+    def test_partial_frame_stays_pending(self):
+        wire = encode_frame(FrameType.RESULT, b"half")
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:-2]) == []
+        assert decoder.pending_bytes == len(wire) - 2
+        assert decoder.feed(wire[-2:]) == [Frame(FrameType.RESULT, b"half")]
+
+    def test_unknown_frame_type(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            FrameDecoder().feed(HEADER.pack(99, 0))
+
+    def test_text_property_decodes_utf8(self):
+        (frame,) = FrameDecoder().feed(encode_frame(FrameType.ERROR, "bad ✗"))
+        assert frame.text == "bad ✗"
+
+    def test_max_payload_constant_sane(self):
+        assert MAX_PAYLOAD >= 1024 * 1024

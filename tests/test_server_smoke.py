@@ -1,0 +1,52 @@
+"""CI smoke test: a real server, 8 concurrent clients, XMark Q1.
+
+Deliberately small and self-contained — the CI workflow runs exactly
+this module under a hard timeout to prove the service stack (framing,
+admission, backpressure, shutdown) works end to end on a fresh
+checkout.  Byte-identity against a one-shot ``GCXEngine.run`` is the
+acceptance bar: serving must never change a result.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.engine import GCXEngine
+from repro.server.client import GCXClient
+from repro.server.service import ServerThread
+from repro.xmark.queries import ADAPTED_QUERIES
+
+CLIENTS = 8
+
+
+def test_eight_concurrent_clients_byte_identical(xmark_small):
+    query = ADAPTED_QUERIES["q1"].text
+    expected = GCXEngine(record_series=False).query(query, xmark_small).output
+
+    barrier = threading.Barrier(CLIENTS)
+    outputs: list[str | None] = [None] * CLIENTS
+    errors: list[BaseException] = []
+
+    def drive(index: int, host: str, port: int) -> None:
+        try:
+            with GCXClient(host, port, chunk_size=8192) as client:
+                barrier.wait(timeout=30)
+                outputs[index] = client.run_query(query, xmark_small).output
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    with ServerThread(max_sessions=CLIENTS) as handle:
+        threads = [
+            threading.Thread(target=drive, args=(i, handle.host, handle.port))
+            for i in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        snapshot = handle.server.scheduler.snapshot()
+
+    assert not errors
+    assert all(output == expected for output in outputs)
+    assert snapshot["sessions"]["completed"] == CLIENTS
+    assert snapshot["plan_cache"]["misses"] == 1
