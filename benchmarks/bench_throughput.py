@@ -1,16 +1,21 @@
 """Microbenchmarks: throughput of the pipeline stages.
 
 Not a paper table, but the numbers the paper's timing column depends
-on: raw lexer speed (whole-string and chunked), projector speed with a
-selective vs subtree-heavy path set, full engine throughput in pull
-mode and through a push-based :class:`StreamSession`, and the cost of
-compilation with and without the plan cache.  Useful for tracking
-performance regressions of the reproduction itself.
+on: raw lexer speed (token objects, chunked input, and the slotted
+event fast path), projector speed with a selective path set for both
+the interpreting NFA and the compiled lazy-DFA kernel, full engine
+throughput in pull mode (again both kernels) and through a push-based
+:class:`StreamSession`, and the cost of compilation with and without
+the plan cache.  Useful for tracking performance regressions of the
+reproduction itself.
 
 Besides the pytest-benchmark timings, every test records one plain
 measurement into ``BENCH_throughput.json`` at the repository root
-(MB/s and peak buffered nodes), so the perf trajectory stays diffable
-across pull requests.
+(MB/s — or ops/s for compile-style entries — and peak buffered
+nodes), so the perf trajectory stays diffable across pull requests.
+``engine_q1_pull`` deliberately stays pinned to the interpreting
+oracle: the ``engine_q1_compiled`` / ``engine_q1_pull`` ratio is the
+compiled kernel's speedup, and CI fails when it drops below 1.
 """
 
 from __future__ import annotations
@@ -21,11 +26,11 @@ import time
 import pytest
 
 from repro.bench.harness import run_chunked
-from repro.bench.reporting import merge_bench_json
+from repro.bench.reporting import merge_bench_json, throughput_entry
 from repro.core.buffer import Buffer
 from repro.core.engine import GCXEngine
-from repro.core.matcher import PathMatcher
-from repro.core.projector import StreamProjector
+from repro.core.matcher import PathDFA, PathMatcher
+from repro.core.projector import CompiledStreamProjector, StreamProjector
 from repro.xmark.queries import ADAPTED_QUERIES
 from repro.xmlio.lexer import make_lexer, tokenize
 from repro.xpath.parser import parse_path
@@ -41,12 +46,7 @@ _records: dict[str, dict] = {}
 
 def _record(name: str, seconds: float, input_bytes: int, peak_buffer: int) -> None:
     """One measurement entry for the JSON file."""
-    _records[name] = {
-        "mb_per_s": round(input_bytes / 1e6 / seconds, 3) if seconds else 0.0,
-        "seconds": round(seconds, 5),
-        "input_bytes": input_bytes,
-        "peak_buffer_nodes": peak_buffer,
-    }
+    _records[name] = throughput_entry(seconds, input_bytes, peak_buffer)
 
 
 def _record_benchmark(
@@ -111,6 +111,26 @@ def test_lexer_chunked_throughput(benchmark, document):
     _record_benchmark(benchmark, run, "lexer_chunked", len(document), 0)
 
 
+def test_lexer_event_fast_path_throughput(benchmark, document):
+    """The slotted event fast path: tuples via tokens_into(), no
+    StartTag/Attribute/Text allocation."""
+
+    def run():
+        lexer = make_lexer(document)
+        sink: list = []
+        count = 0
+        while True:
+            got = lexer.tokens_into(sink)
+            if not got:
+                return count + len(sink)
+            count += len(sink)
+            sink.clear()
+
+    tokens = benchmark(run)
+    assert tokens > 10_000
+    _record_benchmark(benchmark, run, "lexer_events", len(document), 0)
+
+
 def test_projector_selective_path(benchmark, document):
     """A selective path set: most of the stream is skipped."""
     paths = [("r1", parse_path("/site/people/person"))]
@@ -125,6 +145,23 @@ def test_projector_selective_path(benchmark, document):
     tokens = benchmark(run)
     assert tokens > 10_000
     _record_benchmark(benchmark, run, "projector_selective", len(document), 0)
+
+
+def test_projector_dfa_selective_path(benchmark, document):
+    """The compiled kernel on the same selective path set: DFA-state
+    integers on the stack, memoized transitions, lexer-level skips."""
+    paths = [("r1", parse_path("/site/people/person"))]
+    dfa = PathDFA(PathMatcher(paths))  # shared memo, as plans share it
+
+    def run():
+        buffer = Buffer()
+        buffer.stats.record_series = False
+        CompiledStreamProjector(make_lexer(document), dfa, buffer).run_to_end()
+        return buffer.stats.tokens
+
+    tokens = benchmark(run)
+    assert tokens > 10_000
+    _record_benchmark(benchmark, run, "projector_dfa", len(document), 0)
 
 
 def test_projector_subtree_heavy_path(benchmark, document):
@@ -146,7 +183,9 @@ def test_projector_subtree_heavy_path(benchmark, document):
 
 
 def test_engine_q1_throughput(benchmark, document):
-    engine = GCXEngine(record_series=False)
+    """Pull mode through the interpreting NFA projector (the oracle) —
+    the fixed baseline the compiled kernel is gated against."""
+    engine = GCXEngine(record_series=False, compiled=False)
     compiled = engine.compile(ADAPTED_QUERIES["q1"].text)
 
     result = benchmark.pedantic(
@@ -157,6 +196,30 @@ def test_engine_q1_throughput(benchmark, document):
         benchmark,
         lambda: engine.run(compiled, document),
         "engine_q1_pull",
+        len(document),
+        result.stats.watermark,
+    )
+
+
+def test_engine_q1_compiled_throughput(benchmark, document):
+    """Pull mode through the compiled lazy-DFA kernel (the default)."""
+    engine = GCXEngine(record_series=False)
+    compiled = engine.compile(ADAPTED_QUERIES["q1"].text)
+    oracle = GCXEngine(record_series=False, compiled=False)
+
+    result = benchmark.pedantic(
+        lambda: engine.run(compiled, document), rounds=3, iterations=1
+    )
+    assert result.stats.final_buffered == 0
+    # byte-identical to the oracle, not merely "passes its own tests"
+    reference = oracle.run(oracle.compile(ADAPTED_QUERIES["q1"].text), document)
+    assert result.output == reference.output
+    assert result.stats.watermark == reference.stats.watermark
+    assert result.stats.tokens == reference.stats.tokens
+    _record_benchmark(
+        benchmark,
+        lambda: engine.run(compiled, document),
+        "engine_q1_compiled",
         len(document),
         result.stats.watermark,
     )

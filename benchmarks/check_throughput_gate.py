@@ -1,0 +1,61 @@
+"""CI gate over ``BENCH_throughput.json``: the compiled kernel must win.
+
+Run after ``benchmarks/bench_throughput.py`` has refreshed the JSON.
+Fails (exit 1) when the ``engine_q1_compiled`` entry is missing,
+unmeasured, or slower than the interpreting-oracle baseline
+``engine_q1_pull`` — i.e. whenever a change would silently regress the
+compiled streaming kernel below the machinery it exists to replace.
+
+Usage::
+
+    python benchmarks/check_throughput_gate.py [path/to/BENCH_throughput.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_throughput.json",
+)
+
+
+def check(path: str) -> str:
+    """Return a success message, or raise SystemExit with the failure."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            entries = json.load(handle).get("entries", {})
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"gate: cannot read {path}: {exc}")
+    missing = [
+        name
+        for name in ("engine_q1_compiled", "engine_q1_pull")
+        if name not in entries
+    ]
+    if missing:
+        raise SystemExit(
+            f"gate: {path} lacks {', '.join(missing)} — did the "
+            "throughput benchmark run?"
+        )
+    compiled = entries["engine_q1_compiled"].get("mb_per_s", 0.0)
+    pull = entries["engine_q1_pull"].get("mb_per_s", 0.0)
+    if not compiled:
+        raise SystemExit("gate: engine_q1_compiled was not measured (0 MB/s)")
+    if compiled < pull:
+        raise SystemExit(
+            f"gate: compiled kernel regressed below the interpreting "
+            f"oracle: engine_q1_compiled {compiled} MB/s < "
+            f"engine_q1_pull {pull} MB/s"
+        )
+    ratio = compiled / pull if pull else float("inf")
+    return (
+        f"gate: ok — engine_q1_compiled {compiled} MB/s vs "
+        f"engine_q1_pull {pull} MB/s ({ratio:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    print(check(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_PATH))

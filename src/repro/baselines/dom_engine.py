@@ -23,7 +23,6 @@ from repro.xmlio.dom import DomNode, build_dom
 from repro.xmlio.lexer import tokenize
 from repro.xmlio.tokens import TokenKind
 from repro.xmlio.writer import XmlWriter, serialize_dom
-from repro.xpath.ast import Path
 from repro.xpath.evaluator import AttributeRef, evaluate_path, item_string_value
 from repro.xquery import ast as q
 from repro.xquery.normalize import normalize_query

@@ -28,7 +28,7 @@ This baseline models both behaviours on top of the GCX runtime:
 from __future__ import annotations
 
 from repro.core.engine import CompiledQuery, GCXEngine
-from repro.core.matcher import PathMatcher
+from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.signoff import insert_signoffs
 from repro.core.analysis import analyze_query
 from repro.xmlio.dtd import Dtd
@@ -131,7 +131,13 @@ class FluxLikeEngine(GCXEngine):
         rewritten = insert_signoffs(normalized, analysis)
         matcher = PathMatcher([(role.name, role.path) for role in analysis.roles])
         return CompiledQuery(
-            query_text, parsed, normalized, analysis, rewritten, matcher
+            query_text,
+            parsed,
+            normalized,
+            analysis,
+            rewritten,
+            matcher,
+            dfa=PathDFA(matcher),
         )
 
     @staticmethod

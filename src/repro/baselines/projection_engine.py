@@ -16,7 +16,7 @@ buffer minimization.
 
 from __future__ import annotations
 
-from repro.core.engine import CompiledQuery, GCXEngine, RunResult
+from repro.core.engine import GCXEngine
 
 
 class ProjectionOnlyEngine(GCXEngine):

@@ -16,6 +16,36 @@ import json
 BENCH_JSON_SCHEMA = "gcx-bench/v1"
 
 
+def throughput_entry(
+    seconds: float, input_bytes: int, peak_buffer_nodes: int = 0, **extra
+) -> dict:
+    """One BENCH_*.json measurement entry.
+
+    Stream-style measurements (``input_bytes > 0``) report ``mb_per_s``;
+    compile-style measurements process no input bytes and report
+    ``ops_per_s`` instead — an entry claiming ``input_bytes: 0,
+    mb_per_s: 0.0`` would read as "infinitely slow" in a perf diff when
+    the operation in fact took microseconds.  Both rates guard the
+    division: a clock too coarse to observe the run yields a rate of
+    ``0.0`` rather than a ``ZeroDivisionError``.
+    """
+    entry = {
+        # compile-style entries run in microseconds: keep enough digits
+        # that the recorded time is not rounded to a flat 0.0
+        "seconds": round(seconds, 5 if input_bytes else 9),
+        "peak_buffer_nodes": peak_buffer_nodes,
+    }
+    if input_bytes:
+        entry["input_bytes"] = input_bytes
+        entry["mb_per_s"] = (
+            round(input_bytes / 1e6 / seconds, 3) if seconds else 0.0
+        )
+    else:
+        entry["ops_per_s"] = round(1.0 / seconds, 1) if seconds else 0.0
+    entry.update(extra)
+    return entry
+
+
 def write_bench_json(path: str, entries, meta: dict | None = None) -> str:
     """Write benchmark *entries* to *path* as a stable JSON document.
 

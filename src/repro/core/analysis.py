@@ -31,7 +31,7 @@ attached to the owner path ``path($x)/p``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.xpath.ast import Axis, Path, Step
 from repro.xquery import ast as q

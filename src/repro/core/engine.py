@@ -48,6 +48,10 @@ Ablation switches:
   projection-only system buffers).
 * ``first_witness=False`` — existence tests buffer every witness
   instead of only the first (drops the ``[1]`` predicates).
+* ``compiled=False`` — run the interpreting NFA projector instead of
+  the compiled lazy-DFA kernel (DESIGN.md §9).  Observable behaviour
+  is byte-identical either way; the switch exists for differential
+  testing and for benchmarking the kernel against its oracle.
 """
 
 from __future__ import annotations
@@ -57,9 +61,9 @@ from dataclasses import dataclass
 
 from repro.core.analysis import analyze_query
 from repro.core.buffer import Buffer
-from repro.core.matcher import PathMatcher
+from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.plan import CompiledQuery, PlanCache, QueryPlan
-from repro.core.projector import StreamProjector
+from repro.core.projector import CompiledStreamProjector, StreamProjector
 from repro.core.evaluator import PullEvaluator
 from repro.core.session import StreamSession
 from repro.core.signoff import insert_signoffs
@@ -116,11 +120,15 @@ class GCXEngine:
         record_series: bool = True,
         drain: bool = True,
         plan_cache: PlanCache | None = None,
+        compiled: bool = True,
     ):
         self.gc_enabled = gc_enabled
         self.first_witness = first_witness
         self.record_series = record_series
         self.drain = drain
+        #: drive streams through the compiled lazy-DFA kernel; False
+        #: falls back to the interpreting NFA projector (the oracle).
+        self.compiled = compiled
         #: LRU of compiled plans; pass a shared :class:`PlanCache` to
         #: let several engines reuse each other's compilations.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
@@ -172,7 +180,13 @@ class GCXEngine:
         matcher_spec = [(role.name, role.path) for role in analysis.roles]
         matcher = PathMatcher(matcher_spec)
         return QueryPlan(
-            query_text, parsed, normalized, analysis, rewritten, matcher
+            query_text,
+            parsed,
+            normalized,
+            analysis,
+            rewritten,
+            matcher,
+            dfa=PathDFA(matcher),
         )
 
     # ------------------------------------------------------------------
@@ -204,9 +218,13 @@ class GCXEngine:
         stats = BufferStats(record_series=self.record_series)
         buffer = Buffer(stats)
         lexer = make_lexer(xml_source)
-        # The plan's matcher is immutable (per-stream match state lives
-        # in the projector's state-instance lists), so runs share it.
-        projector = StreamProjector(lexer, compiled.matcher, buffer, stats)
+        # The plan's matcher/dfa are immutable resp. logically immutable
+        # (per-stream match state lives on the projector's stack), so
+        # concurrent runs share them.
+        if self.compiled and compiled.dfa is not None:
+            projector = CompiledStreamProjector(lexer, compiled.dfa, buffer, stats)
+        else:
+            projector = StreamProjector(lexer, compiled.matcher, buffer, stats)
         writer = XmlWriter(stream=output_stream)
         evaluator = PullEvaluator(
             compiled.rewritten, projector, buffer, writer, self.gc_enabled
@@ -249,6 +267,7 @@ class GCXEngine:
             record_series=self.record_series,
             drain=self.drain,
             output_stream=output_stream,
+            compiled=self.compiled,
             **kwargs,
         )
 

@@ -27,7 +27,7 @@ explained in DESIGN.md §3:
 from __future__ import annotations
 
 from repro.core.buffer import Buffer, BufferNode
-from repro.core.projector import StreamProjector
+from repro.core.projector import CompiledStreamProjector, StreamProjector
 from repro.xmlio.writer import XmlWriter
 from repro.xpath.ast import Axis, Path, Step
 from repro.xquery import ast as q
@@ -43,7 +43,7 @@ class PullEvaluator:
     def __init__(
         self,
         query: q.Query,
-        projector: StreamProjector,
+        projector: StreamProjector | CompiledStreamProjector,
         buffer: Buffer,
         writer: XmlWriter,
         gc_enabled: bool = True,

@@ -24,10 +24,28 @@ An instance whose step index reaches the end of its role path assigns
 one instance of the role to the current node.  Nodes that receive
 neither states nor roles start no match and carry none — the projector
 skips their entire subtree.
+
+Two machines implement these semantics:
+
+* :class:`PathMatcher` — the reference NFA.  It interprets the state
+  instance lists directly, one Python loop per token, and remains the
+  **oracle** every other implementation is checked against.
+* :class:`PathDFA` — the compiled kernel (DESIGN.md §9).  It performs
+  the classic lazy subset construction over the NFA: a DFA state is the
+  interned *multiset* of live ``(role, step)`` instances (multiplicities
+  matter — a role can be assigned several times per node under
+  descendant axes), and the transition for a ``(state, tag)`` pair is
+  computed **once**, by running the oracle NFA on a materialized
+  instance list, then memoized in a per-state dict.  After the first
+  occurrence of a tag under a state, processing that tag costs one dict
+  lookup instead of one NFA interpretation.  The memo is shared,
+  thread-safely, by every run/session/server connection of the owning
+  plan.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 
 from repro.xpath.ast import Axis, Path, Step
@@ -182,3 +200,150 @@ class PathMatcher:
         if tag is None:
             return step.test.kind == "node"
         return step.test.matches_element(tag)
+
+
+class PathDFA:
+    """Lazy DFA over the NFA's instance multisets (the compiled kernel).
+
+    States are interned multisets of live ``(role, step)`` NFA
+    instances, canonicalized as sorted ``(role, step, count)`` tuples;
+    state ``0`` (:attr:`dead`) is the empty multiset — nothing at or
+    below such a node can ever match, which is exactly the projector's
+    skip-subtree condition.  Element transitions are memoized per
+    ``(state, tag)`` as ``(child_state, parent_state', role_counts)``:
+
+    * ``child_state`` — the DFA state the arriving element enters;
+    * ``parent_state'`` — the (possibly changed) state of the *parent*:
+      a first-witness ``[1]`` child step exhausts on its first match,
+      so the parent's live multiset shrinks;
+    * ``role_counts`` — the role instances assigned to the arriving
+      element (a plain ``name → n`` dict, or ``None``), shared
+      immutably by every consumer of the memo.
+
+    Text transitions are memoized per state the same way, as
+    ``(role_counts, parent_state')``.
+
+    Transitions are *computed* by the oracle :class:`PathMatcher`
+    itself — a materialized instance list is pushed through
+    ``enter_element``/``enter_text`` and the outcome canonicalized — so
+    the DFA cannot diverge from the NFA semantics: laziness only decides
+    *when* a transition is derived, never *what* it is.
+
+    Thread safety: the memo is shared by all sessions of a plan.  Hot
+    reads are plain dict lookups (no lock); misses intern and publish
+    under ``_lock``, and concurrent misses of the same pair compute
+    identical entries, so the last writer is indistinguishable from the
+    first.
+    """
+
+    def __init__(self, matcher: PathMatcher):
+        self.matcher = matcher
+        self._lock = threading.Lock()
+        #: canonical multiset -> state id
+        self._ids: dict[tuple, int] = {(): 0}
+        #: state id -> canonical multiset: sorted ((role, step, count), ...)
+        self._states: list[tuple] = [()]
+        #: state id -> {tag: (child_state, parent_state', counts|None)}
+        self._element_memo: list[dict] = [{}]
+        #: state id -> (counts|None, parent_state') once computed
+        self._text_memo: list[tuple | None] = [None]
+        instances, counts = matcher.initial()
+        self.start = self._intern(self._canonical(instances))
+        #: roles of the document node itself (``name → n`` or ``None``)
+        self.start_roles: dict | None = dict(counts) or None
+
+    #: state id of the empty multiset — the skip-subtree condition
+    dead = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _canonical(instances) -> tuple:
+        """Canonical multiset of the live (non-exhausted) instances."""
+        multiset: Counter = Counter()
+        for inst in instances:
+            if not inst.exhausted:
+                multiset[(inst.role, inst.index)] += 1
+        return tuple(
+            (role, index, count)
+            for (role, index), count in sorted(multiset.items())
+        )
+
+    def _intern(self, key: tuple) -> int:
+        """Id of the canonical multiset *key*, creating the state on
+        first sight.  Caller may hold ``_lock``; taking it twice is
+        avoided by only calling this from locked or init context."""
+        state = self._ids.get(key)
+        if state is None:
+            state = len(self._states)
+            self._states.append(key)
+            self._element_memo.append({})
+            self._text_memo.append(None)
+            self._ids[key] = state
+        return state
+
+    def _instances(self, state: int) -> list[_StateInst]:
+        """Materialize the state's multiset as fresh NFA instances."""
+        return [
+            _StateInst(role, index)
+            for role, index, count in self._states[state]
+            for _ in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def element(self, state: int, tag: str) -> tuple:
+        """Transition for an arriving element with *tag* under *state*;
+        returns ``(child_state, parent_state', role_counts)``."""
+        entry = self._element_memo[state].get(tag)
+        if entry is None:
+            entry = self.compute_element(state, tag)
+        return entry
+
+    def compute_element(self, state: int, tag: str) -> tuple:
+        """Derive and memoize the ``(state, tag)`` element transition
+        by running the oracle NFA once."""
+        instances = self._instances(state)
+        child_instances, counts = self.matcher.enter_element(instances, tag)
+        child_key = self._canonical(child_instances)
+        parent_key = self._canonical(instances)  # [1] steps may exhaust
+        with self._lock:
+            entry = self._element_memo[state].get(tag)
+            if entry is None:
+                entry = (
+                    self._intern(child_key),
+                    self._intern(parent_key),
+                    dict(counts) or None,
+                )
+                self._element_memo[state][tag] = entry
+        return entry
+
+    def text(self, state: int) -> tuple:
+        """Transition for an arriving text node under *state*; returns
+        ``(role_counts, parent_state')``."""
+        entry = self._text_memo[state]
+        if entry is None:
+            instances = self._instances(state)
+            _, counts = self.matcher.enter_text(instances)
+            parent_key = self._canonical(instances)
+            with self._lock:
+                entry = self._text_memo[state]
+                if entry is None:
+                    entry = (dict(counts) or None, self._intern(parent_key))
+                    self._text_memo[state] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Memo occupancy (observability for tests and server stats)."""
+        with self._lock:
+            return {
+                "states": len(self._states),
+                "element_transitions": sum(
+                    len(memo) for memo in self._element_memo
+                ),
+                "text_transitions": sum(
+                    1 for entry in self._text_memo if entry is not None
+                ),
+            }

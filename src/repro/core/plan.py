@@ -23,7 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.analysis import StaticAnalysis
-from repro.core.matcher import PathMatcher
+from repro.core.matcher import PathDFA, PathMatcher
 from repro.xquery import ast as q
 from repro.xquery.pretty import pretty_print
 
@@ -38,6 +38,17 @@ class QueryPlan:
     only the compiled projection paths — per-stream match state lives
     in the projector's state-instance lists — so every run and session
     of this plan drives the same matcher object.
+
+    ``dfa`` is the compiled kernel of the same projection paths
+    (DESIGN.md §9): a lazy DFA whose states are interned multisets of
+    NFA instances and whose per-``(state, tag)`` transitions are
+    memoized on first sight.  The memo is *logically* immutable — it
+    only ever gains entries, each derived deterministically from the
+    immutable path set — so one dfa is shared by every run, session and
+    server connection of the plan (the PlanCache hands all of them the
+    same object), and a tag seen by any session is a dict-lookup for
+    all of them from then on.  Per-stream state is a stack of state
+    ids in the projector, never stored here.
     """
 
     source: str
@@ -46,6 +57,10 @@ class QueryPlan:
     analysis: StaticAnalysis
     rewritten: q.Query
     matcher: PathMatcher
+    #: lazy-DFA twin of ``matcher``; ``None`` only for hand-built plans
+    #: of tools that bypass the engine compiler (they fall back to the
+    #: interpreting projector).
+    dfa: PathDFA | None = None
 
     def matcher_spec(self) -> list[tuple[str, object]]:
         """The ``(role name, projection path)`` pairs behind
@@ -258,6 +273,33 @@ class PlanCache:
                         break
                 else:
                     del self._canonical[old_canonical]
+
+    def dfa_stats(self) -> dict:
+        """Aggregate lazy-DFA memo occupancy over the cached plans.
+
+        Server observability (the STATS frame): how many distinct plans
+        carry a compiled kernel, and how many DFA states / memoized
+        transitions their shared memos hold in total.  Plans cached
+        under several source keys (canonical aliases) count once.
+        """
+        with self._lock:
+            plans = {id(plan): plan for plan, _canonical in self._plans.values()}
+        snapshot = {
+            "plans": 0,
+            "states": 0,
+            "element_transitions": 0,
+            "text_transitions": 0,
+        }
+        for plan in plans.values():
+            dfa = getattr(plan, "dfa", None)
+            if dfa is None:
+                continue
+            stats = dfa.stats()
+            snapshot["plans"] += 1
+            snapshot["states"] += stats["states"]
+            snapshot["element_transitions"] += stats["element_transitions"]
+            snapshot["text_transitions"] += stats["text_transitions"]
+        return snapshot
 
     def clear(self) -> None:
         """Drop all cached plans and reset the counters."""

@@ -16,12 +16,28 @@ token without touching the buffer.
 tokens individually in the statistics) and is the single place the
 input moves forward — the pull chain of the paper's Figure 2:
 evaluator → buffer manager → projector.
+
+Two implementations share that contract:
+
+* :class:`StreamProjector` — the reference interpreter: classic token
+  objects in, one NFA instance-list interpretation per token.  It is
+  the oracle the compiled kernel is differentially tested against.
+* :class:`CompiledStreamProjector` — the compiled kernel (DESIGN.md
+  §9): the open-element stack holds :class:`~repro.core.matcher.PathDFA`
+  state *integers* instead of instance lists, tokens arrive as slotted
+  event tuples from the lexer fast path, and one fused dispatch loop
+  performs lexer advance + DFA transition + buffer/skip decision with
+  no per-token method chaining.  Dead subtrees are fast-forwarded by
+  the lexer itself (:meth:`~repro.xmlio.lexer.XmlLexer.skip_subtree`)
+  without building tokens at all.  Outputs, watermarks, per-token
+  series and role statistics are byte-identical to the interpreter at
+  every chunking.
 """
 
 from __future__ import annotations
 
 from repro.core.buffer import Buffer, BufferNode
-from repro.core.matcher import PathMatcher
+from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.stats import BufferStats
 from repro.xmlio.lexer import XmlLexer
 from repro.xmlio.tokens import TokenKind
@@ -158,3 +174,170 @@ class StreamProjector:
             self._record()
         if entry.node is not None:
             self._buffer.close(entry.node)
+
+
+class CompiledStreamProjector:
+    """The fused dispatch loop over DFA states (the compiled kernel).
+
+    Drop-in replacement for :class:`StreamProjector` with the same
+    ``advance()`` / ``run_to_end()`` / ``exhausted`` contract and
+    byte-identical observable behaviour; only the per-token machinery
+    differs:
+
+    * the lexer side is the event fast path — slotted tuples, no token
+      objects — and irrelevant subtrees are consumed by
+      :meth:`~repro.xmlio.lexer.XmlLexer.skip_subtree` in one call;
+    * the matcher side is one memo-dict lookup per token against the
+      plan's shared :class:`~repro.core.matcher.PathDFA` (the oracle
+      NFA only runs on a memo miss, once per ``(state, tag)`` ever);
+    * the open-element stack is four parallel lists (tag, attrs, DFA
+      state, buffer node) — pushing an element allocates nothing.
+    """
+
+    __slots__ = (
+        "_lexer",
+        "_dfa",
+        "_buffer",
+        "_stats",
+        "_next_event",
+        "_element_memo",
+        "_text_memo",
+        "_tags",
+        "_attrs",
+        "_states",
+        "_nodes",
+        "exhausted",
+    )
+
+    def __init__(
+        self,
+        lexer: XmlLexer,
+        dfa: PathDFA,
+        buffer: Buffer,
+        stats: BufferStats | None = None,
+    ):
+        self._lexer = lexer
+        self._dfa = dfa
+        self._buffer = buffer
+        self._stats = stats if stats is not None else buffer.stats
+        # Hot-path bindings: the memo lists are append-only and shared
+        # (never reassigned) by every session of the plan.
+        self._next_event = lexer.next_event
+        self._element_memo = dfa._element_memo
+        self._text_memo = dfa._text_memo
+        # The open-element stack, root (document) at index 0.
+        self._tags: list = [None]
+        self._attrs: list = [None]
+        self._states: list[int] = [dfa.start]
+        self._nodes: list[BufferNode | None] = [buffer.root]
+        if dfa.start_roles:
+            buffer.add_roles(buffer.root, dfa.start_roles)
+        self.exhausted = False
+
+    # ------------------------------------------------------------------
+
+    def advance(self) -> bool:
+        """Process the next input token; False when input is exhausted."""
+        if self.exhausted:
+            return False
+        event = self._next_event()
+        if event is None:
+            self.exhausted = True
+            self._buffer.close(self._buffer.root)
+            return False
+        buffer = self._buffer
+        kind = event[0]
+        states = self._states
+        if kind == 0:  # EVENT_START
+            name = event[1]
+            state = states[-1]
+            entry = self._element_memo[state].get(name)
+            if entry is None:
+                entry = self._dfa.compute_element(state, name)
+            child, parent, counts = entry
+            if parent != state:
+                # a first-witness [1] step of the parent just exhausted
+                states[-1] = parent
+            if counts is not None:
+                node = self._materialize_child(name, event[2])
+                buffer.add_roles(node, counts)
+            else:
+                node = None
+            self._stats.record_token(buffer.live_count)
+            if child:  # live state: descend
+                self._tags.append(name)
+                self._attrs.append(event[2])
+                states.append(child)
+                self._nodes.append(node)
+            else:  # dead state: nothing below this element can match
+                self._skip_subtree(node)
+        elif kind == 1:  # EVENT_END
+            self._tags.pop()
+            self._attrs.pop()
+            states.pop()
+            node = self._nodes.pop()
+            if node is not None:
+                buffer.close(node)
+            self._stats.record_token(buffer.live_count)
+        else:  # EVENT_TEXT
+            state = states[-1]
+            entry = self._text_memo[state]
+            if entry is None:
+                entry = self._dfa.text(state)
+            counts, parent = entry
+            if counts is not None:
+                top = len(states) - 1
+                parent_node = self._nodes[top]
+                if parent_node is None:
+                    parent_node = self._materialize(top)
+                node = buffer.new_text(parent_node, event[3])
+                buffer.add_roles(node, counts)
+            if parent != state:
+                states[-1] = parent
+            self._stats.record_token(buffer.live_count)
+        return True
+
+    def run_to_end(self) -> None:
+        """Drain the remaining input (records the tail of the series)."""
+        advance = self.advance
+        while advance():
+            pass
+
+    # ------------------------------------------------------------------
+
+    def _materialize(self, index: int) -> BufferNode:
+        """Create buffer nodes for the stack entry at *index* and any
+        unmaterialized ancestors (outermost first, preserving document
+        order) — the role-less spine that holds the tree shape."""
+        nodes = self._nodes
+        depth = index
+        while nodes[depth] is None:
+            depth -= 1
+        tags = self._tags
+        attrs = self._attrs
+        new_element = self._buffer.new_element
+        while depth < index:
+            depth += 1
+            nodes[depth] = new_element(nodes[depth - 1], tags[depth], attrs[depth])
+        return nodes[index]
+
+    def _materialize_child(self, tag, attrs) -> BufferNode:
+        """Materialize the arriving element (plus its spine)."""
+        top = len(self._nodes) - 1
+        parent = self._nodes[top]
+        if parent is None:
+            parent = self._materialize(top)
+        return self._buffer.new_element(parent, tag, attrs)
+
+    def _skip_subtree(self, node: BufferNode | None) -> None:
+        """Fast-forward over the just-opened element's subtree: the
+        lexer consumes it without building tokens, and the statistics
+        record the significant-token count in one bulk step."""
+        if node is None:
+            # Only fully irrelevant subtrees count as "skipped"; a
+            # buffered leaf whose content cannot match is routine.
+            self._stats.subtrees_skipped += 1
+        count = self._lexer.skip_subtree()
+        self._stats.record_tokens(count, self._buffer.live_count)
+        if node is not None:
+            self._buffer.close(node)

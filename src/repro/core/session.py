@@ -37,7 +37,7 @@ from collections import deque
 from repro.core.buffer import Buffer
 from repro.core.evaluator import PullEvaluator
 from repro.core.plan import QueryPlan
-from repro.core.projector import StreamProjector
+from repro.core.projector import CompiledStreamProjector, StreamProjector
 from repro.core.stats import BufferStats
 from repro.xmlio.lexer import XmlLexer
 from repro.xmlio.writer import XmlWriter
@@ -127,6 +127,7 @@ class StreamSession:
         drain: bool = True,
         output_stream=None,
         max_pending_chunks: int = DEFAULT_MAX_PENDING_CHUNKS,
+        compiled: bool = True,
     ):
         self.plan = plan
         self._drain = drain
@@ -134,11 +135,18 @@ class StreamSession:
         self._stats = BufferStats(record_series=record_series)
         self._buffer = Buffer(self._stats)
         self._lexer = XmlLexer(refill=self._channel.get)
-        # The plan's matcher is immutable (per-stream match state lives
-        # in the projector's state-instance lists): sessions share it.
-        self._projector = StreamProjector(
-            self._lexer, plan.matcher, self._buffer, self._stats
-        )
+        # The plan's matcher/dfa are shared by all sessions: per-stream
+        # match state lives on the projector's stack, and the dfa's
+        # transition memo only ever gains deterministic entries — one
+        # session discovering a tag makes it a dict lookup for all.
+        if compiled and plan.dfa is not None:
+            self._projector = CompiledStreamProjector(
+                self._lexer, plan.dfa, self._buffer, self._stats
+            )
+        else:
+            self._projector = StreamProjector(
+                self._lexer, plan.matcher, self._buffer, self._stats
+            )
         self._writer = XmlWriter(stream=output_stream)
         self._evaluator = PullEvaluator(
             plan.rewritten, self._projector, self._buffer, self._writer, gc_enabled

@@ -58,6 +58,19 @@ class BufferStats:
         if self.record_series:
             self.series.append(live_count)
 
+    def record_tokens(self, count: int, live_count: int) -> None:
+        """Record *count* consecutive tokens processed at a constant
+        buffer size — the bulk form the compiled projector uses for
+        skipped subtrees.  The resulting series is byte-identical to
+        *count* individual :meth:`record_token` calls."""
+        if count <= 0:
+            return
+        self.tokens += count
+        if live_count > self.watermark:
+            self.watermark = live_count
+        if self.record_series:
+            self.series.extend([live_count] * count)
+
     def estimated_buffer_bytes(self, node_bytes: int = DEFAULT_NODE_BYTES) -> int:
         """Watermark converted to an estimated byte figure."""
         return self.watermark * node_bytes

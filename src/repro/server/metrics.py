@@ -79,12 +79,16 @@ class ServerMetrics:
     # reporting
     # ------------------------------------------------------------------
 
-    def snapshot(self, plan_cache=None) -> dict:
+    def snapshot(self, plan_cache=None, dfa=None) -> dict:
         """A JSON-ready view of the registry.
 
         *plan_cache* takes a :class:`~repro.core.plan.PlanCacheStats`;
         when given, the snapshot includes the compile-once counters and
-        the hit rate the service's shared cache achieves.
+        the hit rate the service's shared cache achieves.  *dfa* takes
+        the aggregate returned by
+        :meth:`~repro.core.plan.PlanCache.dfa_stats` — the occupancy of
+        the compiled kernels' shared transition memos (how much of the
+        per-token work the connections have amortized away).
         """
         with self._lock:
             latencies = sorted(self._latencies)
@@ -115,4 +119,6 @@ class ServerMetrics:
                 "capacity": plan_cache.capacity,
                 "hit_rate": round(plan_cache.hits / lookups, 4) if lookups else 0.0,
             }
+        if dfa is not None:
+            snap["dfa"] = dict(dfa)
         return snap

@@ -126,5 +126,9 @@ class SessionScheduler:
             self.metrics.session_failed()
 
     def snapshot(self) -> dict:
-        """Service metrics plus the shared plan cache's counters."""
-        return self.metrics.snapshot(plan_cache=self.engine.plan_cache.stats)
+        """Service metrics plus the shared plan cache's counters and
+        the compiled kernels' transition-memo occupancy."""
+        return self.metrics.snapshot(
+            plan_cache=self.engine.plan_cache.stats,
+            dfa=self.engine.plan_cache.dfa_stats(),
+        )

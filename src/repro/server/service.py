@@ -36,7 +36,6 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.core.evaluator import EvaluationError
 from repro.core.session import SessionStateError
 from repro.server.protocol import (
-    Frame,
     FrameType,
     ProtocolError,
     encode_frame,

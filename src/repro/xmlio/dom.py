@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.xmlio.lexer import tokenize
-from repro.xmlio.tokens import Token, TokenKind
+from repro.xmlio.tokens import TokenKind
 
 
 class DomNode:

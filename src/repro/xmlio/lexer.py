@@ -35,6 +35,17 @@ character-level scanner for Unicode names, unusual spacing, or
 incomplete input), and tag/attribute names are interned so the matcher
 and buffer compare pointers instead of strings.
 
+On top of the classic token objects the lexer exposes a slotted event
+fast path (DESIGN.md §9): :meth:`XmlLexer.next_event` yields plain
+``(kind, name, attrs, text)`` tuples — no ``StartTag``/``Attribute``
+allocation for the common no-attribute tag — :meth:`XmlLexer.tokens_into`
+batches them into a caller-supplied list, and
+:meth:`XmlLexer.skip_subtree` fast-forwards over an entire irrelevant
+subtree without building events at all, returning only the significant
+token count the statistics need.  All three produce byte-identical
+classification (and raise the identical errors) as ``next_token``; the
+compiled projector is their primary consumer.
+
 Namespace processing is intentionally out of scope: GCX's fragment and
 the XMark workloads are namespace-free, and prefixed names pass through
 verbatim as part of the tag name.
@@ -47,7 +58,17 @@ import sys
 from collections.abc import Callable, Iterable, Iterator
 
 from repro.xmlio.errors import XmlStarvedError, XmlSyntaxError
-from repro.xmlio.tokens import Attribute, EndTag, StartTag, Text, Token, TokenKind
+from repro.xmlio.tokens import (
+    EVENT_END,
+    EVENT_START,
+    EVENT_TEXT,
+    Attribute,
+    EndTag,
+    StartTag,
+    Text,
+    Token,
+    TokenKind,
+)
 
 _PREDEFINED_ENTITIES = {
     "lt": "<",
@@ -86,6 +107,9 @@ _ATTR_RE = re.compile(
     + _WS_RE_SRC + r"*=" + _WS_RE_SRC + r"*(?:\"([^\"]*)\"|'([^']*)')"
 )
 _END_TAG_RE = re.compile(r"</(" + _NAME_RE_SRC + r")" + _WS_RE_SRC + r"*>")
+#: first significant (non-whitespace) character of a text run — used by
+#: the skip fast path to classify runs without slicing them out.
+_NON_WS_RE = re.compile(r"[^ \t\r\n]")
 
 _intern = sys.intern
 
@@ -137,8 +161,10 @@ class XmlLexer:
         self._keep_whitespace = keep_whitespace
         self._open_tags: list[str] = []
         self._started = False
-        # Synthetic end tag queued by a self-closing start tag.
-        self._pending_end: EndTag | None = None
+        # Synthetic end tag queued by a self-closing start tag, as a
+        # ``(name, offset)`` pair (the event fast path must not pay for
+        # an EndTag allocation it would immediately unwrap).
+        self._pending_end: tuple[str, int] | None = None
         #: chars (relative to the pending construct's start) already
         #: searched without finding its terminator — lets a text/CDATA/
         #: comment/PI scan that starved resume where it left off
@@ -238,29 +264,39 @@ class XmlLexer:
             try:
                 return self._pull_token()
             except _Starved:
-                if self._refill is None:
-                    raise XmlStarvedError(
-                        "no complete token buffered; feed() more input "
-                        "or close() the lexer"
-                    ) from None
-                while True:
-                    chunk = self._refill()
-                    if not chunk:
-                        self._closed = True
-                        self._append("")  # merge any parked chunks
-                        break
-                    if (
-                        self._need is not None
-                        and self._need not in self._joint + chunk
-                    ):
-                        # The construct's terminator is not in this
-                        # chunk (nor straddling the boundary): park it
-                        # without paying for a buffer merge or rescan.
-                        self._pending_chunks.append(chunk)
-                        self._joint = (self._joint + chunk)[-2:]
-                        continue
-                    self._append(chunk)
-                    break
+                self._handle_starvation()
+
+    def _handle_starvation(self) -> None:
+        """Refill the buffer after a mid-token starvation signal.
+
+        Shared by every pull surface (``next_token``, ``next_event``,
+        ``skip_subtree``) so the chunk-parking strategy stays in one
+        place.  Raises :class:`XmlStarvedError` when the lexer has no
+        refill source (push mode without buffered data).
+        """
+        if self._refill is None:
+            raise XmlStarvedError(
+                "no complete token buffered; feed() more input "
+                "or close() the lexer"
+            ) from None
+        while True:
+            chunk = self._refill()
+            if not chunk:
+                self._closed = True
+                self._append("")  # merge any parked chunks
+                return
+            if (
+                self._need is not None
+                and self._need not in self._joint + chunk
+            ):
+                # The construct's terminator is not in this
+                # chunk (nor straddling the boundary): park it
+                # without paying for a buffer merge or rescan.
+                self._pending_chunks.append(chunk)
+                self._joint = (self._joint + chunk)[-2:]
+                continue
+            self._append(chunk)
+            return
 
     def __iter__(self) -> Iterator[Token]:
         while True:
@@ -273,6 +309,395 @@ class XmlLexer:
     def depth(self) -> int:
         """Number of currently open elements."""
         return len(self._open_tags)
+
+    # ------------------------------------------------------------------
+    # event fast path (the compiled kernel's input surface)
+    # ------------------------------------------------------------------
+
+    def next_event(self) -> tuple | None:
+        """Return the next event ``(kind, name, attrs, text)``, or
+        ``None`` at end of input.
+
+        The allocation-light twin of :meth:`next_token`: ``kind`` is
+        one of :data:`~repro.xmlio.tokens.EVENT_START` /
+        :data:`~repro.xmlio.tokens.EVENT_END` /
+        :data:`~repro.xmlio.tokens.EVENT_TEXT`, ``attrs`` is a tuple of
+        ``(name, value)`` pairs or ``None``, and ``text`` carries the
+        entity-resolved character data of a text event.  Token
+        classification, whitespace policy and every error are identical
+        to :meth:`next_token`; only the representation differs (no
+        ``StartTag``/``Attribute``/``Text`` objects, no offsets).
+
+        Raises:
+            XmlSyntaxError: on malformed markup or mismatched tags.
+            XmlStarvedError: in push mode, when no complete token is
+                buffered and the lexer has not been closed.
+        """
+        while True:
+            try:
+                return self._scan_event()
+            except _Starved:
+                self._handle_starvation()
+
+    def tokens_into(self, sink: list, limit: int = 4096) -> int:
+        """Append up to *limit* events (see :meth:`next_event`) to
+        *sink*; returns the number appended — ``0`` at end of input.
+
+        The batch surface of the fast path: one call amortizes the
+        per-token method dispatch for consumers that do not need the
+        projector's one-token-at-a-time pull discipline (DOM loading,
+        token counting, benchmarks).
+        """
+        append = sink.append
+        count = 0
+        while count < limit:
+            event = self.next_event()
+            if event is None:
+                break
+            append(event)
+            count += 1
+        return count
+
+    def skip_subtree(self) -> int:
+        """Fast-forward to (and through) the end tag of the innermost
+        open element; returns the number of significant tokens consumed.
+
+        The projector calls this for subtrees that can contain no match:
+        tags are still validated (well-formedness, duplicate attributes,
+        entity references — the identical errors ``next_token`` would
+        raise) but no token or event objects are built, attribute values
+        are not materialized, and text runs are classified without being
+        sliced out of the buffer.  "Significant" counts exactly the
+        tokens ``next_token`` would have emitted under this lexer's
+        whitespace policy, so statistics stay byte-identical.
+        """
+        target = len(self._open_tags) - 1
+        if target < 0:
+            raise ValueError("skip_subtree() requires an open element")
+        count = 0
+        tags = self._open_tags
+        match_start = _START_TAG_RE.match
+        # One fused scan loop: buffer state lives in locals and is only
+        # flushed back to the instance around the careful fallbacks
+        # (rare markup, starvation) — the common tag/text tokens cost no
+        # attribute writes and no per-token method calls.
+        while len(tags) > target:
+            text = self._buf
+            size = len(text)
+            pos = self._pos
+            try:
+                while len(tags) > target:
+                    if self._pending_end is not None or pos >= size:
+                        self._pos = pos
+                        count += self._skip_once()
+                        pos = self._pos
+                        continue
+                    if text[pos] != "<":
+                        end = text.find("<", pos + self._resume)
+                        if end == -1:
+                            if not self._closed:
+                                self._resume = size - pos
+                                self._pos = pos
+                                raise self._starved("<")
+                            end = size
+                        self._resume = 0
+                        if self._skipped_text_significant(text, pos, end):
+                            count += 1
+                        pos = end
+                        continue
+                    if pos + 1 < size and text[pos + 1] == "/":
+                        # End tag: compare directly against the tag we
+                        # know must close (no regex, no name slice).
+                        expected = tags[-1]
+                        end = pos + 2 + len(expected)
+                        if (
+                            text.startswith(expected, pos + 2)
+                            and end < size
+                            and text[end] == ">"
+                        ):
+                            tags.pop()
+                            pos = end + 1
+                            count += 1
+                            continue
+                    else:
+                        match = match_start(text, pos)
+                        if match is not None:
+                            attrs_start, attrs_end = match.span(2)
+                            if attrs_end > attrs_start:
+                                self._pos = pos
+                                self._validate_skipped_attrs(
+                                    match, attrs_start, attrs_end
+                                )
+                            pos = match.end()
+                            if match.end(3) > match.start(3):
+                                count += 2  # self-closing: start + end
+                            else:
+                                tags.append(match.group(1))
+                                count += 1
+                            continue
+                    # Rare or malformed markup: the careful path.
+                    self._pos = pos
+                    count += self._skip_once()
+                    pos = self._pos
+            except _Starved:
+                self._handle_starvation()
+            else:
+                self._pos = pos
+        return count
+
+    def _skipped_text_significant(self, text: str, pos: int, end: int) -> bool:
+        """Would the token path have emitted ``text[pos:end]``?
+
+        Must agree exactly with ``next_token``: entity references are
+        resolved (and validated) first, and significance is the
+        post-resolution Unicode ``strip()`` — the XML-whitespace regex
+        is only a shortcut for the overwhelmingly common all-ASCII
+        runs.  Under ``keep_whitespace`` every run is significant, but
+        entities are still validated.
+        """
+        match = _NON_WS_RE.search(text, pos, end)
+        if match is None:
+            return self._keep_whitespace
+        amp = text.find("&", pos, end)
+        if amp == -1 and not text[match.start()].isspace():
+            return True
+        raw = text[pos:end]
+        if amp != -1:
+            # Entities are validated even though the resolved text is
+            # discarded.
+            raw = self._resolve_entities(raw, self._base + pos)
+        return True if self._keep_whitespace else bool(raw.strip())
+
+    def _validate_skipped_attrs(self, match: re.Match, start: int, end: int) -> None:
+        """Well-formedness checks of a skipped start tag's attributes —
+        duplicate names and entity references raise exactly as they
+        would on the building path; values are never materialized
+        unless an entity reference forces resolution."""
+        text = self._buf
+        seen: list[str] = []
+        offset = self._base + match.start()
+        for attr in _ATTR_RE.finditer(text, start, end):
+            attr_name = attr.group(1)
+            if attr_name in seen:
+                raise XmlSyntaxError(
+                    f"duplicate attribute {attr_name!r} "
+                    f"in <{match.group(1)}>",
+                    offset,
+                )
+            seen.append(attr_name)
+        if text.find("&", start, end) != -1:
+            for attr in _ATTR_RE.finditer(text, start, end):
+                value = attr.group(2)
+                if value is None:
+                    value = attr.group(3)
+                if "&" in value:
+                    self._resolve_entities(value, offset)
+
+    def _scan_event(self) -> tuple | None:
+        if self._pending_end is not None:
+            name, _offset = self._pending_end
+            self._pending_end = None
+            popped = self._open_tags.pop()
+            assert popped == name
+            return (EVENT_END, name, None, None)
+        keep_ws = self._keep_whitespace
+        while True:
+            text = self._buf
+            pos = self._pos
+            if pos >= len(text):
+                if not self._closed:
+                    raise self._starved(None)
+                if self._open_tags:
+                    raise XmlSyntaxError(
+                        f"unexpected end of input; unclosed element "
+                        f"<{self._open_tags[-1]}>",
+                        self._base + pos,
+                    )
+                return None
+            if text[pos] != "<":
+                # Text run.  Whitespace-only runs are classified (and
+                # dropped) without slicing them out of the buffer.
+                end = text.find("<", pos + self._resume)
+                if end == -1:
+                    if not self._closed:
+                        self._resume = len(text) - pos
+                        raise self._starved("<")
+                    end = len(text)
+                self._resume = 0
+                if not keep_ws and _NON_WS_RE.search(text, pos, end) is None:
+                    self._pos = end
+                    continue
+                raw = text[pos:end]
+                self._pos = end
+                offset = self._base + pos
+                if not self._open_tags and raw.strip():
+                    raise XmlSyntaxError(
+                        "character data outside the root element", offset
+                    )
+                if "&" in raw:
+                    raw = self._resolve_entities(raw, offset)
+                if not keep_ws and not raw.strip():
+                    # the XML-whitespace regex above is only a shortcut:
+                    # runs of *Unicode* whitespace (or entities that
+                    # resolve to whitespace) are dropped here, exactly
+                    # like the token path's post-resolution strip()
+                    continue
+                return (EVENT_TEXT, None, None, raw)
+            # Start tag (the regex cannot match any other markup: the
+            # character after "<" must be a name-start character).
+            match = _START_TAG_RE.match(text, pos)
+            if match is not None:
+                return self._event_from_start_match(match)
+            if text.startswith("</", pos):
+                match = _END_TAG_RE.match(text, pos)
+                if match is None:
+                    token = self._scan_end_tag()  # exact scan / starvation
+                    return (EVENT_END, token.name, None, None)
+                name = match.group(1)
+                tags = self._open_tags
+                if not tags or tags[-1] != name:
+                    self._close_tag(_intern(name), pos)  # raises
+                tags.pop()
+                self._pos = match.end()
+                return (EVENT_END, name, None, None)
+            if text.startswith("<!--", pos):
+                self._skip_comment()
+                continue
+            if text.startswith("<![CDATA[", pos):
+                token = self._scan_cdata()
+                if not keep_ws and not token.content.strip():
+                    continue
+                return (EVENT_TEXT, None, None, token.content)
+            if text.startswith("<?", pos):
+                self._skip_pi()
+                continue
+            if text.startswith("<!DOCTYPE", pos):
+                self._skip_doctype()
+                continue
+            if not self._closed and len(text) - pos < _LONGEST_PREFIX:
+                rest = text[pos:]
+                if any(p.startswith(rest) for p in _MARKUP_PREFIXES):
+                    # Could still become a comment/CDATA/PI/DOCTYPE/end
+                    # tag once more input arrives.
+                    raise self._starved(None)
+            # Unicode names, unusual spacing, malformed or incomplete
+            # markup: the exact character-level scanner decides.
+            token = self._scan_start_tag()
+            attrs = tuple((a.name, a.value) for a in token.attributes)
+            return (EVENT_START, token.name, attrs or None, None)
+
+    def _event_from_start_match(self, match: re.Match) -> tuple:
+        """Commit a regex-recognised (complete) start tag as an event."""
+        offset = self._base + self._pos
+        name = _intern(match.group(1))
+        attr_src = match.group(2)
+        if attr_src:
+            attrs = []
+            seen: list[str] = []
+            for attr in _ATTR_RE.finditer(attr_src):
+                attr_name = _intern(attr.group(1))
+                value = attr.group(2)
+                if value is None:
+                    value = attr.group(3)
+                if attr_name in seen:
+                    raise XmlSyntaxError(
+                        f"duplicate attribute {attr_name!r} in <{name}>", offset
+                    )
+                seen.append(attr_name)
+                if "&" in value:
+                    value = self._resolve_entities(value, offset)
+                attrs.append((attr_name, value))
+            attrs = tuple(attrs)
+        else:
+            attrs = None
+        self._pos = match.end()
+        self._check_single_root(offset)
+        self._open_tags.append(name)
+        if match.group(3):
+            self._pending_end = (name, offset)
+        return (EVENT_START, name, attrs, None)
+
+    def _skip_once(self) -> int:
+        """Consume one token's worth of input without building it;
+        returns how many significant tokens it accounted for."""
+        if self._pending_end is not None:
+            self._pending_end = None
+            self._open_tags.pop()
+            return 1
+        text = self._buf
+        pos = self._pos
+        if pos >= len(text):
+            if not self._closed:
+                raise self._starved(None)
+            raise XmlSyntaxError(
+                f"unexpected end of input; unclosed element "
+                f"<{self._open_tags[-1]}>",
+                self._base + pos,
+            )
+        if text[pos] != "<":
+            end = text.find("<", pos + self._resume)
+            if end == -1:
+                if not self._closed:
+                    self._resume = len(text) - pos
+                    raise self._starved("<")
+                end = len(text)
+            self._resume = 0
+            significant = self._skipped_text_significant(text, pos, end)
+            self._pos = end
+            return 1 if significant else 0
+        match = _START_TAG_RE.match(text, pos)
+        if match is not None:
+            attrs_start, attrs_end = match.span(2)
+            if attrs_end > attrs_start:
+                self._validate_skipped_attrs(match, attrs_start, attrs_end)
+            self._pos = match.end()
+            if match.group(3):
+                return 2  # self-closing: start + synthetic end
+            self._open_tags.append(match.group(1))
+            return 1
+        if text.startswith("</", pos):
+            tags = self._open_tags
+            expected = tags[-1]
+            end = pos + 2 + len(expected)
+            if (
+                text.startswith(expected, pos + 2)
+                and end < len(text)
+                and text[end] == ">"
+            ):
+                tags.pop()
+                self._pos = end + 1
+                return 1
+            match = _END_TAG_RE.match(text, pos)
+            if match is not None:
+                self._pos = match.end()
+                self._close_tag(_intern(match.group(1)), pos)
+                return 1
+            self._scan_end_tag()  # exact scan: errors / starvation
+            return 1
+        if text.startswith("<!--", pos):
+            self._skip_comment()
+            return 0
+        if text.startswith("<![CDATA[", pos):
+            token = self._scan_cdata()
+            return 1 if self._keep_whitespace or token.content.strip() else 0
+        if text.startswith("<?", pos):
+            self._skip_pi()
+            return 0
+        if text.startswith("<!DOCTYPE", pos):
+            self._skip_doctype()
+            return 0
+        if not self._closed and len(text) - pos < _LONGEST_PREFIX:
+            rest = text[pos:]
+            if any(p.startswith(rest) for p in _MARKUP_PREFIXES):
+                raise self._starved(None)
+        token = self._scan_start_tag()
+        if token.self_closing:
+            # _scan_start_tag queued the synthetic end: consume it here
+            # so both halves are accounted in one step.
+            self._pending_end = None
+            self._open_tags.pop()
+            return 2
+        return 1
 
     # ------------------------------------------------------------------
     # scanning
@@ -299,11 +724,11 @@ class XmlLexer:
 
     def _scan_once(self) -> Token | None:
         if self._pending_end is not None:
-            token = self._pending_end
+            name, offset = self._pending_end
             self._pending_end = None
             popped = self._open_tags.pop()
-            assert popped == token.name
-            return token
+            assert popped == name
+            return EndTag(name, offset)
         while True:
             text = self._buf
             pos = self._pos
@@ -477,7 +902,7 @@ class XmlLexer:
                 self._pos = pos + 2
                 self._check_single_root(self._base + start)
                 self._open_tags.append(name)
-                self._pending_end = EndTag(name, self._base + start)
+                self._pending_end = (name, self._base + start)
                 return StartTag(
                     name, tuple(attributes), self._base + start, self_closing=True
                 )
@@ -556,7 +981,7 @@ class XmlLexer:
         self._check_single_root(offset)
         self._open_tags.append(name)
         if match.group(3):
-            self._pending_end = EndTag(name, offset)
+            self._pending_end = (name, offset)
             return StartTag(name, attributes, offset, self_closing=True)
         return StartTag(name, attributes, offset)
 

@@ -11,12 +11,39 @@ token kinds exist:
 
 Attributes are carried on the ``StartTag`` rather than modelled as
 separate tokens, mirroring how GCX copies tokens into its buffer.
+
+Two representations exist, one per consumer speed class:
+
+* the **token classes** below — slotted dataclasses with plain
+  generated ``__init__`` (the earlier *frozen* dataclasses paid an
+  ``object.__setattr__`` per field on every allocation, a real cost at
+  one token per tag).  They are what :meth:`XmlLexer.next_token`
+  returns and what the DOM layer, the writer and the tests consume.
+* the **event tuple** ``(kind, name, attrs, text)`` — the wire format
+  of the lexer's fast path (:meth:`XmlLexer.next_event` /
+  :meth:`XmlLexer.tokens_into`).  ``kind`` is one of the small-int
+  constants :data:`EVENT_START` / :data:`EVENT_END` / :data:`EVENT_TEXT`,
+  ``attrs`` is a tuple of ``(name, value)`` pairs or ``None`` when the
+  start tag has none, and ``text`` is the character data of a text
+  event.  The common no-attribute start tag therefore costs one small
+  tuple instead of a ``StartTag`` plus an ``Attribute`` list — the
+  allocation diet the compiled projector's dispatch loop relies on.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+#: Event-tuple discriminators of the lexer fast path (see module
+#: docstring).  Deliberately small ints: the compiled projector
+#: dispatches on them with two integer comparisons.
+EVENT_START = 0
+EVENT_END = 1
+EVENT_TEXT = 2
+
+#: One fast-path event: ``(kind, name, attrs, text)``.
+Event = tuple
 
 
 class TokenKind(enum.Enum):
@@ -27,7 +54,7 @@ class TokenKind(enum.Enum):
     TEXT = "text"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Attribute:
     """A single ``name="value"`` attribute on a start tag."""
 
@@ -35,7 +62,7 @@ class Attribute:
     value: str
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class StartTag:
     """Opening tag ``<name a="v" ...>``.
 
@@ -65,7 +92,7 @@ class StartTag:
         return "<" + " ".join(parts) + ">"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class EndTag:
     """Closing tag ``</name>``."""
 
@@ -78,7 +105,7 @@ class EndTag:
         return f"</{self.name}>"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Text:
     """A maximal run of character data between tags.
 

@@ -21,7 +21,7 @@ All nodes are immutable; rewriting passes build new trees.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.xpath.ast import Path
 

@@ -10,7 +10,6 @@ from repro.datasets.bib import (
     BIB_QUERY,
     figure3b_document,
     figure3c_document,
-    make_bib_document,
 )
 from repro.xmark.generator import XMARK_DTD, generate_document
 from repro.xmlio.dtd import parse_dtd

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.baselines import FluxLikeEngine, FullDomEngine
+from repro.baselines import FluxLikeEngine
 from repro.bench.harness import BenchResult, buffer_profile, compare_engines, run_engine
 from repro.bench.reporting import ascii_plot, format_table
 from repro.core.engine import GCXEngine

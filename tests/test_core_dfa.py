@@ -1,0 +1,251 @@
+"""The compiled lazy DFA against its NFA oracle.
+
+The :class:`~repro.core.matcher.PathDFA` derives its transitions *from*
+the :class:`~repro.core.matcher.PathMatcher`, so unit bugs would have to
+live in the state canonicalization (multisets, exhaustion, interning) or
+in the fused projector loop (skips, spines, statistics).  These tests
+attack exactly those seams:
+
+* unit tests over the interned state space (dead state, memoization,
+  first-witness exhaustion rewriting the *parent* state, multiplicity
+  counting under stacked descendant axes);
+* Hypothesis differential tests: random small documents × random
+  projection-path sets — including descendant-axis multiplicities and
+  ``[1]`` exhaustion — must produce the exact same buffered tree, role
+  multisets and per-token statistics through the compiled projector as
+  through the interpreting oracle, at any input chunking.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buffer import Buffer
+from repro.core.matcher import PathDFA, PathMatcher
+from repro.core.projector import CompiledStreamProjector, StreamProjector
+from repro.xmlio.lexer import make_lexer
+from repro.xpath.parser import parse_path
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _run_oracle(paths, xml):
+    buffer = Buffer()
+    matcher = PathMatcher([(name, parse_path(p)) for name, p in paths])
+    StreamProjector(make_lexer(xml), matcher, buffer).run_to_end()
+    return buffer
+
+
+def _run_compiled(paths, xml, dfa=None, chunks=None):
+    buffer = Buffer()
+    if dfa is None:
+        dfa = PathDFA(PathMatcher([(name, parse_path(p)) for name, p in paths]))
+    source = xml if chunks is None else iter(chunks)
+    CompiledStreamProjector(make_lexer(source), dfa, buffer).run_to_end()
+    return buffer
+
+
+def _role_tree(buffer):
+    """(tag/text, sorted role multiset) per live node, preorder — the
+    complete observable outcome of a projection run."""
+    out = [("#document", sorted(buffer.root.roles.elements()))]
+    for node in buffer.iter_live():
+        label = node.tag if node.is_element else ("#text", node.text)
+        out.append((label, sorted(node.roles.elements())))
+    return out
+
+
+def _assert_identical(paths, xml, chunks=None):
+    oracle = _run_oracle(paths, xml)
+    compiled = _run_compiled(paths, xml, chunks=chunks)
+    assert _role_tree(compiled) == _role_tree(oracle)
+    a, b = compiled.stats, oracle.stats
+    assert (a.tokens, a.watermark, a.nodes_buffered, a.roles_assigned) == (
+        b.tokens,
+        b.watermark,
+        b.nodes_buffered,
+        b.roles_assigned,
+    )
+    assert a.subtrees_skipped == b.subtrees_skipped
+    assert a.series == b.series
+    assert compiled.live_count == oracle.live_count
+
+
+# ---------------------------------------------------------------------------
+# unit tests over the state space
+# ---------------------------------------------------------------------------
+
+
+class TestStateSpace:
+    def test_dead_state_is_zero_and_absorbs(self):
+        dfa = PathDFA(PathMatcher([("r", parse_path("/a/b"))]))
+        child, parent, counts = dfa.element(dfa.start, "nope")
+        assert child == PathDFA.dead == 0
+        assert parent == dfa.start
+        assert counts is None
+
+    def test_transitions_are_memoized_once(self):
+        dfa = PathDFA(PathMatcher([("r", parse_path("/a/b"))]))
+        first = dfa.element(dfa.start, "a")
+        again = dfa.element(dfa.start, "a")
+        assert first is again  # the very same entry object
+        stats = dfa.stats()
+        assert stats["element_transitions"] == 1
+        assert stats["states"] >= 2
+
+    def test_role_counts_on_matching_step(self):
+        dfa = PathDFA(PathMatcher([("r", parse_path("/a"))]))
+        child, _parent, counts = dfa.element(dfa.start, "a")
+        assert counts == {"r": 1}
+        # nothing continues below /a: the child state is dead
+        assert child == PathDFA.dead
+
+    def test_first_witness_exhausts_the_parent_state(self):
+        dfa = PathDFA(PathMatcher([("r", parse_path("/a/b[1]"))]))
+        a_state, _root, _ = dfa.element(dfa.start, "a")
+        child, parent_after, counts = dfa.element(a_state, "b")
+        assert counts == {"r": 1}
+        # the first b consumed the [1] instance: the parent moves to a
+        # state where later b children assign nothing
+        assert parent_after != a_state
+        child2, parent2, counts2 = dfa.element(parent_after, "b")
+        assert counts2 is None
+        assert parent2 == parent_after
+        assert child == child2 == PathDFA.dead
+
+    def test_descendant_multiplicities_are_counted(self):
+        dfa = PathDFA(PathMatcher([("r", parse_path("//a//b"))]))
+        # walk <a><a><b/></a></a>: the inner b holds two derivations
+        s1, _, _ = dfa.element(dfa.start, "a")
+        s2, _, _ = dfa.element(s1, "a")
+        _s3, _, counts = dfa.element(s2, "b")
+        assert counts == {"r": 2}
+
+    def test_document_roles_on_start_state(self):
+        dfa = PathDFA(PathMatcher([("root", parse_path("/"))]))
+        assert dfa.start_roles == {"root": 1}
+
+    def test_text_transition_memoized(self):
+        dfa = PathDFA(PathMatcher([("r", parse_path("/a/text()"))]))
+        a_state, _, _ = dfa.element(dfa.start, "a")
+        counts, parent = dfa.text(a_state)
+        assert counts == {"r": 1}
+        assert parent == a_state
+        assert dfa.text(a_state) is dfa.text(a_state)
+        assert dfa.stats()["text_transitions"] == 1
+
+    def test_text_can_exhaust_a_first_witness_step(self):
+        dfa = PathDFA(PathMatcher([("r", parse_path("/a/text()[1]"))]))
+        a_state, _, _ = dfa.element(dfa.start, "a")
+        counts, parent = dfa.text(a_state)
+        assert counts == {"r": 1}
+        assert parent != a_state
+        counts2, parent2 = dfa.text(parent)
+        assert counts2 is None
+        assert parent2 == parent
+
+
+# ---------------------------------------------------------------------------
+# differential properties: compiled kernel ≡ NFA oracle
+# ---------------------------------------------------------------------------
+
+_TAGS = ("a", "b", "c")
+
+
+@st.composite
+def xml_trees(draw, max_depth=4):
+    """A random XML document over a small alphabet, with text and
+    attributes (attributes exercise the skip validator and spines)."""
+
+    def node(depth):
+        tag = draw(st.sampled_from(_TAGS))
+        attrs = ""
+        if draw(st.booleans()):
+            attrs = f' k="v{draw(st.integers(0, 2))}"'
+        if depth >= max_depth or draw(st.integers(0, 2)) == 0:
+            kind = draw(st.integers(0, 2))
+            if kind == 0:
+                return f"<{tag}{attrs}>t{draw(st.integers(1, 3))}</{tag}>"
+            if kind == 1:
+                return f"<{tag}{attrs}/>"
+            return f"<{tag}{attrs}></{tag}>"
+        children = "".join(
+            node(depth + 1) for _ in range(draw(st.integers(0, 3)))
+        )
+        return f"<{tag}{attrs}>{children}</{tag}>"
+
+    body = "".join(node(1) for _ in range(draw(st.integers(1, 3))))
+    return f"<r>{body}</r>"
+
+
+@st.composite
+def projection_paths(draw):
+    """A random valid projection path: child / descendant /
+    descendant-or-self axes, with ``[1]`` only on child steps —
+    exactly the language the static analysis emits."""
+    steps = []
+    for _ in range(draw(st.integers(1, 3))):
+        axis = draw(st.sampled_from(("", "descendant::", "descendant-or-self::")))
+        if axis == "descendant-or-self::":
+            test = "node()"
+        else:
+            test = draw(st.sampled_from(_TAGS + ("*", "text()")))
+        first = axis == "" and draw(st.booleans())
+        steps.append(axis + test + ("[1]" if first else ""))
+    return "/r/" + "/".join(steps)
+
+
+@st.composite
+def path_sets(draw):
+    count = draw(st.integers(1, 3))
+    return [(f"r{i}", draw(projection_paths())) for i in range(count)]
+
+
+@given(xml_trees(), path_sets())
+@settings(max_examples=120, deadline=None)
+def test_dfa_assigns_identical_role_multisets(xml, paths):
+    _assert_identical(paths, xml)
+
+
+def test_unicode_whitespace_text_parity():
+    """Whitespace policy is Unicode strip(), not the XML regex: runs of
+    \\xa0 / \\x0b — and entities resolving to whitespace — must be
+    dropped by the compiled kernel exactly as by the oracle."""
+    xml = "<r><a>\xa0</a><b>\x0b</b><a>&#32; &#9;</a><a>&#65;</a>x</r>"
+    for paths in (
+        [("r", "/r/a/text()")],
+        [("r", "/r/descendant-or-self::node()")],
+        [("r", "/r/a")],  # exercises the skip fast path over <b>
+    ):
+        _assert_identical(paths, xml)
+        for chunk in (1, 3, 5):
+            chunks = [xml[i : i + chunk] for i in range(0, len(xml), chunk)]
+            _assert_identical(paths, xml, chunks=chunks)
+
+
+@given(xml_trees(), projection_paths(), st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_dfa_identical_at_any_chunking(xml, path, chunk):
+    """The fused skip loop must survive arbitrary chunk boundaries."""
+    paths = [("r", path)]
+    chunks = [xml[i : i + chunk] for i in range(0, len(xml), chunk)]
+    oracle = _run_oracle(paths, xml)
+    compiled = _run_compiled(paths, xml, chunks=chunks)
+    assert _role_tree(compiled) == _role_tree(oracle)
+    assert compiled.stats.series == oracle.stats.series
+    assert compiled.stats.subtrees_skipped == oracle.stats.subtrees_skipped
+
+
+@given(xml_trees(), path_sets())
+@settings(max_examples=40, deadline=None)
+def test_shared_dfa_replays_identically(xml, paths):
+    """One dfa reused across runs (as the PlanCache shares it) behaves
+    like a fresh one — the memo never leaks per-stream state."""
+    dfa = PathDFA(PathMatcher([(name, parse_path(p)) for name, p in paths]))
+    first = _run_compiled(paths, xml, dfa=dfa)
+    second = _run_compiled(paths, xml, dfa=dfa)
+    assert _role_tree(first) == _role_tree(second)
+    assert first.stats.series == second.stats.series
+    assert _role_tree(second) == _role_tree(_run_oracle(paths, xml))

@@ -11,8 +11,6 @@ These tests pin the externally-reported numbers of the demo paper:
 * the documents have 82 tags forming 41 nodes.
 """
 
-import pytest
-
 from repro.core.buffer import Buffer
 from repro.core.engine import GCXEngine
 from repro.core.matcher import PathMatcher

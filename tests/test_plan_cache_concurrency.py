@@ -1,14 +1,20 @@
-"""Plan-cache thread safety: concurrent compilation is single-flight.
+"""Plan-cache thread safety: concurrent compilation is single-flight,
+and the compiled kernel's transition memo is safely shared.
 
 The server admits many connections that open the same query at the
 same instant; the cache must run the static analysis once per
 canonical plan no matter how the compilations interleave, and its
 hit/miss counters must stay consistent (``misses`` == actual
-compilations).
+compilations).  Since the plan carries a lazy
+:class:`~repro.core.matcher.PathDFA` whose memo every session extends
+in place, concurrency must also never corrupt that shared state: the
+suite closes with 64 sessions racing over one plan and a structural
+audit of the memo they populated.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -16,6 +22,7 @@ from dataclasses import dataclass, field
 import pytest
 
 from repro.core.engine import GCXEngine
+from repro.core.matcher import PathDFA
 from repro.core.plan import PlanCache
 
 QUERY = "<r>{ for $x in /doc/item return $x }</r>"
@@ -212,6 +219,143 @@ class TestEngineLevel:
         stats = engine.plan_cache.stats
         assert stats.misses == 1
         assert stats.canonical_reuses == 7
+
+
+def _audit_dfa(dfa: PathDFA) -> None:
+    """Structural audit of a shared memo after a concurrent run.
+
+    1. the state table is a bijection (every canonical multiset has
+       exactly one id, every id resolves back to its multiset);
+    2. every memoized transition references interned states and its
+       role counts are plain shareable dicts;
+    3. the memo is *deterministic*: replaying every memoized transition
+       on a fresh DFA over the same matcher yields an isomorphic
+       machine — concurrent discovery changed nothing but the timing.
+    """
+    with dfa._lock:
+        ids = dict(dfa._ids)
+        states = list(dfa._states)
+        element_memo = [dict(memo) for memo in dfa._element_memo]
+    assert len(ids) == len(states)
+    for key, state in ids.items():
+        assert states[state] == key
+    for memo in element_memo:
+        for child, parent, counts in memo.values():
+            assert 0 <= child < len(states)
+            assert 0 <= parent < len(states)
+            assert counts is None or isinstance(counts, dict)
+    fresh = PathDFA(dfa.matcher)
+    mapping = {dfa.start: fresh.start, PathDFA.dead: PathDFA.dead}
+    queue = [dfa.start]
+    while queue:
+        state = queue.pop()
+        for tag, (child, parent, counts) in element_memo[state].items():
+            f_child, f_parent, f_counts = fresh.element(mapping[state], tag)
+            assert f_counts == counts
+            for shared, fresh_id in ((child, f_child), (parent, f_parent)):
+                if shared not in mapping:
+                    mapping[shared] = fresh_id
+                    queue.append(shared)
+                else:
+                    assert mapping[shared] == fresh_id
+
+
+class TestDfaSharingUnderConcurrency:
+    """ISSUE 3: 64 server sessions over one plan must populate the
+    lazy-DFA transition memo without races and with exactly one
+    compile."""
+
+    QUERY = (
+        "<out>{ for $x in /doc/item return "
+        "if (exists $x/name) then $x/name else () }</out>"
+    )
+
+    @staticmethod
+    def _document(seed: int) -> str:
+        """A document whose tag mix differs per session, so concurrent
+        sessions genuinely race to discover new transitions."""
+        rng = random.Random(seed)
+        tags = [f"junk{n}" for n in range(6)] + ["extra", "noise"]
+        parts = ["<doc>"]
+        for _ in range(rng.randint(8, 16)):
+            if rng.random() < 0.5:
+                parts.append(f"<item><name>n{rng.randint(0, 9)}</name></item>")
+            else:
+                tag = rng.choice(tags)
+                parts.append(f"<{tag}><inner>z</inner></{tag}>")
+        parts.append("</doc>")
+        return "".join(parts)
+
+    def test_64_sessions_one_compile_consistent_memo(self):
+        engine = GCXEngine()
+
+        def run_session(index: int):
+            plan = engine.compile(self.QUERY)
+            session = engine.session(plan)
+            document = self._document(index % 8)
+            for start in range(0, len(document), 37):
+                session.feed(document[start : start + 37])
+            result = session.finish()
+            return (plan, result.output, result.stats.watermark)
+
+        results, errors = _run_threads(64, run_session)
+        assert not errors
+        plans = {id(plan) for plan, _out, _wm in results}
+        assert len(plans) == 1  # one shared plan object
+        stats = engine.plan_cache.stats
+        assert stats.misses == 1  # exactly one compile
+        plan = results[0][0]
+        assert plan.dfa is not None
+
+        # every session saw exactly what a fresh single-threaded engine
+        # computes for the same document
+        reference = GCXEngine()
+        for index in range(8):
+            expected = reference.query(self.QUERY, self._document(index))
+            for thread_index in range(index, 64, 8):
+                _plan, output, watermark = results[thread_index]
+                assert output == expected.output
+                assert watermark == expected.stats.watermark
+
+        _audit_dfa(plan.dfa)
+        # the memo saw every distinct tag of every document
+        memo_stats = plan.dfa.stats()
+        assert memo_stats["element_transitions"] >= 8
+        assert engine.plan_cache.dfa_stats()["plans"] == 1
+
+    def test_concurrent_raw_transitions_are_deterministic(self):
+        """Hammer one DFA's memo from 32 threads walking random tag
+        sequences; the resulting machine must be isomorphic to a
+        sequentially-built one."""
+        from repro.core.matcher import PathMatcher
+        from repro.xpath.parser import parse_path
+
+        dfa = PathDFA(
+            PathMatcher(
+                [
+                    ("r1", parse_path("/doc/item/name")),
+                    ("r2", parse_path("/doc/descendant::inner")),
+                    ("r3", parse_path("/doc/item[1]")),
+                ]
+            )
+        )
+        tags = ["doc", "item", "name", "inner", "junk", "noise"]
+
+        def walk(index: int):
+            rng = random.Random(index)
+            for _ in range(200):
+                state = dfa.start
+                for _depth in range(rng.randint(1, 5)):
+                    state = dfa.element(state, rng.choice(tags))[0]
+                    dfa.text(state)
+                    if state == PathDFA.dead:
+                        break
+            return True
+
+        results, errors = _run_threads(32, walk)
+        assert not errors
+        assert all(results)
+        _audit_dfa(dfa)
 
 
 class TestSequentialInvariantsStillHold:

@@ -13,8 +13,6 @@ Three laws are exercised:
    never buffers more than the projection-only engine.
 """
 
-import random as _random
-
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines import FullDomEngine, ProjectionOnlyEngine

@@ -1,7 +1,5 @@
 """Unit tests for the DOM substrate."""
 
-import pytest
-
 from repro.xmlio.dom import parse_dom
 from repro.xmlio.writer import serialize_dom
 

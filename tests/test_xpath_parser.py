@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.xpath.ast import Axis, Path
+from repro.xpath.ast import Axis
 from repro.xpath.parser import XPathParseError, parse_path
 
 
