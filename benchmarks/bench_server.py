@@ -98,6 +98,11 @@ def test_server_throughput(xmark_fig4):
                 "requests": requests,
                 "peak_buffer_nodes": snapshot["peak_buffer_watermark"],
                 "latency_ms_p99": snapshot["latency_ms"]["p99"],
+                "ttfr_ms_p50": snapshot["ttfr_ms"]["p50"],
+                "ttfr_ms_p99": snapshot["ttfr_ms"]["p99"],
             }
         },
     )
+    assert snapshot["ttfr_ms"]["count"] == requests
+    # the first RESULT fragment must exist well before session end
+    assert snapshot["ttfr_ms"]["p99"] <= snapshot["latency_ms"]["p99"]

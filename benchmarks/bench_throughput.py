@@ -225,6 +225,55 @@ def test_engine_q1_compiled_throughput(benchmark, document):
     )
 
 
+def test_evaluator_interp_throughput(benchmark, document):
+    """Evaluator isolation, interpreting side: the compiled DFA
+    projector feeds the AST-walking PullEvaluator — the fixed oracle
+    baseline the operator-program VM is gated against.  XMark Q8 (the
+    value join) is the evaluator-bound workload: its nested loops and
+    comparisons over the buffer are pure evaluation work, so the
+    evaluator pair measures the evaluation kernel, not the projector."""
+    engine = GCXEngine(record_series=False, compiled_eval=False)
+    compiled = engine.compile(ADAPTED_QUERIES["q8"].text)
+
+    result = benchmark.pedantic(
+        lambda: engine.run(compiled, document), rounds=3, iterations=1
+    )
+    assert result.stats.watermark > 0
+    _record_benchmark(
+        benchmark,
+        lambda: engine.run(compiled, document),
+        "evaluator_interp",
+        len(document),
+        result.stats.watermark,
+    )
+
+
+def test_evaluator_vm_throughput(benchmark, document):
+    """Evaluator isolation, compiled side: the same DFA projector
+    feeds the operator-program VM (the default), so the difference to
+    ``evaluator_interp`` is purely the evaluation kernel."""
+    engine = GCXEngine(record_series=False)
+    compiled = engine.compile(ADAPTED_QUERIES["q8"].text)
+    assert compiled.program is not None
+    oracle = GCXEngine(record_series=False, compiled_eval=False)
+
+    result = benchmark.pedantic(
+        lambda: engine.run(compiled, document), rounds=3, iterations=1
+    )
+    # byte-identical to the oracle, not merely "passes its own tests"
+    reference = oracle.run(oracle.compile(ADAPTED_QUERIES["q8"].text), document)
+    assert result.output == reference.output
+    assert result.stats.watermark == reference.stats.watermark
+    assert result.stats.tokens == reference.stats.tokens
+    _record_benchmark(
+        benchmark,
+        lambda: engine.run(compiled, document),
+        "evaluator_vm",
+        len(document),
+        result.stats.watermark,
+    )
+
+
 def test_session_q1_throughput(benchmark, document):
     """Push mode: the same workload fed chunk-wise through a session."""
     engine = GCXEngine(record_series=False)

@@ -1,10 +1,14 @@
-"""CI gate over ``BENCH_throughput.json``: the compiled kernel must win.
+"""CI gate over ``BENCH_throughput.json``: the compiled kernels must win.
 
 Run after ``benchmarks/bench_throughput.py`` has refreshed the JSON.
-Fails (exit 1) when the ``engine_q1_compiled`` entry is missing,
-unmeasured, or slower than the interpreting-oracle baseline
-``engine_q1_pull`` — i.e. whenever a change would silently regress the
-compiled streaming kernel below the machinery it exists to replace.
+Fails (exit 1) whenever a compiled kernel would silently regress below
+the machinery it exists to replace:
+
+* ``engine_q1_compiled`` (lazy-DFA projector + VM, the default) vs the
+  interpreting-oracle baseline ``engine_q1_pull``;
+* ``evaluator_vm`` (operator-program VM) vs ``evaluator_interp`` (the
+  AST-walking pull evaluator behind the same DFA projector) — the
+  evaluation side in isolation.
 
 Usage::
 
@@ -22,6 +26,12 @@ DEFAULT_PATH = os.path.join(
     "BENCH_throughput.json",
 )
 
+#: (compiled entry, interpreting-oracle entry) pairs the gate enforces
+GATED_PAIRS = (
+    ("engine_q1_compiled", "engine_q1_pull"),
+    ("evaluator_vm", "evaluator_interp"),
+)
+
 
 def check(path: str) -> str:
     """Return a success message, or raise SystemExit with the failure."""
@@ -30,31 +40,33 @@ def check(path: str) -> str:
             entries = json.load(handle).get("entries", {})
     except (OSError, ValueError) as exc:
         raise SystemExit(f"gate: cannot read {path}: {exc}")
-    missing = [
-        name
-        for name in ("engine_q1_compiled", "engine_q1_pull")
-        if name not in entries
-    ]
+    needed = sorted({name for pair in GATED_PAIRS for name in pair})
+    missing = [name for name in needed if name not in entries]
     if missing:
         raise SystemExit(
             f"gate: {path} lacks {', '.join(missing)} — did the "
             "throughput benchmark run?"
         )
-    compiled = entries["engine_q1_compiled"].get("mb_per_s", 0.0)
-    pull = entries["engine_q1_pull"].get("mb_per_s", 0.0)
-    if not compiled:
-        raise SystemExit("gate: engine_q1_compiled was not measured (0 MB/s)")
-    if compiled < pull:
-        raise SystemExit(
-            f"gate: compiled kernel regressed below the interpreting "
-            f"oracle: engine_q1_compiled {compiled} MB/s < "
-            f"engine_q1_pull {pull} MB/s"
+    lines = []
+    for compiled_name, oracle_name in GATED_PAIRS:
+        compiled = entries[compiled_name].get("mb_per_s", 0.0)
+        oracle = entries[oracle_name].get("mb_per_s", 0.0)
+        if not compiled:
+            raise SystemExit(
+                f"gate: {compiled_name} was not measured (0 MB/s)"
+            )
+        if compiled < oracle:
+            raise SystemExit(
+                f"gate: compiled kernel regressed below the interpreting "
+                f"oracle: {compiled_name} {compiled} MB/s < "
+                f"{oracle_name} {oracle} MB/s"
+            )
+        ratio = compiled / oracle if oracle else float("inf")
+        lines.append(
+            f"{compiled_name} {compiled} MB/s vs "
+            f"{oracle_name} {oracle} MB/s ({ratio:.2f}x)"
         )
-    ratio = compiled / pull if pull else float("inf")
-    return (
-        f"gate: ok — engine_q1_compiled {compiled} MB/s vs "
-        f"engine_q1_pull {pull} MB/s ({ratio:.2f}x)"
-    )
+    return "gate: ok — " + "; ".join(lines)
 
 
 if __name__ == "__main__":

@@ -27,7 +27,7 @@ This baseline models both behaviours on top of the GCX runtime:
 
 from __future__ import annotations
 
-from repro.core.engine import CompiledQuery, GCXEngine
+from repro.core.engine import CompiledQuery, GCXEngine, _try_compile_program
 from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.signoff import insert_signoffs
 from repro.core.analysis import analyze_query
@@ -97,6 +97,8 @@ class FluxLikeEngine(GCXEngine):
         dtd: Dtd | None = None,
         record_series: bool = True,
         drain: bool = True,
+        compiled: bool = True,
+        compiled_eval: bool = True,
     ):
         # Schema knowledge enables the scope-based release; without a
         # DTD the engine cannot prove any scope complete and keeps the
@@ -106,6 +108,8 @@ class FluxLikeEngine(GCXEngine):
             first_witness=True,
             record_series=record_series,
             drain=drain,
+            compiled=compiled,
+            compiled_eval=compiled_eval,
         )
         self.dtd = dtd
 
@@ -138,6 +142,7 @@ class FluxLikeEngine(GCXEngine):
             rewritten,
             matcher,
             dfa=PathDFA(matcher),
+            program=_try_compile_program(rewritten),
         )
 
     @staticmethod

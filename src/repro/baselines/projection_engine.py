@@ -29,10 +29,14 @@ class ProjectionOnlyEngine(GCXEngine):
         first_witness: bool = True,
         record_series: bool = True,
         drain: bool = True,
+        compiled: bool = True,
+        compiled_eval: bool = True,
     ):
         super().__init__(
             gc_enabled=False,
             first_witness=first_witness,
             record_series=record_series,
             drain=drain,
+            compiled=compiled,
+            compiled_eval=compiled_eval,
         )

@@ -4,6 +4,7 @@ profile buffer behaviour, generate workloads.
 Subcommands::
 
     gcx run QUERY.xq INPUT.xml [--engine gcx] [--stats] [--chunk-size N]
+            [--interpreted]
     gcx explain QUERY.xq
     gcx profile QUERY.xq INPUT.xml [--width 72] [--height 16]
     gcx xmark --scale 1.0 [--seed 42]
@@ -61,15 +62,23 @@ _CLI_ERRORS = (
 )
 
 
-def _make_engine(name: str):
+def _make_engine(name: str, interpreted: bool = False):
+    """Build the chosen engine; *interpreted* selects the oracle pair
+    ``compiled=False, compiled_eval=False`` (interpreting NFA projector
+    + interpreting pull evaluator) on the GCX-family engines for A/B
+    runs against the compiled kernels.  The DOM baseline has no
+    compiled kernels, so the flag is a no-op there."""
+    toggles = (
+        {"compiled": False, "compiled_eval": False} if interpreted else {}
+    )
     if name == "gcx":
-        return GCXEngine()
+        return GCXEngine(**toggles)
     if name == "dom":
         return FullDomEngine()
     if name == "projection":
-        return ProjectionOnlyEngine()
+        return ProjectionOnlyEngine(**toggles)
     if name == "flux":
-        return FluxLikeEngine(dtd=parse_dtd(XMARK_DTD))
+        return FluxLikeEngine(dtd=parse_dtd(XMARK_DTD), **toggles)
     raise ValueError(f"unknown engine {name!r}")
 
 
@@ -95,7 +104,7 @@ def _evaluate(engine, query_text, input_path, chunk_size, output_stream=None):
 
 
 def _cmd_run(args) -> int:
-    engine = _make_engine(args.engine)
+    engine = _make_engine(args.engine, interpreted=args.interpreted)
     # GCX-family sessions emit results incrementally to stdout; the
     # DOM baseline has no streaming output, so its result is printed
     # after the fact.
@@ -203,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine to use",
     )
     run.add_argument("--stats", action="store_true", help="print run statistics")
+    run.add_argument(
+        "--interpreted",
+        action="store_true",
+        help="run the interpreting oracles (NFA projector + pull "
+        "evaluator) instead of the compiled kernels, for A/B runs; "
+        "output is byte-identical",
+    )
     run.add_argument(
         "--chunk-size",
         type=int,

@@ -11,7 +11,10 @@ This package implements the paper's contribution:
 * :mod:`repro.core.buffer` — the buffer tree with per-node role
   multisets and immediate, cascading garbage collection;
 * :mod:`repro.core.projector` — the stream pre-projector;
-* :mod:`repro.core.evaluator` — the pull-based query evaluator;
+* :mod:`repro.core.evaluator` — the pull-based query evaluator (the
+  interpreting oracle);
+* :mod:`repro.core.program` — the compiled evaluation kernel: the
+  query→operator-program compiler and its VM (DESIGN.md §10);
 * :mod:`repro.core.engine` — the user-facing facade.
 
 Submodules are imported lazily by the package facade in

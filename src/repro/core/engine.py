@@ -52,6 +52,10 @@ Ablation switches:
   the compiled lazy-DFA kernel (DESIGN.md §9).  Observable behaviour
   is byte-identical either way; the switch exists for differential
   testing and for benchmarking the kernel against its oracle.
+* ``compiled_eval=False`` — run the interpreting
+  :class:`~repro.core.evaluator.PullEvaluator` instead of the compiled
+  operator-program VM (DESIGN.md §10).  Again byte-identical; again an
+  oracle switch.  ``gcx run --interpreted`` sets both to ``False``.
 """
 
 from __future__ import annotations
@@ -63,6 +67,11 @@ from repro.core.analysis import analyze_query
 from repro.core.buffer import Buffer
 from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.plan import CompiledQuery, PlanCache, QueryPlan
+from repro.core.program import (
+    CompiledEvaluator,
+    ProgramCompileError,
+    compile_program,
+)
 from repro.core.projector import CompiledStreamProjector, StreamProjector
 from repro.core.evaluator import PullEvaluator
 from repro.core.session import StreamSession
@@ -95,6 +104,16 @@ def _file_chunks(handle, chunk_size: int):
         yield chunk
 
 
+def _try_compile_program(rewritten):
+    """Lower the rewritten query into an operator program, or ``None``
+    when the query is outside the compiled fragment (runs then use the
+    interpreting evaluator — a fallback, never a failure)."""
+    try:
+        return compile_program(rewritten)
+    except ProgramCompileError:
+        return None
+
+
 @dataclass
 class RunResult:
     """Outcome of evaluating one compiled query over one document."""
@@ -121,6 +140,7 @@ class GCXEngine:
         drain: bool = True,
         plan_cache: PlanCache | None = None,
         compiled: bool = True,
+        compiled_eval: bool = True,
     ):
         self.gc_enabled = gc_enabled
         self.first_witness = first_witness
@@ -129,6 +149,9 @@ class GCXEngine:
         #: drive streams through the compiled lazy-DFA kernel; False
         #: falls back to the interpreting NFA projector (the oracle).
         self.compiled = compiled
+        #: evaluate through the compiled operator-program VM; False
+        #: falls back to the interpreting PullEvaluator (the oracle).
+        self.compiled_eval = compiled_eval
         #: LRU of compiled plans; pass a shared :class:`PlanCache` to
         #: let several engines reuse each other's compilations.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
@@ -187,6 +210,7 @@ class GCXEngine:
             rewritten,
             matcher,
             dfa=PathDFA(matcher),
+            program=_try_compile_program(rewritten),
         )
 
     # ------------------------------------------------------------------
@@ -226,9 +250,14 @@ class GCXEngine:
         else:
             projector = StreamProjector(lexer, compiled.matcher, buffer, stats)
         writer = XmlWriter(stream=output_stream)
-        evaluator = PullEvaluator(
-            compiled.rewritten, projector, buffer, writer, self.gc_enabled
-        )
+        if self.compiled_eval and compiled.program is not None:
+            evaluator = CompiledEvaluator(
+                compiled.program, projector, buffer, writer, self.gc_enabled
+            )
+        else:
+            evaluator = PullEvaluator(
+                compiled.rewritten, projector, buffer, writer, self.gc_enabled
+            )
         started = time.perf_counter()
         evaluator.run()
         if self.drain:
@@ -245,6 +274,8 @@ class GCXEngine:
         query: QueryPlan | str,
         output_stream=None,
         max_pending_chunks: int | None = None,
+        on_output=None,
+        max_pending_output: int | None = None,
     ) -> StreamSession:
         """Open a push-based streaming session (see
         :class:`~repro.core.session.StreamSession`).
@@ -256,6 +287,12 @@ class GCXEngine:
             max_pending_chunks: bound on chunks queued ahead of
                 evaluation (backpressure); defaults to the session
                 module's :data:`DEFAULT_MAX_PENDING_CHUNKS`.
+            on_output: optional callback invoked (on the session
+                worker) with each serialized output fragment as it is
+                produced.
+            max_pending_output: bound in characters on produced-but-
+                undrained output; evaluation pauses beyond it until
+                the consumer drains (``None`` = unbounded).
         """
         plan = query if isinstance(query, QueryPlan) else self.compile(query)
         kwargs = {}
@@ -267,7 +304,10 @@ class GCXEngine:
             record_series=self.record_series,
             drain=self.drain,
             output_stream=output_stream,
+            on_output=on_output,
+            max_pending_output=max_pending_output,
             compiled=self.compiled,
+            compiled_eval=self.compiled_eval,
             **kwargs,
         )
 

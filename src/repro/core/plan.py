@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.core.analysis import StaticAnalysis
 from repro.core.matcher import PathDFA, PathMatcher
+from repro.core.program import OperatorProgram
 from repro.xquery import ast as q
 from repro.xquery.pretty import pretty_print
 
@@ -61,6 +62,12 @@ class QueryPlan:
     #: of tools that bypass the engine compiler (they fall back to the
     #: interpreting projector).
     dfa: PathDFA | None = None
+    #: operator program of ``rewritten`` (DESIGN.md §10) — the compiled
+    #: evaluation kernel, immutable and shared by every run and session
+    #: of the plan.  ``None`` when the query is outside the compiled
+    #: fragment or the plan was hand-built; runs then fall back to the
+    #: interpreting :class:`~repro.core.evaluator.PullEvaluator`.
+    program: OperatorProgram | None = None
 
     def matcher_spec(self) -> list[tuple[str, object]]:
         """The ``(role name, projection path)`` pairs behind
@@ -299,6 +306,28 @@ class PlanCache:
             snapshot["states"] += stats["states"]
             snapshot["element_transitions"] += stats["element_transitions"]
             snapshot["text_transitions"] += stats["text_transitions"]
+        return snapshot
+
+    def program_stats(self) -> dict:
+        """Aggregate operator-program occupancy over the cached plans.
+
+        The evaluation-side twin of :meth:`dfa_stats` (server
+        observability): how many distinct plans carry a compiled
+        operator program, how many ops those programs hold in total,
+        and how many plans fell back to the interpreting evaluator.
+        Plans cached under several source keys count once.
+        """
+        with self._lock:
+            plans = {id(plan): plan for plan, _canonical in self._plans.values()}
+        snapshot = {"plans": 0, "ops": 0, "slots": 0, "fallbacks": 0}
+        for plan in plans.values():
+            program = getattr(plan, "program", None)
+            if program is None:
+                snapshot["fallbacks"] += 1
+                continue
+            snapshot["plans"] += 1
+            snapshot["ops"] += program.op_count
+            snapshot["slots"] += program.n_slots
         return snapshot
 
     def clear(self) -> None:

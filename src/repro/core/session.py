@@ -6,16 +6,34 @@ not arrived (Section 3).  Network servers, however, receive input
 *push*-style, in arbitrary chunks.  :class:`StreamSession` bridges the
 two: the pull chain runs on a dedicated worker while ``feed(chunk)``
 hands input across a small bounded channel, so evaluation, active
-garbage collection and (optionally) result emission all progress
-concurrently with input arrival.  The observable behaviour — output
-bytes, buffer watermark, per-token series — is byte-for-byte identical
-to a one-shot :meth:`repro.GCXEngine.run`, regardless of how the input
-is chunked, because the evaluator consumes the very same token stream
-in the very same order.
+garbage collection and result emission all progress concurrently with
+input arrival.  The observable behaviour — output bytes, buffer
+watermark, per-token series — is byte-for-byte identical to a one-shot
+:meth:`repro.GCXEngine.run`, regardless of how the input is chunked,
+because the evaluator consumes the very same token stream in the very
+same order.
+
+Results are **incremental** (DESIGN.md §10): every fragment the
+evaluator serializes flows through an output channel the moment it is
+produced, while input is still arriving.  Consumers choose their side
+of the contract:
+
+* ``drain_output()`` — non-blocking: everything produced since the
+  last drain;
+* ``next_output(max_chars, timeout)`` — blocking: the next bounded
+  fragment (what the server's RESULT pump uses);
+* ``on_output=callback`` / ``output_stream=sink`` — push delivery on
+  the session worker; ``finish()`` then returns an empty ``output``.
+
+Anything not consumed early is returned by ``finish()`` as
+``RunResult.output``, so plain callers keep the classic contract.
+``max_pending_output`` bounds produced-but-undrained output: beyond it
+the evaluator pauses until the consumer catches up (output-side
+backpressure, the mirror image of the input chunk channel).
 
 Many sessions may run concurrently over one immutable
 :class:`~repro.core.plan.QueryPlan`; each session owns its mutable
-runtime state (matcher instances, buffer, stats, writer) and nothing
+runtime state (projector, buffer, stats, writer, channels) and nothing
 else is shared.
 
 Typical use::
@@ -25,6 +43,7 @@ Typical use::
     session = engine.session(plan)             # per stream
     for chunk in chunks:                       # arbitrary chunking
         session.feed(chunk)
+        early = session.drain_output()         # results so far
     result = session.finish()                  # RunResult, as ever
 """
 
@@ -37,6 +56,7 @@ from collections import deque
 from repro.core.buffer import Buffer
 from repro.core.evaluator import PullEvaluator
 from repro.core.plan import QueryPlan
+from repro.core.program import CompiledEvaluator
 from repro.core.projector import CompiledStreamProjector, StreamProjector
 from repro.core.stats import BufferStats
 from repro.xmlio.lexer import XmlLexer
@@ -106,6 +126,113 @@ class _ChunkChannel:
             return None
 
 
+class _OutputChannel:
+    """Incremental result sink between the evaluator and a consumer.
+
+    The session's :class:`~repro.xmlio.writer.XmlWriter` streams into
+    this channel from the worker thread; ``drain()`` / ``next()`` hand
+    fragments to the caller side.  With a *limit*, ``write`` blocks
+    while more than *limit* characters sit undrained — output-side
+    backpressure that keeps a slow consumer from accumulating the
+    whole serialized result (a bounded channel therefore needs a
+    concurrent consumer; ``finish()`` alone never drains early).
+
+    *passthrough* (a ``write()`` sink) or *callback* delivery bypass
+    buffering entirely: fragments are forwarded on the worker thread
+    and ``drain()`` stays empty, matching the classic ``output_stream``
+    contract.
+    """
+
+    def __init__(self, limit: int | None = None, callback=None, passthrough=None):
+        self._parts: list[str] = []
+        self._pending = 0
+        self._limit = limit if limit is None else max(1, limit)
+        self._callback = callback
+        self._passthrough = passthrough
+        self._closed = False
+        self._abandoned = False
+        self._cond = threading.Condition()
+        #: ``time.perf_counter()`` of the first fragment, or ``None``
+        self.first_output_at: float | None = None
+
+    # -- worker side -------------------------------------------------------
+
+    def write(self, chunk: str) -> None:
+        if not chunk:
+            return
+        if self.first_output_at is None:
+            self.first_output_at = time.perf_counter()
+        if self._passthrough is not None:
+            self._passthrough.write(chunk)
+            return
+        if self._callback is not None:
+            self._callback(chunk)
+            return
+        with self._cond:
+            if self._limit is not None:
+                while self._pending >= self._limit and not self._abandoned:
+                    self._cond.wait()
+            if self._abandoned:
+                return
+            self._parts.append(chunk)
+            self._pending += len(chunk)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Worker side: no more fragments will be produced."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- consumer side -----------------------------------------------------
+
+    def _take(self, max_chars: int | None) -> str:
+        """Pop up to *max_chars* characters (everything when ``None``).
+        Caller holds the lock."""
+        if max_chars is None or self._pending <= max_chars:
+            taken = "".join(self._parts)
+            self._parts.clear()
+            self._pending = 0
+        else:
+            joined = "".join(self._parts)
+            taken = joined[:max_chars]
+            self._parts[:] = [joined[max_chars:]]
+            self._pending = len(self._parts[0])
+        if taken:
+            self._cond.notify_all()
+        return taken
+
+    def drain(self, max_chars: int | None = None) -> str:
+        """Everything produced and not yet drained (non-blocking)."""
+        with self._cond:
+            return self._take(max_chars)
+
+    def next(self, max_chars: int | None = None, timeout: float | None = None):
+        """Block until output is available; ``None`` once the channel
+        is closed and empty, ``""`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._parts:
+                if self._closed or self._abandoned:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if not self._parts:
+                            return "" if not self._closed else None
+            return self._take(max_chars)
+
+    def abandon(self) -> None:
+        """Consumer gone: discard pending output, release the worker."""
+        with self._cond:
+            self._abandoned = True
+            self._parts.clear()
+            self._pending = 0
+            self._cond.notify_all()
+
+
 class StreamSession:
     """One streaming evaluation of one plan over one pushed document.
 
@@ -126,12 +253,18 @@ class StreamSession:
         record_series: bool = True,
         drain: bool = True,
         output_stream=None,
+        on_output=None,
+        max_pending_output: int | None = None,
         max_pending_chunks: int = DEFAULT_MAX_PENDING_CHUNKS,
         compiled: bool = True,
+        compiled_eval: bool = True,
     ):
         self.plan = plan
         self._drain = drain
         self._channel = _ChunkChannel(max_pending_chunks)
+        self._output = _OutputChannel(
+            limit=max_pending_output, callback=on_output, passthrough=output_stream
+        )
         self._stats = BufferStats(record_series=record_series)
         self._buffer = Buffer(self._stats)
         self._lexer = XmlLexer(refill=self._channel.get)
@@ -147,10 +280,17 @@ class StreamSession:
             self._projector = StreamProjector(
                 self._lexer, plan.matcher, self._buffer, self._stats
             )
-        self._writer = XmlWriter(stream=output_stream)
-        self._evaluator = PullEvaluator(
-            plan.rewritten, self._projector, self._buffer, self._writer, gc_enabled
-        )
+        self._writer = XmlWriter(stream=self._output)
+        # The plan's operator program is immutable and shared too; all
+        # per-run state (slots, loop frames) lives on the evaluator.
+        if compiled_eval and plan.program is not None:
+            self._evaluator = CompiledEvaluator(
+                plan.program, self._projector, self._buffer, self._writer, gc_enabled
+            )
+        else:
+            self._evaluator = PullEvaluator(
+                plan.rewritten, self._projector, self._buffer, self._writer, gc_enabled
+            )
         self._error: BaseException | None = None
         self._result = None
         self._bytes_fed = 0
@@ -172,8 +312,10 @@ class StreamSession:
         except BaseException as exc:  # noqa: BLE001 - reraised on the caller side
             self._error = exc
         finally:
-            # Unblock any producer; late input is irrelevant now.
+            # Unblock any producer; late input is irrelevant now.  The
+            # output channel closes so blocked consumers wake up too.
             self._channel.abandon()
+            self._output.close()
 
     # ------------------------------------------------------------------
     # caller side (the push interface)
@@ -195,10 +337,33 @@ class StreamSession:
             self._raise_pending()
         return self
 
+    def drain_output(self) -> str:
+        """Serialized output produced since the last drain (or start).
+
+        Non-blocking; fragments stream out while input is still being
+        fed.  Whatever is never drained is returned by ``finish()`` as
+        ``RunResult.output``, so calling this is optional.
+        """
+        return self._output.drain()
+
+    def next_output(
+        self, max_chars: int | None = None, timeout: float | None = None
+    ) -> str | None:
+        """Block for the next output fragment (at most *max_chars*).
+
+        Returns ``None`` once evaluation has ended and everything was
+        drained — the pump loop termination signal — and ``""`` when
+        *timeout* elapses with nothing new.
+        """
+        return self._output.next(max_chars, timeout)
+
     def finish(self):
         """Signal end of input and return the :class:`RunResult`.
 
         Idempotent: repeated calls return the same result object.
+        ``RunResult.output`` holds whatever was not already consumed
+        via ``drain_output()`` / ``next_output()`` / ``on_output`` /
+        ``output_stream``.
         """
         if self._result is not None:
             return self._result
@@ -211,7 +376,7 @@ class StreamSession:
         stats.elapsed = time.perf_counter() - self._started
         stats.final_buffered = self._buffer.live_count
         self._buffer.clear()
-        output = self._writer.getvalue()
+        output = self._output.drain()
         stats.output_chars = self._writer.chars_written
         self._result = RunResult(output, stats, self.plan)
         return self._result
@@ -220,7 +385,9 @@ class StreamSession:
         """Tear the session down without collecting a result."""
         self._channel.abandon()
         self._channel.close()
+        self._output.abandon()
         self._worker.join()
+        self._output.close()
 
     @property
     def bytes_fed(self) -> int:
@@ -230,6 +397,13 @@ class StreamSession:
     @property
     def finished(self) -> bool:
         return self._result is not None
+
+    @property
+    def time_to_first_output(self) -> float | None:
+        """Seconds from session start to the first serialized output
+        fragment (``None`` while — or if — nothing was produced)."""
+        first = self._output.first_output_at
+        return None if first is None else first - self._started
 
     def _raise_pending(self) -> None:
         if self._error is not None:

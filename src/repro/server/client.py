@@ -2,34 +2,47 @@
 
 Used by ``gcx stats``, the test suite and the
 ``benchmarks/bench_server.py`` load generator.  The client pipelines a
-whole query — OPEN, every CHUNK, FINISH — before reading results; the
-server guarantees this cannot deadlock because after an ERROR it keeps
-draining (and discarding) the remainder of the query's frames instead
-of closing the socket under the writer.
+whole query — OPEN, every CHUNK, FINISH — before reading results.
+Since the server streams RESULT frames *while input is still arriving*
+(DESIGN.md §10), naive pipelining could deadlock on large early
+output: the server's send buffer fills, its result pump stalls, output
+backpressure pauses evaluation, input backpressure stops its reads,
+and the client's blocking send never completes.  The client therefore
+sends CHUNK frames through a small select loop that opportunistically
+reads whatever frames have already arrived into an internal queue —
+both sockets keep draining, so the conversation cannot wedge.  Frames
+read early are consumed in order by the next ``recv_result()`` /
+``finish()``.
 
 Granular ``open()`` / ``send_chunk()`` / ``finish()`` calls are public
 so tests can hold a session open (to probe admission control) or chunk
-input at chosen boundaries; :meth:`GCXClient.run_query` composes them.
+input at chosen boundaries; :meth:`GCXClient.run_query` composes them,
+and :meth:`GCXClient.recv_result` reads streamed results before the
+input is finished.
 """
 
 from __future__ import annotations
 
 import json
+import select
 import socket
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.server.protocol import (
     DEFAULT_PORT,
     Frame,
+    FrameDecoder,
     FrameType,
     ProtocolError,
     encode_frame,
-    read_frame_blocking,
 )
 
 #: default size of the CHUNK frames ``run_query`` cuts a string into
 DEFAULT_CHUNK_SIZE = 64 * 1024
+
+_RECV_SIZE = 64 * 1024
 
 
 class ServerError(RuntimeError):
@@ -61,18 +74,50 @@ class GCXClient:
     ):
         self.chunk_size = max(1, chunk_size)
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        #: frames received ahead of consumption (streamed RESULTs the
+        #: send loop drained off the socket), oldest first
+        self._frames: deque[Frame] = deque()
+        self._decoder = FrameDecoder()
 
     # ------------------------------------------------------------------
     # frame plumbing
     # ------------------------------------------------------------------
 
     def _send(self, ftype: FrameType, payload: bytes | str = b"") -> None:
-        self._sock.sendall(encode_frame(ftype, payload))
+        """Send one frame, draining inbound frames whenever the socket
+        would otherwise block — the duplex loop that keeps pipelined
+        sends deadlock-free against mid-input RESULT streaming."""
+        view = memoryview(encode_frame(ftype, payload))
+        while view:
+            readable, writable, _ = select.select(
+                [self._sock], [self._sock], [], self._sock.gettimeout()
+            )
+            if readable:
+                self._pull_available()
+            if writable:
+                sent = self._sock.send(view)
+                view = view[sent:]
+            elif not readable:
+                raise TimeoutError("server accepted no data within the timeout")
+
+    def _pull_available(self) -> None:
+        """Read whatever bytes are ready (never blocks) into the queue."""
+        data = self._sock.recv(_RECV_SIZE)
+        if not data:
+            raise ConnectionError("server closed the connection")
+        self._frames.extend(self._decoder.feed(data))
+
+    def _read_frame(self) -> Frame:
+        """Next frame, blocking (honours the socket timeout)."""
+        while not self._frames:
+            data = self._sock.recv(_RECV_SIZE)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._frames.extend(self._decoder.feed(data))
+        return self._frames.popleft()
 
     def _recv(self) -> Frame:
-        frame = read_frame_blocking(self._sock)
-        if frame is None:
-            raise ConnectionError("server closed the connection")
+        frame = self._read_frame()
         if frame.type is FrameType.ERROR:
             raise ServerError(frame.text)
         return frame
@@ -100,6 +145,35 @@ class GCXClient:
         if chunk:
             self._send(FrameType.CHUNK, chunk)
 
+    def recv_result(self, timeout: float | None = None) -> str | None:
+        """Block for one RESULT frame *before* finishing the input.
+
+        The server streams output while input is still arriving, so a
+        client may interleave ``send_chunk`` calls with early reads.
+        Fragments read here are the caller's to keep — ``finish()``
+        returns only what follows.  With *timeout* (seconds), returns
+        ``None`` when no frame arrived in time — queries may produce
+        their first output only at FINISH, so an unbounded wait here
+        would hold the conversation up; without it, the socket's own
+        timeout applies.
+        """
+        if self._frames:
+            frame = self._recv()
+        else:
+            previous = self._sock.gettimeout()
+            if timeout is not None:
+                self._sock.settimeout(timeout)
+            try:
+                frame = self._recv()
+            except TimeoutError:
+                return None
+            finally:
+                if timeout is not None:
+                    self._sock.settimeout(previous)
+        if frame.type is not FrameType.RESULT:
+            raise ProtocolError(f"expected RESULT, got {frame.type.name}")
+        return frame.text
+
     def finish(self) -> QueryOutcome:
         """End the input and collect RESULT frames until FINISH."""
         self._send(FrameType.FINISH)
@@ -120,7 +194,9 @@ class GCXClient:
         """Evaluate *query_text* over *document* in one conversation.
 
         *document* may be a complete string (cut into ``chunk_size``
-        CHUNK frames) or any iterable of string chunks.
+        CHUNK frames) or any iterable of string chunks.  RESULT frames
+        the server streams during the sends are queued client-side and
+        assembled by :meth:`finish`, preserving order.
         """
         self.open(query_text)
         if isinstance(document, str):

@@ -40,6 +40,10 @@ class ServerMetrics:
         #: most recent session latencies, seconds (bounded window so a
         #: long-lived server cannot grow without bound)
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        #: most recent times-to-first-result, seconds — how long after
+        #: OPEN the first serialized output fragment existed.  Sessions
+        #: with empty results record nothing here.
+        self._ttfrs: deque[float] = deque(maxlen=latency_window)
 
     # ------------------------------------------------------------------
     # recording
@@ -50,11 +54,18 @@ class ServerMetrics:
             self._sessions_opened += 1
             self._sessions_active += 1
 
-    def session_finished(self, latency_seconds: float, watermark: int) -> None:
+    def session_finished(
+        self,
+        latency_seconds: float,
+        watermark: int,
+        time_to_first_result: float | None = None,
+    ) -> None:
         with self._lock:
             self._sessions_active -= 1
             self._sessions_completed += 1
             self._latencies.append(latency_seconds)
+            if time_to_first_result is not None:
+                self._ttfrs.append(time_to_first_result)
             if watermark > self._peak_watermark:
                 self._peak_watermark = watermark
 
@@ -79,7 +90,7 @@ class ServerMetrics:
     # reporting
     # ------------------------------------------------------------------
 
-    def snapshot(self, plan_cache=None, dfa=None) -> dict:
+    def snapshot(self, plan_cache=None, dfa=None, programs=None) -> dict:
         """A JSON-ready view of the registry.
 
         *plan_cache* takes a :class:`~repro.core.plan.PlanCacheStats`;
@@ -89,9 +100,13 @@ class ServerMetrics:
         :meth:`~repro.core.plan.PlanCache.dfa_stats` — the occupancy of
         the compiled kernels' shared transition memos (how much of the
         per-token work the connections have amortized away).
+        *programs* takes
+        :meth:`~repro.core.plan.PlanCache.program_stats` — the compiled
+        operator programs backing the evaluation side.
         """
         with self._lock:
             latencies = sorted(self._latencies)
+            ttfrs = sorted(self._ttfrs)
             snap = {
                 "uptime_s": round(time.monotonic() - self._started, 3),
                 "sessions": {
@@ -108,6 +123,11 @@ class ServerMetrics:
                     "p50": round(_percentile(latencies, 0.50) * 1000, 3),
                     "p99": round(_percentile(latencies, 0.99) * 1000, 3),
                 },
+                "ttfr_ms": {
+                    "count": len(ttfrs),
+                    "p50": round(_percentile(ttfrs, 0.50) * 1000, 3),
+                    "p99": round(_percentile(ttfrs, 0.99) * 1000, 3),
+                },
             }
         if plan_cache is not None:
             lookups = plan_cache.hits + plan_cache.misses
@@ -121,4 +141,6 @@ class ServerMetrics:
             }
         if dfa is not None:
             snap["dfa"] = dict(dfa)
+        if programs is not None:
+            snap["programs"] = dict(programs)
         return snap

@@ -20,11 +20,21 @@ Conversation shape (client frames on the left, server on the right)::
     OPEN(query)       ->
                       <-  OPENED(session id)   | BUSY(reason) | ERROR(msg)
     CHUNK(xml)*       ->
+                      <-  RESULT(output part)*     (streamed as produced)
     FINISH()          ->
                       <-  RESULT(output part)*
                       <-  FINISH(session stats JSON)  | ERROR(msg)
     STATS()           ->
                       <-  STATS(metrics JSON)
+
+Results stream: RESULT frames may arrive any time after OPENED — the
+server emits output fragments while the client is still sending CHUNK
+frames — so a client that interleaves other requests (e.g. STATS) on a
+connection with a session in flight must be prepared to see RESULT
+frames first.  The blocking :class:`~repro.server.client.GCXClient`
+handles this by draining inbound frames into an ordered queue while it
+sends (so pipelining can never wedge against the stream) and consuming
+them in ``finish()`` — or earlier via ``recv_result()``.
 
 A BUSY or a query ERROR (compile failure, malformed XML, evaluation
 error) leaves the connection usable: the client may OPEN again

@@ -53,10 +53,25 @@ class ManagedSession:
         """
         self._session.feed(chunk)
 
+    def next_output(
+        self, max_chars: int | None = None, timeout: float | None = None
+    ) -> str | None:
+        """Block for the next serialized output fragment (the RESULT
+        pump's feed); ``None`` once evaluation ended and all output
+        was taken (see :meth:`StreamSession.next_output`)."""
+        return self._session.next_output(max_chars, timeout)
+
     def finish(self) -> RunResult:
-        """Close the input side and collect the result."""
+        """Close the input side and collect the result.
+
+        ``result.output`` holds only what no concurrent consumer
+        already drained — for the service that is whatever the RESULT
+        pump had not yet picked up.
+        """
         result = self._session.finish()
-        self._scheduler._release(self, result)
+        self._scheduler._release(
+            self, result, self._session.time_to_first_output
+        )
         return result
 
     def abort(self) -> None:
@@ -73,6 +88,7 @@ class SessionScheduler:
         engine: GCXEngine | None = None,
         max_sessions: int = DEFAULT_MAX_SESSIONS,
         metrics: ServerMetrics | None = None,
+        max_pending_output: int | None = None,
     ):
         #: all sessions share this engine's plan cache; record_series is
         #: off because a server never plots per-token series and the
@@ -80,6 +96,12 @@ class SessionScheduler:
         self.engine = engine if engine is not None else GCXEngine(record_series=False)
         self.max_sessions = max(1, max_sessions)
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        #: output-side backpressure bound handed to every admitted
+        #: session: beyond this many undrained serialized characters the
+        #: evaluator pauses until the consumer (the service's RESULT
+        #: pump) catches up.  ``None`` = unbounded — the right default
+        #: for direct callers that only read output at ``finish()``.
+        self.max_pending_output = max_pending_output
         self._lock = threading.Lock()
         self._active = 0
         self._ids = itertools.count(1)
@@ -104,7 +126,9 @@ class SessionScheduler:
             self._active += 1
         try:
             plan = self.engine.compile(query_text)
-            session = self.engine.session(plan)
+            session = self.engine.session(
+                plan, max_pending_output=self.max_pending_output
+            )
         except BaseException:
             with self._lock:
                 self._active -= 1
@@ -112,7 +136,12 @@ class SessionScheduler:
         self.metrics.session_opened()
         return ManagedSession(self, session, next(self._ids))
 
-    def _release(self, managed: ManagedSession, result: RunResult | None) -> None:
+    def _release(
+        self,
+        managed: ManagedSession,
+        result: RunResult | None,
+        time_to_first_output: float | None = None,
+    ) -> None:
         with self._lock:
             if managed._released:
                 return
@@ -120,15 +149,19 @@ class SessionScheduler:
             self._active -= 1
         if result is not None:
             self.metrics.session_finished(
-                time.perf_counter() - managed._opened, result.stats.watermark
+                time.perf_counter() - managed._opened,
+                result.stats.watermark,
+                time_to_first_result=time_to_first_output,
             )
         else:
             self.metrics.session_failed()
 
     def snapshot(self) -> dict:
-        """Service metrics plus the shared plan cache's counters and
-        the compiled kernels' transition-memo occupancy."""
+        """Service metrics plus the shared plan cache's counters, the
+        compiled kernels' transition-memo occupancy and the operator
+        programs' footprint."""
         return self.metrics.snapshot(
             plan_cache=self.engine.plan_cache.stats,
             dfa=self.engine.plan_cache.dfa_stats(),
+            programs=self.engine.plan_cache.program_stats(),
         )

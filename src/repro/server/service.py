@@ -8,6 +8,15 @@ frame, a session whose chunk channel is full transparently pauses that
 connection's reads (per-connection backpressure) while every other
 connection keeps streaming.
 
+Results stream (DESIGN.md §10): alongside each admitted session runs a
+RESULT *pump* task that blocks on the session's output channel and
+forwards every produced fragment as a bounded RESULT frame — a client
+receives its first results while it is still sending CHUNK frames.
+The output channel itself is bounded (``max_pending_output``), so a
+slow reader pauses evaluation instead of accumulating the serialized
+result in memory; whatever the pump has not picked up when ``finish``
+completes is flushed after the pump ends, before the FINISH summary.
+
 Failure semantics (DESIGN.md §8):
 
 * admission refused → BUSY; the connection stays usable and may retry;
@@ -90,19 +99,26 @@ class GCXServer:
     ):
         self.host = host
         self.port = port  # 0 = ephemeral; replaced by the bound port on start()
+        self.result_frame_size = max(1, result_frame_size)
         self.scheduler = (
             scheduler
             if scheduler is not None
-            else SessionScheduler(max_sessions=max_sessions)
+            else SessionScheduler(
+                max_sessions=max_sessions,
+                # output-side backpressure: a session may run at most a
+                # few frames ahead of its RESULT pump
+                max_pending_output=4 * self.result_frame_size,
+            )
         )
-        self.result_frame_size = max(1, result_frame_size)
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
-        # feed()/finish() block (backpressure, drain); give every
-        # admissible session its own executor slot so one stalled
-        # producer cannot starve the others.
+        # feed()/finish() block (backpressure, drain) and every session
+        # additionally parks one RESULT-pump call in next_output();
+        # two slots per admissible session plus slack for admissions
+        # and STATS, so a stalled producer or a quiet pump can never
+        # starve the others.
         self._executor = ThreadPoolExecutor(
-            max_workers=self.scheduler.max_sessions + 4,
+            max_workers=2 * self.scheduler.max_sessions + 4,
             thread_name_prefix="gcx-serve",
         )
 
@@ -163,13 +179,26 @@ class GCXServer:
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
-    async def _send(self, writer, ftype: FrameType, payload: bytes | str = b"") -> None:
-        writer.write(encode_frame(ftype, payload))
-        await writer.drain()
+    async def _send(
+        self, writer, ftype: FrameType, payload: bytes | str = b"", lock=None
+    ) -> None:
+        """Write one frame.  *lock* serializes writers that share the
+        connection: the handler and the RESULT pump both send, and two
+        tasks awaiting ``writer.drain()`` concurrently is unsafe (the
+        transport supports a single drain waiter)."""
+        if lock is None:
+            writer.write(encode_frame(ftype, payload))
+            await writer.drain()
+        else:
+            async with lock:
+                writer.write(encode_frame(ftype, payload))
+                await writer.drain()
 
     async def _handle_connection(self, reader, writer) -> None:
         loop = asyncio.get_running_loop()
+        send_lock = asyncio.Lock()  # handler + pump share the writer
         session = None  # the ManagedSession of the query in flight
+        pump = None  # the RESULT-pump task of that session
         discarding = False  # drain this query's frames after an ERROR
         try:
             while True:
@@ -177,19 +206,26 @@ class GCXServer:
                     frame = await read_frame(reader)
                 except ProtocolError as exc:
                     with contextlib.suppress(ConnectionError):
-                        await self._send(writer, FrameType.ERROR, _one_line(exc))
+                        await self._send(
+                            writer, FrameType.ERROR, _one_line(exc), lock=send_lock
+                        )
                     return
                 if frame is None:
                     return
 
                 if frame.type is FrameType.STATS:
                     payload = json.dumps(self.scheduler.snapshot(), sort_keys=True)
-                    await self._send(writer, FrameType.STATS, payload)
+                    await self._send(
+                        writer, FrameType.STATS, payload, lock=send_lock
+                    )
 
                 elif frame.type is FrameType.OPEN:
                     if session is not None:
                         await self._send(
-                            writer, FrameType.ERROR, "OPEN while a session is active"
+                            writer,
+                            FrameType.ERROR,
+                            "OPEN while a session is active",
+                            lock=send_lock,
                         )
                         return
                     # An OPEN always starts a fresh query — it ends any
@@ -199,7 +235,9 @@ class GCXServer:
                     try:
                         query_text = frame.text
                     except UnicodeDecodeError as exc:
-                        await self._send(writer, FrameType.ERROR, _one_line(exc))
+                        await self._send(
+                            writer, FrameType.ERROR, _one_line(exc), lock=send_lock
+                        )
                         discarding = True
                         continue
                     # Compilation (parse + static analysis on a cache
@@ -216,7 +254,9 @@ class GCXServer:
                         admit.add_done_callback(_abort_orphaned_admission)
                         raise
                     except QUERY_ERRORS as exc:
-                        await self._send(writer, FrameType.ERROR, _one_line(exc))
+                        await self._send(
+                            writer, FrameType.ERROR, _one_line(exc), lock=send_lock
+                        )
                         discarding = True  # drop this query's pipelined frames
                         continue
                     if session is None:
@@ -224,16 +264,28 @@ class GCXServer:
                             writer,
                             FrameType.BUSY,
                             f"server is at its {self.scheduler.max_sessions}-session limit",
+                            lock=send_lock,
                         )
                         discarding = True  # drop this query's pipelined frames
                         continue
-                    await self._send(writer, FrameType.OPENED, str(session.id))
+                    await self._send(
+                        writer, FrameType.OPENED, str(session.id), lock=send_lock
+                    )
+                    # Stream results out while input is still arriving.
+                    pump = asyncio.create_task(
+                        self._pump_results(writer, session, loop, send_lock)
+                    )
 
                 elif frame.type is FrameType.CHUNK:
                     if discarding:
                         continue
                     if session is None:
-                        await self._send(writer, FrameType.ERROR, "CHUNK before OPEN")
+                        await self._send(
+                            writer,
+                            FrameType.ERROR,
+                            "CHUNK before OPEN",
+                            lock=send_lock,
+                        )
                         return
                     self.metrics.add_bytes_in(len(frame.payload))
                     try:
@@ -241,8 +293,8 @@ class GCXServer:
                             self._executor, session.feed, frame.text
                         )
                     except QUERY_ERRORS as exc:
-                        session, discarding = await self._fail_query(
-                            writer, session, exc
+                        session, pump, discarding = await self._fail_query(
+                            writer, session, pump, exc, send_lock
                         )
 
                 elif frame.type is FrameType.FINISH:
@@ -251,7 +303,12 @@ class GCXServer:
                         discarding = False
                         continue
                     if session is None:
-                        await self._send(writer, FrameType.ERROR, "FINISH before OPEN")
+                        await self._send(
+                            writer,
+                            FrameType.ERROR,
+                            "FINISH before OPEN",
+                            lock=send_lock,
+                        )
                         return
                     try:
                         result = await loop.run_in_executor(
@@ -259,31 +316,76 @@ class GCXServer:
                         )
                     except QUERY_ERRORS as exc:
                         # Nothing of this query follows FINISH: no drain.
-                        session, _ = await self._fail_query(writer, session, exc)
+                        session, pump, _ = await self._fail_query(
+                            writer, session, pump, exc, send_lock
+                        )
                         discarding = False
                         continue
                     session = None
-                    await self._send_result(writer, result)
+                    # The pump ends once the closed output channel is
+                    # empty; wait so RESULT frames never trail FINISH.
+                    if pump is not None:
+                        await pump
+                        pump = None
+                    await self._send_result(writer, result, send_lock)
 
                 else:
                     await self._send(
-                        writer, FrameType.ERROR, f"unexpected {frame.type.name} frame"
+                        writer,
+                        FrameType.ERROR,
+                        f"unexpected {frame.type.name} frame",
+                        lock=send_lock,
                     )
                     return
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; the finally block reclaims the slot
         finally:
+            if pump is not None:
+                pump.cancel()
             if session is not None:
-                # Never block the event loop on the worker join.
+                # Never block the event loop on the worker join.  The
+                # abort also closes the output channel, releasing the
+                # pump's executor thread.
                 self._executor.submit(session.abort)
 
-    async def _fail_query(self, writer, session, exc) -> tuple[None, bool]:
-        """Send ERROR, reclaim the slot, and switch to draining mode."""
-        self._executor.submit(session.abort)
-        await self._send(writer, FrameType.ERROR, _one_line(exc))
-        return None, True
+    async def _pump_results(self, writer, session, loop, lock) -> None:
+        """Forward output fragments as RESULT frames while they are
+        produced — the session's output channel blocks the executor
+        thread until a fragment exists, and ends the loop (``None``)
+        once evaluation finished and everything was taken."""
+        while True:
+            part = await loop.run_in_executor(
+                self._executor, session.next_output, self.result_frame_size
+            )
+            if part is None:
+                return
+            if not part:
+                continue
+            data = part.encode("utf-8")
+            self.metrics.add_bytes_out(len(data))
+            try:
+                await self._send(writer, FrameType.RESULT, data, lock=lock)
+            except ConnectionError:
+                return  # client gone; the handler cleans up
 
-    async def _send_result(self, writer, result) -> None:
+    async def _fail_query(
+        self, writer, session, pump, exc, lock
+    ) -> tuple[None, None, bool]:
+        """Send ERROR, reclaim the slot, and switch to draining mode.
+
+        The abort closes the session's output channel, which ends the
+        pump; awaiting it *before* the ERROR frame guarantees no stale
+        RESULT frame can trail the error on the wire.
+        """
+        self._executor.submit(session.abort)
+        if pump is not None:
+            await pump
+        await self._send(writer, FrameType.ERROR, _one_line(exc), lock=lock)
+        return None, None, True
+
+    async def _send_result(self, writer, result, lock) -> None:
+        # The RESULT pump already streamed everything it saw; what is
+        # left is the tail finish() drained after the pump stopped.
         output = result.output
         # Slice by characters so every RESULT frame stays valid UTF-8 on
         # its own (the byte size is bounded by 4x the character count);
@@ -292,7 +394,7 @@ class GCXServer:
         for start in range(0, len(output), step):
             part = output[start : start + step].encode("utf-8")
             self.metrics.add_bytes_out(len(part))
-            await self._send(writer, FrameType.RESULT, part)
+            await self._send(writer, FrameType.RESULT, part, lock=lock)
         summary = json.dumps(
             {
                 "elapsed_s": round(result.stats.elapsed, 6),
@@ -302,7 +404,7 @@ class GCXServer:
             },
             sort_keys=True,
         )
-        await self._send(writer, FrameType.FINISH, summary)
+        await self._send(writer, FrameType.FINISH, summary, lock=lock)
 
 
 class ServerThread:

@@ -81,3 +81,75 @@ class TestReporting:
     def test_ascii_plot_flat_series(self):
         plot = ascii_plot([3, 3, 3], width=10, height=4)
         assert "peak 3" in plot
+
+
+class TestThroughputGate:
+    """The CI gate enforces compiled >= interpreting on both kernel
+    pairs (projector and evaluator)."""
+
+    @staticmethod
+    def _gate():
+        import importlib.util
+        import os
+
+        path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks",
+            "check_throughput_gate.py",
+        )
+        spec = importlib.util.spec_from_file_location("throughput_gate", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _entries(**mb_per_s):
+        return {
+            "entries": {
+                name: {"mb_per_s": value} for name, value in mb_per_s.items()
+            }
+        }
+
+    def _write(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_passes_when_compiled_wins_both_pairs(self, tmp_path):
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(
+                engine_q1_compiled=10.0,
+                engine_q1_pull=4.0,
+                evaluator_vm=12.0,
+                evaluator_interp=9.0,
+            ),
+        )
+        message = gate.check(path)
+        assert "evaluator_vm" in message and "ok" in message
+
+    def test_fails_when_vm_regresses_below_interpreter(self, tmp_path):
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(
+                engine_q1_compiled=10.0,
+                engine_q1_pull=4.0,
+                evaluator_vm=8.0,
+                evaluator_interp=9.0,
+            ),
+        )
+        with pytest.raises(SystemExit, match="evaluator_vm"):
+            gate.check(path)
+
+    def test_fails_when_evaluator_entries_missing(self, tmp_path):
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(engine_q1_compiled=10.0, engine_q1_pull=4.0),
+        )
+        with pytest.raises(SystemExit, match="evaluator"):
+            gate.check(path)

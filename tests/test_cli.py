@@ -41,6 +41,31 @@ class TestRun:
         dom_out = capsys.readouterr().out
         assert gcx_out == dom_out
 
+    def test_run_interpreted_oracle_same_output(self, workload, capsys):
+        """--interpreted selects compiled=False, compiled_eval=False:
+        the interpreting oracles, byte-identical to the kernels."""
+        query, xml = workload
+        assert main(["run", query, xml]) == 0
+        compiled_out = capsys.readouterr().out
+        assert main(["run", query, xml, "--interpreted"]) == 0
+        interpreted_out = capsys.readouterr().out
+        assert compiled_out == interpreted_out
+        assert compiled_out.startswith("<r>")
+
+    def test_run_interpreted_builds_oracle_engines(self):
+        """The flag must reach the engine constructor on the whole
+        GCX family (and be ignored by the DOM baseline)."""
+        from repro.cli import _make_engine
+
+        for engine_name in ("gcx", "projection", "flux"):
+            engine = _make_engine(engine_name, interpreted=True)
+            assert engine.compiled is False
+            assert engine.compiled_eval is False
+            engine = _make_engine(engine_name, interpreted=False)
+            assert engine.compiled is True
+            assert engine.compiled_eval is True
+        assert _make_engine("dom", interpreted=True) is not None
+
     def test_missing_file_reports_error(self, tmp_path, capsys):
         assert main(["run", str(tmp_path / "nope.xq"), str(tmp_path / "n.xml")]) == 1
         assert "error:" in capsys.readouterr().err

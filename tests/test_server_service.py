@@ -289,3 +289,112 @@ class TestStats:
                 snap = client.stats()
         assert snap["sessions"]["failed"] == 1
         assert snap["sessions"]["active"] == 0
+
+
+class TestStreamingResults:
+    """RESULT frames flow while the client is still sending CHUNKs
+    (DESIGN.md §10's emission contract, end to end over TCP)."""
+
+    def test_first_result_frame_before_finish(self, xmark_small, q1_expected):
+        chunks = [
+            xmark_small[i : i + 2048]
+            for i in range(0, len(xmark_small), 2048)
+        ]
+        assert len(chunks) > 4
+        with ServerThread(max_sessions=2) as handle:
+            with GCXClient(handle.host, handle.port) as client:
+                client.open(Q1)
+                # feed most of the document, then demand a RESULT frame
+                # while FINISH has not been sent
+                for chunk in chunks[:-1]:
+                    client.send_chunk(chunk)
+                early = client.recv_result()
+                assert early, "no streamed RESULT before FINISH"
+                client.send_chunk(chunks[-1])
+                outcome = client.finish()
+        assert early + outcome.output == q1_expected
+
+    def test_streamed_and_buffered_results_concatenate(
+        self, server, xmark_small, q1_expected
+    ):
+        """Early reads plus finish() reassemble the exact output."""
+        chunks = [
+            xmark_small[i : i + 4096]
+            for i in range(0, len(xmark_small), 4096)
+        ]
+        with _connect(server) as client:
+            client.open(Q1)
+            parts = []
+            for index, chunk in enumerate(chunks):
+                client.send_chunk(chunk)
+                if index == len(chunks) // 2:
+                    parts.append(client.recv_result())
+            outcome = client.finish()
+        assert "".join(parts) + outcome.output == q1_expected
+
+    def test_error_after_streamed_results_keeps_connection_usable(
+        self, server, xmark_small, q1_expected
+    ):
+        """Malformed input mid-stream: the ERROR frame ends the query
+        cleanly even though RESULT frames were already on the wire,
+        and the connection still serves the next query."""
+        with _connect(server) as client:
+            client.open(Q1)
+            client.send_chunk("<site><people><oops>")
+            with pytest.raises(ServerError):
+                client.send_chunk("</people></site>")
+                client.finish()
+            outcome = client.run_query(Q1, xmark_small)
+        assert outcome.output == q1_expected
+
+
+    def test_pipelined_large_early_output_does_not_deadlock(self):
+        """run_query pipelines the whole document while the server
+        streams a result about as large as the input: the client's
+        duplex send loop must keep draining RESULT frames or the
+        socket buffers wedge both sides (regression for the streamed-
+        results change)."""
+        body = "".join(f"<b>payload-{i:06d}</b>" for i in range(60_000))
+        document = f"<a>{body}</a>"  # ~1 MB in, ~1 MB out
+        query = "for $b in /a/b return $b"
+        expected = GCXEngine(record_series=False).query(query, document).output
+        with ServerThread(max_sessions=2) as handle:
+            with GCXClient(handle.host, handle.port, timeout=30) as client:
+                outcome = client.run_query(query, document)
+        assert outcome.output == expected
+
+    def test_recv_result_timeout_when_no_output_yet(self, xmark_small):
+        """A query that produces nothing before FINISH must not hang an
+        interleaved early read: recv_result(timeout=...) returns None."""
+        query = 'for $b in /site/people/person return if ($b/@id = "no-such") then $b else ()'
+        with ServerThread(max_sessions=2) as handle:
+            with GCXClient(handle.host, handle.port) as client:
+                client.open(query)
+                client.send_chunk(xmark_small[:2000])
+                assert client.recv_result(timeout=0.3) is None
+                client.send_chunk(xmark_small[2000:])
+                outcome = client.finish()
+        assert outcome.output == ""
+
+
+class TestTimeToFirstResult:
+    def test_stats_report_ttfr(self, xmark_small):
+        with ServerThread(max_sessions=2) as handle:
+            with GCXClient(handle.host, handle.port) as client:
+                client.run_query(Q1, xmark_small)
+                snap = client.stats()
+        ttfr = snap["ttfr_ms"]
+        assert ttfr["count"] == 1
+        assert ttfr["p50"] > 0
+        assert ttfr["p99"] >= ttfr["p50"]
+        # the first fragment exists no later than the whole session
+        assert ttfr["p99"] <= snap["latency_ms"]["p99"] + 1e-6
+
+    def test_stats_report_program_footprint(self, server, xmark_small):
+        with _connect(server) as client:
+            client.run_query(Q1, xmark_small)
+            snap = client.stats()
+        programs = snap["programs"]
+        assert programs["plans"] >= 1
+        assert programs["ops"] > 0
+        assert programs["fallbacks"] == 0

@@ -381,3 +381,136 @@ class TestChunkedPullSources:
         assert result.output == baseline.output
         assert all(size == 16 for size in reads)
         assert len(reads) > 1
+
+
+# ---------------------------------------------------------------------------
+# incremental result emission (DESIGN.md §10)
+# ---------------------------------------------------------------------------
+
+
+class TestIncrementalEmission:
+    """Results must stream out while input is still being fed."""
+
+    def _doc(self, items: int = 40) -> str:
+        body = "".join(f"<b>item{i}</b>" for i in range(items))
+        return f"<a>{body}</a>"
+
+    def test_first_output_before_final_chunk(self):
+        """A slow-feed session yields output before its input ends."""
+        engine = GCXEngine()
+        doc = self._doc()
+        chunks = chunked(doc, 64)
+        session = engine.session("for $b in /a/b return $b")
+        early = ""
+        fed_when_first_output = None
+        for index, chunk in enumerate(chunks):
+            session.feed(chunk)
+            if not early:
+                # next_output waits for evaluation to catch up with
+                # the fed input (bounded, so this cannot hang long)
+                got = session.next_output(timeout=5.0)
+                if got:
+                    early = got
+                    fed_when_first_output = index
+        assert early, "no output before the final chunk was fed"
+        assert fed_when_first_output < len(chunks) - 1
+        result = session.finish()
+        expected = engine.query("for $b in /a/b return $b", doc).output
+        assert early + result.output == expected
+
+    def test_drain_output_is_cumulative_and_exact(self):
+        engine = GCXEngine()
+        doc = self._doc()
+        session = engine.session("for $b in /a/b return $b")
+        drained = []
+        for chunk in chunked(doc, 48):
+            session.feed(chunk)
+            drained.append(session.drain_output())
+        result = session.finish()
+        expected = engine.query("for $b in /a/b return $b", doc).output
+        assert "".join(drained) + result.output == expected
+        assert any(drained), "nothing streamed before finish()"
+
+    def test_on_output_callback_delivery(self):
+        engine = GCXEngine()
+        doc = self._doc()
+        parts: list[str] = []
+        session = engine.session(
+            "for $b in /a/b return $b", on_output=parts.append
+        )
+        for chunk in chunked(doc, 64):
+            session.feed(chunk)
+        result = session.finish()
+        # callback consumed everything; finish() returns the rest: none
+        assert result.output == ""
+        expected = engine.query("for $b in /a/b return $b", doc).output
+        assert "".join(parts) == expected
+
+    def test_bounded_output_backpressure_still_correct(self):
+        """A tiny output bound pauses evaluation until drained, without
+        changing the produced bytes.  A bounded channel needs a
+        concurrent consumer (the server's RESULT-pump pattern): the
+        worker pauses on the bound, which backs the input channel up,
+        which would block ``feed()`` forever without the pump."""
+        import threading
+
+        engine = GCXEngine()
+        doc = self._doc()
+        session = engine.session(
+            "for $b in /a/b return $b", max_pending_output=16
+        )
+        collected: list[str] = []
+
+        def pump():
+            while True:
+                got = session.next_output(max_chars=16)
+                if got is None:
+                    return
+                collected.append(got)
+
+        pumper = threading.Thread(target=pump)
+        pumper.start()
+        for chunk in chunked(doc, 32):
+            session.feed(chunk)
+        result = session.finish()
+        pumper.join(timeout=10)
+        assert not pumper.is_alive()
+        expected = engine.query("for $b in /a/b return $b", doc).output
+        assert "".join(collected) + result.output == expected
+        assert len(collected) > 1  # genuinely incremental, bounded parts
+
+    def test_next_output_signals_end_with_none(self):
+        engine = GCXEngine()
+        session = engine.session(TRICKY_QUERY)
+        session.feed(TRICKY_XML)
+        result = session.finish()
+        assert result.output  # undrained output still lands in finish()
+        assert session.next_output(timeout=1.0) is None
+
+    def test_time_to_first_output_recorded(self):
+        engine = GCXEngine()
+        doc = self._doc()
+        session = engine.session("for $b in /a/b return $b")
+        assert session.time_to_first_output is None or (
+            session.time_to_first_output >= 0.0
+        )
+        for chunk in chunked(doc, 64):
+            session.feed(chunk)
+        session.next_output(timeout=5.0)
+        session.finish()
+        assert session.time_to_first_output is not None
+        assert session.time_to_first_output >= 0.0
+
+    def test_vm_and_interpreter_stream_identically(self):
+        doc = self._doc()
+        outputs = {}
+        for compiled_eval in (True, False):
+            engine = GCXEngine(compiled_eval=compiled_eval)
+            session = engine.session("for $b in /a/b return $b")
+            parts = []
+            for chunk in chunked(doc, 48):
+                session.feed(chunk)
+                parts.append(session.drain_output())
+            parts.append(session.finish().output)
+            outputs[compiled_eval] = "".join(parts)
+        assert outputs[True] == outputs[False]
