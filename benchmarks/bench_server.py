@@ -46,8 +46,10 @@ def _drive_client(host, port, query, document, requests, outputs, index):
 
 def test_server_throughput(xmark_fig4):
     query = ADAPTED_QUERIES["q1"].text
-    document = xmark_fig4
-    expected = GCXEngine(record_series=False).query(query, document).output
+    # Clients send the raw UTF-8 bytes — the wire-representative input:
+    # CHUNK payloads reach the lexer with no decode pass (DESIGN.md §11).
+    document = xmark_fig4.encode("utf-8")
+    expected = GCXEngine(record_series=False).query(query, xmark_fig4).output
 
     outputs: list[list[str]] = [[] for _ in range(_CLIENTS)]
     with ServerThread(max_sessions=_CLIENTS) as handle:

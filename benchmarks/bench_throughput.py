@@ -131,6 +131,40 @@ def test_lexer_event_fast_path_throughput(benchmark, document):
     _record_benchmark(benchmark, run, "lexer_events", len(document), 0)
 
 
+def test_lexer_bytes_event_fast_path_throughput(benchmark, document):
+    """The bytes-domain lexer (DESIGN.md §11) on the same event fast
+    path: raw UTF-8 in, markup scanned as bytes, names decoded once,
+    text decoded lazily.  The CI gate enforces lexer_bytes >=
+    lexer_events — the bytes kernel must never fall behind the str
+    scanner it replaces on the hot path."""
+    data = document.encode("utf-8")
+
+    def run():
+        lexer = make_lexer(data)
+        sink: list = []
+        count = 0
+        while True:
+            got = lexer.tokens_into(sink)
+            if not got:
+                return count + len(sink)
+            count += len(sink)
+            sink.clear()
+
+    tokens = benchmark(run)
+    assert tokens > 10_000
+    # identical classification, not merely "fast"
+    reference = make_lexer(document)
+    ref_sink: list = []
+    while reference.tokens_into(ref_sink):
+        pass
+    byte_lexer = make_lexer(data)
+    byte_sink: list = []
+    while byte_lexer.tokens_into(byte_sink):
+        pass
+    assert byte_sink == ref_sink
+    _record_benchmark(benchmark, run, "lexer_bytes", len(data), 0)
+
+
 def test_projector_selective_path(benchmark, document):
     """A selective path set: most of the stream is skipped."""
     paths = [("r1", parse_path("/site/people/person"))]
@@ -221,6 +255,33 @@ def test_engine_q1_compiled_throughput(benchmark, document):
         lambda: engine.run(compiled, document),
         "engine_q1_compiled",
         len(document),
+        result.stats.watermark,
+    )
+
+
+def test_engine_q1_compiled_bytes_throughput(benchmark, document):
+    """The full bytes path (DESIGN.md §11): the same compiled kernels
+    fed raw UTF-8 bytes — what the server and the CLI actually stream —
+    so the lexer scans the wire representation with no decode pass.
+    Byte-identical to the str-fed oracle."""
+    data = document.encode("utf-8")
+    engine = GCXEngine(record_series=False)
+    compiled = engine.compile(ADAPTED_QUERIES["q1"].text)
+    oracle = GCXEngine(record_series=False, compiled=False, compiled_eval=False)
+
+    result = benchmark.pedantic(
+        lambda: engine.run(compiled, data), rounds=3, iterations=1
+    )
+    assert result.stats.final_buffered == 0
+    reference = oracle.run(oracle.compile(ADAPTED_QUERIES["q1"].text), document)
+    assert result.output == reference.output
+    assert result.stats.watermark == reference.stats.watermark
+    assert result.stats.tokens == reference.stats.tokens
+    _record_benchmark(
+        benchmark,
+        lambda: engine.run(compiled, data),
+        "engine_q1_compiled_bytes",
+        len(data),
         result.stats.watermark,
     )
 

@@ -8,7 +8,10 @@ the machinery it exists to replace:
   interpreting-oracle baseline ``engine_q1_pull``;
 * ``evaluator_vm`` (operator-program VM) vs ``evaluator_interp`` (the
   AST-walking pull evaluator behind the same DFA projector) — the
-  evaluation side in isolation.
+  evaluation side in isolation;
+* ``lexer_bytes`` (the bytes-domain scanner, DESIGN.md §11) vs
+  ``lexer_events`` (the str event fast path it replaces on the wire
+  path) — the tokenizer in isolation.
 
 Usage::
 
@@ -30,6 +33,7 @@ DEFAULT_PATH = os.path.join(
 GATED_PAIRS = (
     ("engine_q1_compiled", "engine_q1_pull"),
     ("evaluator_vm", "evaluator_interp"),
+    ("lexer_bytes", "lexer_events"),
 )
 
 

@@ -1,0 +1,134 @@
+"""Per-stage profiling harness: where does a streamed byte go?
+
+Times (and optionally cProfiles) each pipeline stage in isolation over
+one XMark document, so a perf regression can be attributed to a layer
+— lexer, projector, evaluator — instead of showing up only as a slower
+end-to-end number.  Stages build on each other, so the deltas between
+consecutive rows approximate each layer's own cost:
+
+* ``lexer_str``      — str event fast path (the oracle scanner)
+* ``lexer_bytes``    — bytes-domain event fast path (DESIGN.md §11)
+* ``projector``      — compiled DFA projector over the bytes lexer
+  (XMark Q1's path set: mostly ``skip_subtree``)
+* ``engine``         — full compiled run (projector + VM + writer),
+  bytes input
+* ``engine_str``     — the same over str input (what the engine paid
+  before the bytes path, minus the wire decode it also needed)
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_stages.py
+    PYTHONPATH=src python benchmarks/profile_stages.py --scale 16 \
+        --cprofile engine --top 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+from repro.bench.reporting import format_table
+from repro.core.buffer import Buffer
+from repro.core.engine import GCXEngine
+from repro.core.projector import CompiledStreamProjector
+from repro.xmark.generator import generate_document
+from repro.xmark.queries import ADAPTED_QUERIES
+from repro.xmlio.lexer import make_lexer
+
+
+def _drain_events(source):
+    lexer = make_lexer(source)
+    sink: list = []
+    count = 0
+    while True:
+        got = lexer.tokens_into(sink)
+        if not got:
+            return count + len(sink)
+        count += len(sink)
+        sink.clear()
+
+
+def build_stages(scale: float, query_key: str):
+    """Return ``(document_bytes, [(stage, callable), ...])``."""
+    document = generate_document(scale=scale, seed=42)
+    data = document.encode("utf-8")
+    engine = GCXEngine(record_series=False)
+    plan = engine.compile(ADAPTED_QUERIES[query_key].text)
+
+    def projector_only():
+        buffer = Buffer()
+        buffer.stats.record_series = False
+        CompiledStreamProjector(make_lexer(data), plan.dfa, buffer).run_to_end()
+        return buffer.stats.tokens
+
+    stages = [
+        ("lexer_str", lambda: _drain_events(document)),
+        ("lexer_bytes", lambda: _drain_events(data)),
+        ("projector", projector_only),
+        ("engine", lambda: engine.run(plan, data)),
+        ("engine_str", lambda: engine.run(plan, document)),
+    ]
+    return data, stages
+
+
+def time_stage(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=8.0, help="XMark scale")
+    parser.add_argument("--query", default="q1", choices=sorted(ADAPTED_QUERIES))
+    parser.add_argument("--repeat", type=int, default=3, help="runs per stage")
+    parser.add_argument(
+        "--cprofile",
+        metavar="STAGE",
+        help="additionally cProfile one stage and print its hottest functions",
+    )
+    parser.add_argument("--top", type=int, default=12, help="cProfile rows")
+    args = parser.parse_args(argv)
+
+    data, stages = build_stages(args.scale, args.query)
+    mb = len(data) / 1e6
+
+    rows = []
+    previous = None
+    for stage, fn in stages:
+        seconds = time_stage(fn, args.repeat)
+        delta = "" if previous is None else f"{(seconds - previous) * 1000:+.1f}"
+        rows.append(
+            [stage, f"{seconds * 1000:.1f}", f"{mb / seconds:.2f}", delta]
+        )
+        previous = seconds
+    print(f"document: {mb:.3f} MB (scale {args.scale}), query {args.query}")
+    print(
+        format_table(
+            ["stage", "ms (best)", "MB/s", "delta ms vs previous"], rows
+        )
+    )
+
+    if args.cprofile:
+        wanted = dict(stages)
+        if args.cprofile not in wanted:
+            parser.error(
+                f"unknown stage {args.cprofile!r}; "
+                f"pick one of {', '.join(name for name, _ in stages)}"
+            )
+        print(f"\ncProfile of stage {args.cprofile!r}:")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        wanted[args.cprofile]()
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("tottime").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -180,9 +180,11 @@ class FullDomEngine:
     def run(
         self, compiled: q.Query, xml_source, chunk_size: int = DEFAULT_CHUNK_SIZE
     ) -> RunResult:
-        """Evaluate over *xml_source* — a string, a file-like object,
-        or an iterable of chunks (all tokens are retained regardless:
-        this baseline is deliberately non-streaming)."""
+        """Evaluate over *xml_source* — a ``str`` or UTF-8 ``bytes``
+        document, a file-like object (text or binary; binary reads
+        take the bytes-domain lexer), or an iterable of chunks (all
+        tokens are retained regardless: this baseline is deliberately
+        non-streaming)."""
         if hasattr(xml_source, "read"):
             xml_source = _file_chunks(xml_source, chunk_size)
         stats = BufferStats(record_series=self.record_series)

@@ -13,11 +13,13 @@ Subcommands::
 
 (``gcx`` is the console script; ``python -m repro.cli`` works too.)
 
-Documents are never slurped: the input file is read in ``--chunk-size``
-pieces and pushed through a :class:`~repro.core.session.StreamSession`
-(GCX-family engines) or the engine's chunked pull path (the DOM
-baseline), so the CLI exercises exactly the compile-once /
-stream-many architecture the library exposes.  ``serve`` exposes the
+Documents are never slurped — and never decoded up front: the input
+file is read **in binary** in ``--chunk-size`` pieces and pushed
+through a :class:`~repro.core.session.StreamSession` (GCX-family
+engines) or the engine's chunked pull path (the DOM baseline), so the
+CLI exercises exactly the compile-once / stream-many, bytes-domain
+architecture the library exposes (DESIGN.md §11); the lexer scans the
+raw bytes and decodes text lazily.  ``serve`` exposes the
 same session layer over TCP (DESIGN.md §8); ``stats`` asks a running
 server for its live metrics.
 
@@ -88,9 +90,13 @@ def _read(path: str) -> str:
 
 
 def _evaluate(engine, query_text, input_path, chunk_size, output_stream=None):
-    """Compile once, then stream the document file through the engine."""
+    """Compile once, then stream the document file through the engine.
+
+    The file is opened in binary: chunks are raw UTF-8 bytes all the
+    way to the lexer (invalid UTF-8 in decoded content surfaces as an
+    ``XmlSyntaxError`` with a byte position, not a decode crash)."""
     chunk_size = max(1, chunk_size)
-    with open(input_path, encoding="utf-8") as handle:
+    with open(input_path, "rb") as handle:
         if isinstance(engine, GCXEngine):
             session = engine.session(
                 engine.compile(query_text), output_stream=output_stream
@@ -223,7 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size",
         type=int,
         default=DEFAULT_CHUNK_SIZE,
-        help="input read size in characters (default %(default)s)",
+        help="input read size in bytes (default %(default)s)",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -249,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size",
         type=int,
         default=DEFAULT_CHUNK_SIZE,
-        help="input read size in characters (default %(default)s)",
+        help="input read size in bytes (default %(default)s)",
     )
     profile.set_defaults(func=_cmd_profile)
 

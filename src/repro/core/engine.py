@@ -11,8 +11,9 @@ split into a **compile-once / stream-many** architecture (DESIGN.md §1):
   text — static analysis runs once per distinct query, no matter how
   many documents follow;
 * :meth:`GCXEngine.run` evaluates a plan over one document, accepting a
-  complete string, a file-like object (read in bounded chunks), or any
-  iterable of string chunks;
+  complete string or UTF-8 ``bytes``, a file-like object (read in
+  bounded chunks; open binary files for the zero-copy bytes path,
+  DESIGN.md §11), or any iterable of chunks;
 * :meth:`GCXEngine.session` opens a push-based
   :class:`~repro.core.session.StreamSession` that accepts XML in
   arbitrary chunks via ``feed()`` / ``finish()`` while evaluation and
@@ -29,10 +30,11 @@ Typical use::
     print(result.output)
     print(result.stats.summary())
 
-    # compile once, stream many:
+    # compile once, stream many (binary reads: the lexer scans the
+    # raw bytes and decodes text lazily):
     plan = engine.compile(query_text)
     for path in documents:
-        with open(path, encoding="utf-8") as handle:
+        with open(path, "rb") as handle:
             print(engine.run(plan, handle).stats.summary())
 
     # push chunks as they arrive (e.g. from a socket):
@@ -228,9 +230,10 @@ class GCXEngine:
 
         Args:
             compiled: result of :meth:`compile`.
-            xml_source: the document — a complete string, a file-like
-                object with ``read()`` (read incrementally in
-                *chunk_size* pieces), or an iterable of string chunks
+            xml_source: the document — a complete ``str`` or UTF-8
+                ``bytes``, a file-like object with ``read()`` (read
+                incrementally in *chunk_size* pieces; binary handles
+                take the bytes-domain lexer), or an iterable of chunks
                 (consumed lazily; the raw input is never joined).
             output_stream: optional sink with ``write()``.  When given,
                 results are emitted incrementally as evaluation
@@ -276,6 +279,7 @@ class GCXEngine:
         max_pending_chunks: int | None = None,
         on_output=None,
         max_pending_output: int | None = None,
+        binary_output: bool = False,
     ) -> StreamSession:
         """Open a push-based streaming session (see
         :class:`~repro.core.session.StreamSession`).
@@ -290,9 +294,14 @@ class GCXEngine:
             on_output: optional callback invoked (on the session
                 worker) with each serialized output fragment as it is
                 produced.
-            max_pending_output: bound in characters on produced-but-
-                undrained output; evaluation pauses beyond it until
-                the consumer drains (``None`` = unbounded).
+            max_pending_output: bound in characters (bytes under
+                *binary_output*) on produced-but-undrained output;
+                evaluation pauses beyond it until the consumer drains
+                (``None`` = unbounded).
+            binary_output: accumulate serialized output as UTF-8
+                ``bytes`` (encoded once as produced);
+                ``drain_output()`` / ``next_output()`` then return
+                ``bytes`` ready for the wire.
         """
         plan = query if isinstance(query, QueryPlan) else self.compile(query)
         kwargs = {}
@@ -308,6 +317,7 @@ class GCXEngine:
             max_pending_output=max_pending_output,
             compiled=self.compiled,
             compiled_eval=self.compiled_eval,
+            binary_output=binary_output,
             **kwargs,
         )
 

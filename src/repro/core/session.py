@@ -31,6 +31,18 @@ Anything not consumed early is returned by ``finish()`` as
 the evaluator pauses until the consumer catches up (output-side
 backpressure, the mirror image of the input chunk channel).
 
+Sessions are **bytes-native** (DESIGN.md §11): ``feed()`` takes the
+raw UTF-8 wire bytes and hands them — without a decode pass — to the
+bytes-domain lexer (:class:`~repro.xmlio.lexer_bytes.ByteXmlLexer`),
+which scans bytes directly and decodes text lazily.  ``str`` chunks
+are still accepted (encoded once on the way in), so plain-text callers
+keep working; either way the observable behaviour is identical because
+the bytes lexer is held byte-identical to the str oracle.  With
+``binary_output=True`` the output side is bytes too: fragments are
+UTF-8-encoded once as they are produced and ``drain_output()`` /
+``next_output()`` return ``bytes`` cut at UTF-8 character boundaries —
+what the server's RESULT pump puts on the wire with no re-encode.
+
 Many sessions may run concurrently over one immutable
 :class:`~repro.core.plan.QueryPlan`; each session owns its mutable
 runtime state (projector, buffer, stats, writer, channels) and nothing
@@ -59,7 +71,7 @@ from repro.core.plan import QueryPlan
 from repro.core.program import CompiledEvaluator
 from repro.core.projector import CompiledStreamProjector, StreamProjector
 from repro.core.stats import BufferStats
-from repro.xmlio.lexer import XmlLexer
+from repro.xmlio.lexer_bytes import ByteXmlLexer
 from repro.xmlio.writer import XmlWriter
 
 #: Default upper bound on chunks queued between ``feed()`` and the
@@ -82,13 +94,13 @@ class _ChunkChannel:
     """
 
     def __init__(self, capacity: int = DEFAULT_MAX_PENDING_CHUNKS):
-        self._chunks: deque[str] = deque()
+        self._chunks: deque[bytes] = deque()
         self._capacity = max(1, capacity)
         self._closed = False
         self._abandoned = False
         self._cond = threading.Condition()
 
-    def put(self, chunk: str) -> bool:
+    def put(self, chunk: bytes) -> bool:
         """Queue *chunk*; blocks while full.  False if abandoned."""
         with self._cond:
             while len(self._chunks) >= self._capacity and not self._abandoned:
@@ -114,7 +126,7 @@ class _ChunkChannel:
             self._chunks.clear()
             self._cond.notify_all()
 
-    def get(self) -> str | None:
+    def get(self) -> bytes | None:
         """Next chunk; blocks while empty.  ``None`` at end of input."""
         with self._cond:
             while not self._chunks and not self._closed and not self._abandoned:
@@ -141,14 +153,26 @@ class _OutputChannel:
     buffering entirely: fragments are forwarded on the worker thread
     and ``drain()`` stays empty, matching the classic ``output_stream``
     contract.
+
+    With *binary* the channel accumulates **bytes**: every fragment is
+    UTF-8-encoded exactly once as the worker produces it, *limit* and
+    ``max_chars`` count bytes, and a bounded ``_take`` backs its cut
+    off to a UTF-8 character boundary so every drained piece is valid
+    UTF-8 on its own — the server forwards the pieces as RESULT frame
+    payloads verbatim, with no re-encode pass and no re-slice.
     """
 
-    def __init__(self, limit: int | None = None, callback=None, passthrough=None):
-        self._parts: list[str] = []
+    def __init__(
+        self, limit: int | None = None, callback=None, passthrough=None,
+        binary: bool = False,
+    ):
+        self._parts: list = []
         self._pending = 0
         self._limit = limit if limit is None else max(1, limit)
         self._callback = callback
         self._passthrough = passthrough
+        self._binary = binary
+        self._empty = b"" if binary else ""
         self._closed = False
         self._abandoned = False
         self._cond = threading.Condition()
@@ -168,6 +192,8 @@ class _OutputChannel:
         if self._callback is not None:
             self._callback(chunk)
             return
+        if self._binary:
+            chunk = chunk.encode("utf-8")
         with self._cond:
             if self._limit is not None:
                 while self._pending >= self._limit and not self._abandoned:
@@ -186,30 +212,50 @@ class _OutputChannel:
 
     # -- consumer side -----------------------------------------------------
 
-    def _take(self, max_chars: int | None) -> str:
-        """Pop up to *max_chars* characters (everything when ``None``).
-        Caller holds the lock."""
+    def _take(self, max_chars: int | None):
+        """Pop up to *max_chars* characters (bytes when binary;
+        everything when ``None``).  Caller holds the lock."""
         if max_chars is None or self._pending <= max_chars:
-            taken = "".join(self._parts)
+            taken = self._empty.join(self._parts)
             self._parts.clear()
             self._pending = 0
         else:
-            joined = "".join(self._parts)
-            taken = joined[:max_chars]
-            self._parts[:] = [joined[max_chars:]]
-            self._pending = len(self._parts[0])
+            joined = self._empty.join(self._parts)
+            cut = max_chars
+            if self._binary:
+                # Never cut a multi-byte character in half: back off
+                # past UTF-8 continuation bytes so the taken piece is
+                # valid UTF-8 on its own (at most 3 steps).  When
+                # *max_chars* is smaller than the first character,
+                # overshoot to its end instead — a fragment may exceed
+                # the bound by up to 3 bytes, never be invalid.
+                while cut > 0 and (joined[cut] & 0xC0) == 0x80:
+                    cut -= 1
+                if cut == 0:
+                    size = len(joined)
+                    cut = max_chars
+                    while cut < size and (joined[cut] & 0xC0) == 0x80:
+                        cut += 1
+            taken = joined[:cut]
+            remainder = joined[cut:]
+            if remainder:
+                self._parts[:] = [remainder]
+                self._pending = len(remainder)
+            else:  # an overshot cut may swallow the whole buffer
+                self._parts.clear()
+                self._pending = 0
         if taken:
             self._cond.notify_all()
         return taken
 
-    def drain(self, max_chars: int | None = None) -> str:
+    def drain(self, max_chars: int | None = None):
         """Everything produced and not yet drained (non-blocking)."""
         with self._cond:
             return self._take(max_chars)
 
     def next(self, max_chars: int | None = None, timeout: float | None = None):
         """Block until output is available; ``None`` once the channel
-        is closed and empty, ``""`` on timeout."""
+        is closed and empty, empty (``""``/``b""``) on timeout."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while not self._parts:
@@ -221,7 +267,7 @@ class _OutputChannel:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not self._cond.wait(remaining):
                         if not self._parts:
-                            return "" if not self._closed else None
+                            return self._empty if not self._closed else None
             return self._take(max_chars)
 
     def abandon(self) -> None:
@@ -258,16 +304,24 @@ class StreamSession:
         max_pending_chunks: int = DEFAULT_MAX_PENDING_CHUNKS,
         compiled: bool = True,
         compiled_eval: bool = True,
+        binary_output: bool = False,
     ):
         self.plan = plan
         self._drain = drain
+        self._binary_output = binary_output
         self._channel = _ChunkChannel(max_pending_chunks)
         self._output = _OutputChannel(
-            limit=max_pending_output, callback=on_output, passthrough=output_stream
+            limit=max_pending_output,
+            callback=on_output,
+            passthrough=output_stream,
+            binary=binary_output,
         )
         self._stats = BufferStats(record_series=record_series)
         self._buffer = Buffer(self._stats)
-        self._lexer = XmlLexer(refill=self._channel.get)
+        # The input side is bytes end to end: chunks cross the channel
+        # as raw UTF-8 and the bytes-domain lexer scans them directly
+        # (text decoded lazily; skipped subtrees never decoded).
+        self._lexer = ByteXmlLexer(refill=self._channel.get)
         # The plan's matcher/dfa are shared by all sessions: per-stream
         # match state lives on the projector's stack, and the dfa's
         # transition memo only ever gains deterministic entries — one
@@ -321,39 +375,49 @@ class StreamSession:
     # caller side (the push interface)
     # ------------------------------------------------------------------
 
-    def feed(self, chunk: str) -> "StreamSession":
+    def feed(self, chunk: bytes | str) -> "StreamSession":
         """Hand the next input chunk to the session.
 
-        Chunk boundaries are arbitrary — any byte offset, even inside a
-        tag name or an entity reference, is fine.  Blocks briefly when
-        the session is more than a few chunks behind (backpressure).
+        ``bytes`` chunks are the native path — raw socket/file data,
+        forwarded to the lexer without a decode pass.  ``str`` chunks
+        are UTF-8-encoded once here.  Chunk boundaries are arbitrary —
+        any **byte** offset, even inside a tag name, an entity
+        reference or a multi-byte character, is fine.  Blocks briefly
+        when the session is more than a few chunks behind
+        (backpressure).
         """
         if self._result is not None:
             raise SessionStateError("session already finished")
         self._raise_pending()
         if chunk:
+            if isinstance(chunk, str):
+                chunk = chunk.encode("utf-8")
+            else:
+                chunk = bytes(chunk)
             self._bytes_fed += len(chunk)
             self._channel.put(chunk)
             self._raise_pending()
         return self
 
-    def drain_output(self) -> str:
+    def drain_output(self):
         """Serialized output produced since the last drain (or start).
 
         Non-blocking; fragments stream out while input is still being
-        fed.  Whatever is never drained is returned by ``finish()`` as
+        fed (``bytes`` under ``binary_output``, ``str`` otherwise).
+        Whatever is never drained is returned by ``finish()`` as
         ``RunResult.output``, so calling this is optional.
         """
         return self._output.drain()
 
     def next_output(
         self, max_chars: int | None = None, timeout: float | None = None
-    ) -> str | None:
-        """Block for the next output fragment (at most *max_chars*).
+    ):
+        """Block for the next output fragment (at most *max_chars* —
+        bytes under ``binary_output``, characters otherwise).
 
         Returns ``None`` once evaluation has ended and everything was
-        drained — the pump loop termination signal — and ``""`` when
-        *timeout* elapses with nothing new.
+        drained — the pump loop termination signal — and an empty
+        fragment when *timeout* elapses with nothing new.
         """
         return self._output.next(max_chars, timeout)
 
@@ -377,6 +441,11 @@ class StreamSession:
         stats.final_buffered = self._buffer.live_count
         self._buffer.clear()
         output = self._output.drain()
+        if self._binary_output:
+            # RunResult.output keeps the classic str contract; the
+            # undrained remainder is whatever a concurrent consumer
+            # (e.g. the server's RESULT pump) did not pick up.
+            output = output.decode("utf-8")
         stats.output_chars = self._writer.chars_written
         self._result = RunResult(output, stats, self.plan)
         return self._result
@@ -391,7 +460,8 @@ class StreamSession:
 
     @property
     def bytes_fed(self) -> int:
-        """Total input characters accepted so far."""
+        """Total input bytes accepted so far (str chunks count their
+        UTF-8 encoding)."""
         return self._bytes_fed
 
     @property

@@ -140,8 +140,10 @@ class GCXClient:
             raise ProtocolError(f"expected OPENED, got {frame.type.name}")
         return int(frame.text)
 
-    def send_chunk(self, chunk: str) -> None:
-        """Push one XML input chunk (any boundary is fine)."""
+    def send_chunk(self, chunk: str | bytes) -> None:
+        """Push one XML input chunk (``bytes`` go on the wire verbatim
+        — any *byte* boundary is fine, even mid-character; ``str`` is
+        UTF-8 encoded)."""
         if chunk:
             self._send(FrameType.CHUNK, chunk)
 
@@ -190,16 +192,19 @@ class GCXClient:
                     f"expected RESULT or FINISH, got {frame.type.name}"
                 )
 
-    def run_query(self, query_text: str, document: str | Iterable[str]) -> QueryOutcome:
+    def run_query(
+        self, query_text: str, document: str | bytes | Iterable
+    ) -> QueryOutcome:
         """Evaluate *query_text* over *document* in one conversation.
 
-        *document* may be a complete string (cut into ``chunk_size``
-        CHUNK frames) or any iterable of string chunks.  RESULT frames
+        *document* may be a complete ``str`` or ``bytes`` (cut into
+        ``chunk_size`` CHUNK frames — bytes travel verbatim, the
+        zero-copy wire path) or any iterable of chunks.  RESULT frames
         the server streams during the sends are queued client-side and
         assembled by :meth:`finish`, preserving order.
         """
         self.open(query_text)
-        if isinstance(document, str):
+        if isinstance(document, (str, bytes)):
             text = document
             document = (
                 text[start : start + self.chunk_size]

@@ -44,22 +44,25 @@ class ManagedSession:
         self._opened = time.perf_counter()
         self._released = False
 
-    def feed(self, chunk: str) -> None:
-        """Forward one input chunk (blocks under backpressure).
+    def feed(self, chunk: bytes) -> None:
+        """Forward one raw input chunk (blocks under backpressure).
 
-        Byte accounting is the caller's job — the service counts the
-        wire bytes of the CHUNK frame, which a decoded ``str`` cannot
-        reproduce for non-ASCII input.
+        The service hands the CHUNK frame payload over verbatim —
+        sessions are bytes-native, so the wire bytes reach the lexer
+        without a decode pass.  Byte accounting is the caller's job
+        (the service counts the frame payload length).
         """
         self._session.feed(chunk)
 
     def next_output(
-        self, max_chars: int | None = None, timeout: float | None = None
-    ) -> str | None:
+        self, max_bytes: int | None = None, timeout: float | None = None
+    ) -> bytes | None:
         """Block for the next serialized output fragment (the RESULT
-        pump's feed); ``None`` once evaluation ended and all output
-        was taken (see :meth:`StreamSession.next_output`)."""
-        return self._session.next_output(max_chars, timeout)
+        pump's feed) — UTF-8 ``bytes``, cut at character boundaries,
+        ready to be a RESULT frame payload; ``None`` once evaluation
+        ended and all output was taken (see
+        :meth:`StreamSession.next_output`)."""
+        return self._session.next_output(max_bytes, timeout)
 
     def finish(self) -> RunResult:
         """Close the input side and collect the result.
@@ -127,7 +130,11 @@ class SessionScheduler:
         try:
             plan = self.engine.compile(query_text)
             session = self.engine.session(
-                plan, max_pending_output=self.max_pending_output
+                plan,
+                max_pending_output=self.max_pending_output,
+                # bytes in (raw CHUNK payloads), bytes out (RESULT
+                # payloads): no decode/encode pass on the wire path.
+                binary_output=True,
             )
         except BaseException:
             with self._lock:

@@ -8,6 +8,13 @@ frame, a session whose chunk channel is full transparently pauses that
 connection's reads (per-connection backpressure) while every other
 connection keeps streaming.
 
+The data path is bytes end to end (DESIGN.md §11): CHUNK frame
+payloads are fed to the session verbatim — no decode pass; the
+bytes-domain lexer scans the wire bytes directly — and the session's
+bytes-native output channel hands the RESULT pump UTF-8 fragments that
+go on the wire verbatim — no re-encode pass.  ``bytes_in`` /
+``bytes_out`` therefore count raw frame payload lengths on both sides.
+
 Results stream (DESIGN.md §10): alongside each admitted session runs a
 RESULT *pump* task that blocks on the session's output channel and
 forwards every produced fragment as a bounded RESULT frame — a client
@@ -289,8 +296,13 @@ class GCXServer:
                         return
                     self.metrics.add_bytes_in(len(frame.payload))
                     try:
+                        # Raw payload bytes, no decode pass: the
+                        # session's lexer scans the wire bytes
+                        # directly (invalid UTF-8 surfaces as an
+                        # XmlSyntaxError with a byte position, mapped
+                        # to an ERROR frame like any query failure).
                         await loop.run_in_executor(
-                            self._executor, session.feed, frame.text
+                            self._executor, session.feed, frame.payload
                         )
                     except QUERY_ERRORS as exc:
                         session, pump, discarding = await self._fail_query(
@@ -361,10 +373,13 @@ class GCXServer:
                 return
             if not part:
                 continue
-            data = part.encode("utf-8")
-            self.metrics.add_bytes_out(len(data))
+            # The output channel is bytes-native (UTF-8-encoded once as
+            # produced, cut at character boundaries): the fragment IS
+            # the frame payload — no re-encode pass, and bytes_out
+            # counts the actual wire bytes by construction.
+            self.metrics.add_bytes_out(len(part))
             try:
-                await self._send(writer, FrameType.RESULT, data, lock=lock)
+                await self._send(writer, FrameType.RESULT, part, lock=lock)
             except ConnectionError:
                 return  # client gone; the handler cleans up
 

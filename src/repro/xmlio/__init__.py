@@ -15,6 +15,7 @@ from repro.xmlio.tokens import (
     TokenKind,
 )
 from repro.xmlio.lexer import XmlLexer, make_lexer, tokenize
+from repro.xmlio.lexer_bytes import ByteXmlLexer
 from repro.xmlio.dom import DomNode, parse_dom
 from repro.xmlio.writer import XmlWriter, escape_attribute, escape_text
 from repro.xmlio.errors import XmlStarvedError, XmlSyntaxError
@@ -22,6 +23,7 @@ from repro.xmlio.dtd import Dtd, ElementDecl, parse_dtd
 
 __all__ = [
     "Attribute",
+    "ByteXmlLexer",
     "Dtd",
     "DomNode",
     "ElementDecl",

@@ -49,10 +49,20 @@ compiled projector is their primary consumer.
 Namespace processing is intentionally out of scope: GCX's fragment and
 the XMark workloads are namespace-free, and prefixed names pass through
 verbatim as part of the tag name.
+
+This str-domain lexer is also the **oracle** of the bytes-domain
+scanner (:mod:`repro.xmlio.lexer_bytes`, DESIGN.md §11): the hot
+production path scans raw UTF-8 bytes and decodes text lazily, and a
+differential suite holds it byte-identical — same tokens, events,
+errors and significance decisions at every byte-level chunk split — to
+this implementation.  :func:`make_lexer` / :func:`tokenize` dispatch on
+the input representation, so callers pick the domain simply by handing
+over ``bytes`` or ``str``.
 """
 
 from __future__ import annotations
 
+import itertools
 import re
 import sys
 from collections.abc import Callable, Iterable, Iterator
@@ -94,24 +104,70 @@ _LONGEST_PREFIX = max(len(p) for p in _MARKUP_PREFIXES)
 # \s); anything the regexes do not match (Unicode names, missing
 # inter-attribute space, malformed or incomplete markup) falls back to
 # the exact scanner, so a regex match can never disagree with it.
+# The pattern *sources* are module constants because the bytes-domain
+# lexer (repro.xmlio.lexer_bytes) compiles the identical patterns over
+# bytes — one source of truth, two regex domains.
 _NAME_RE_SRC = r"[A-Za-z_:][A-Za-z0-9_:.\-]*"
 _WS_RE_SRC = r"[ \t\r\n]"
-_START_TAG_RE = re.compile(
+START_TAG_SRC = (
     r"<(" + _NAME_RE_SRC + r")"
     r"((?:" + _WS_RE_SRC + r"+" + _NAME_RE_SRC
     + _WS_RE_SRC + r"*=" + _WS_RE_SRC + r"*(?:\"[^\"]*\"|'[^']*'))*)"
     + _WS_RE_SRC + r"*(/?)>"
 )
-_ATTR_RE = re.compile(
+ATTR_SRC = (
     _WS_RE_SRC + r"+(" + _NAME_RE_SRC + r")"
     + _WS_RE_SRC + r"*=" + _WS_RE_SRC + r"*(?:\"([^\"]*)\"|'([^']*)')"
 )
-_END_TAG_RE = re.compile(r"</(" + _NAME_RE_SRC + r")" + _WS_RE_SRC + r"*>")
+END_TAG_SRC = r"</(" + _NAME_RE_SRC + r")" + _WS_RE_SRC + r"*>"
 #: first significant (non-whitespace) character of a text run — used by
 #: the skip fast path to classify runs without slicing them out.
-_NON_WS_RE = re.compile(r"[^ \t\r\n]")
+NON_WS_SRC = r"[^ \t\r\n]"
+
+_START_TAG_RE = re.compile(START_TAG_SRC)
+_ATTR_RE = re.compile(ATTR_SRC)
+_END_TAG_RE = re.compile(END_TAG_SRC)
+_NON_WS_RE = re.compile(NON_WS_SRC)
 
 _intern = sys.intern
+
+
+def resolve_entities_text(raw: str, offset: int) -> str:
+    """Resolve the predefined entities and character references in
+    *raw* (both lexer domains share this — character data is ``str``
+    by the time entities are resolved).
+
+    Raises:
+        XmlSyntaxError: on an unterminated or unknown reference;
+            the reported position is *offset* plus the index of the
+            ``&`` within *raw*.
+    """
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end == -1:
+            raise XmlSyntaxError("unterminated entity reference", offset + i)
+        entity = raw[i + 1 : end]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            out.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            out.append(chr(int(entity[1:])))
+        elif entity in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[entity])
+        else:
+            raise XmlSyntaxError(
+                f"unknown entity reference &{entity};", offset + i
+            )
+        i = end + 1
+    return "".join(out)
 
 
 def _is_name_start(ch: str) -> bool:
@@ -1052,66 +1108,75 @@ class XmlLexer:
         return pos
 
     def _resolve_entities(self, raw: str, offset: int) -> str:
-        if "&" not in raw:
-            return raw
-        out: list[str] = []
-        i = 0
-        while i < len(raw):
-            ch = raw[i]
-            if ch != "&":
-                out.append(ch)
-                i += 1
-                continue
-            end = raw.find(";", i + 1)
-            if end == -1:
-                raise XmlSyntaxError("unterminated entity reference", offset + i)
-            entity = raw[i + 1 : end]
-            if entity.startswith("#x") or entity.startswith("#X"):
-                out.append(chr(int(entity[2:], 16)))
-            elif entity.startswith("#"):
-                out.append(chr(int(entity[1:])))
-            elif entity in _PREDEFINED_ENTITIES:
-                out.append(_PREDEFINED_ENTITIES[entity])
-            else:
-                raise XmlSyntaxError(
-                    f"unknown entity reference &{entity};", offset + i
-                )
-            i = end + 1
-        return "".join(out)
+        return resolve_entities_text(raw, offset)
 
 
-def tokenize(
-    source: str | Iterable[str], keep_whitespace: bool = False
-) -> Iterator[Token]:
+def tokenize(source, keep_whitespace: bool = False) -> Iterator[Token]:
     """Tokenize *source* into a stream of XML tokens.
 
     Args:
-        source: a complete document string, or an iterable of chunks —
-            consumed lazily, one chunk at a time, as tokens are pulled
-            (the raw input is never joined; only the token being
-            scanned is ever buffered).
+        source: a complete document (``str`` or UTF-8 ``bytes``), or an
+            iterable of chunks — consumed lazily, one chunk at a time,
+            as tokens are pulled (the raw input is never joined; only
+            the token being scanned is ever buffered).  Bytes sources
+            run through the bytes-domain lexer
+            (:class:`~repro.xmlio.lexer_bytes.ByteXmlLexer`) — wire
+            bytes are scanned directly, text decoded lazily.
         keep_whitespace: emit whitespace-only text tokens instead of
             dropping them.
 
     Yields:
         ``StartTag`` / ``EndTag`` / ``Text`` tokens in document order.
     """
-    yield from XmlLexer(source, keep_whitespace)
+    yield from make_lexer(source, keep_whitespace)
 
 
 def make_lexer(
-    source: str | Iterable[str] | None,
+    source=None,
     keep_whitespace: bool = False,
     refill: Callable[[], str | None] | None = None,
-) -> XmlLexer:
-    """Return a pull-based lexer over *source*.
+):
+    """Return a pull-based lexer over *source*, choosing the scanning
+    domain from the input representation.
+
+    ``str`` sources get the classic :class:`XmlLexer`; ``bytes`` (or
+    ``bytearray``/``memoryview``) sources get the zero-copy
+    :class:`~repro.xmlio.lexer_bytes.ByteXmlLexer` (DESIGN.md §11),
+    which scans the raw bytes and decodes text lazily.  For an
+    iterable the *first non-empty chunk* decides the domain — it is
+    pulled eagerly at construction; later chunks stay lazy.
 
     Args:
-        source: a complete document string, an iterable of string
-            chunks (consumed lazily as tokens are pulled), or ``None``
-            for a push-mode lexer driven by ``feed()`` / ``close()``.
+        source: a complete document (``str`` or ``bytes``), an
+            iterable of same-typed chunks, or ``None`` for a push-mode
+            lexer driven by ``feed()`` / ``close()`` (str domain; use
+            :class:`ByteXmlLexer` directly for bytes push mode).
         keep_whitespace: emit whitespace-only text tokens.
         refill: optional callable supplying the next chunk on demand
             (see :class:`XmlLexer`).
     """
-    return XmlLexer(source, keep_whitespace, refill=refill)
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        from repro.xmlio.lexer_bytes import ByteXmlLexer
+
+        return ByteXmlLexer(bytes(source), keep_whitespace, refill=refill)
+    if source is None or isinstance(source, str):
+        return XmlLexer(source, keep_whitespace, refill=refill)
+    # An iterable of chunks: peek at the first non-empty chunk to pick
+    # the domain, then hand first + remainder back as an iterable
+    # source (each lexer already consumes those lazily).
+    if refill is not None:
+        raise TypeError("pass either an iterable source or refill=, not both")
+    chunks = iter(source)
+    first = None
+    for chunk in chunks:
+        if chunk:
+            first = chunk
+            break
+    if first is None:
+        return XmlLexer("", keep_whitespace)
+    rest = itertools.chain((first,), chunks)
+    if isinstance(first, (bytes, bytearray, memoryview)):
+        from repro.xmlio.lexer_bytes import ByteXmlLexer
+
+        return ByteXmlLexer(rest, keep_whitespace)
+    return XmlLexer(rest, keep_whitespace)

@@ -117,7 +117,7 @@ class TestThroughputGate:
         path.write_text(json.dumps(payload), encoding="utf-8")
         return str(path)
 
-    def test_passes_when_compiled_wins_both_pairs(self, tmp_path):
+    def test_passes_when_compiled_wins_all_pairs(self, tmp_path):
         gate = self._gate()
         path = self._write(
             tmp_path,
@@ -126,10 +126,13 @@ class TestThroughputGate:
                 engine_q1_pull=4.0,
                 evaluator_vm=12.0,
                 evaluator_interp=9.0,
+                lexer_bytes=15.0,
+                lexer_events=10.0,
             ),
         )
         message = gate.check(path)
         assert "evaluator_vm" in message and "ok" in message
+        assert "lexer_bytes" in message
 
     def test_fails_when_vm_regresses_below_interpreter(self, tmp_path):
         gate = self._gate()
@@ -140,16 +143,59 @@ class TestThroughputGate:
                 engine_q1_pull=4.0,
                 evaluator_vm=8.0,
                 evaluator_interp=9.0,
+                lexer_bytes=15.0,
+                lexer_events=10.0,
             ),
         )
         with pytest.raises(SystemExit, match="evaluator_vm"):
+            gate.check(path)
+
+    def test_fails_when_bytes_lexer_regresses_below_str(self, tmp_path):
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(
+                engine_q1_compiled=10.0,
+                engine_q1_pull=4.0,
+                evaluator_vm=12.0,
+                evaluator_interp=9.0,
+                lexer_bytes=9.0,
+                lexer_events=10.0,
+            ),
+        )
+        with pytest.raises(SystemExit, match="lexer_bytes"):
             gate.check(path)
 
     def test_fails_when_evaluator_entries_missing(self, tmp_path):
         gate = self._gate()
         path = self._write(
             tmp_path,
-            self._entries(engine_q1_compiled=10.0, engine_q1_pull=4.0),
+            self._entries(
+                engine_q1_compiled=10.0,
+                engine_q1_pull=4.0,
+                lexer_bytes=15.0,
+                lexer_events=10.0,
+            ),
         )
         with pytest.raises(SystemExit, match="evaluator"):
             gate.check(path)
+
+
+class TestProfileStages:
+    def test_harness_runs_and_attributes_stages(self, capsys):
+        import importlib.util
+        import os
+
+        path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "benchmarks",
+            "profile_stages.py",
+        )
+        spec = importlib.util.spec_from_file_location("profile_stages", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main(["--scale", "0.3", "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("lexer_str", "lexer_bytes", "projector", "engine"):
+            assert stage in out
+        assert "MB/s" in out
