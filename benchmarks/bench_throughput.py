@@ -20,6 +20,7 @@ compiled kernel's speedup, and CI fails when it drops below 1.
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 
@@ -28,6 +29,7 @@ import pytest
 from repro.bench.harness import run_chunked
 from repro.bench.reporting import merge_bench_json, throughput_entry
 from repro.core.buffer import Buffer
+from repro.core.codegen import GeneratedStreamProjector
 from repro.core.engine import GCXEngine
 from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.projector import CompiledStreamProjector, StreamProjector
@@ -47,6 +49,29 @@ _records: dict[str, dict] = {}
 def _record(name: str, seconds: float, input_bytes: int, peak_buffer: int) -> None:
     """One measurement entry for the JSON file."""
     _records[name] = throughput_entry(seconds, input_bytes, peak_buffer)
+
+
+def _paired_best(fn_a, fn_b, rounds: int = 11) -> tuple[float, float]:
+    """Best-of-*rounds* for two callables, timed interleaved in one
+    window with the cyclic GC paused, so the codegen/tables gate pairs
+    compare numbers from the same scheduler/thermal conditions and a
+    collection pause cannot land on only one side's rounds."""
+    best_a = best_b = float("inf")
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn_a()
+            best_a = min(best_a, time.perf_counter() - started)
+            started = time.perf_counter()
+            fn_b()
+            best_b = min(best_b, time.perf_counter() - started)
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best_a, best_b
 
 
 def _record_benchmark(
@@ -198,6 +223,44 @@ def test_projector_dfa_selective_path(benchmark, document):
     _record_benchmark(benchmark, run, "projector_dfa", len(document), 0)
 
 
+def test_projector_q1_codegen_throughput(benchmark, document):
+    """The generated projector kernel (DESIGN.md §12) against the
+    table-driven kernel it was generated from, on XMark Q1's real path
+    set over raw bytes.  This is the stage where specialization
+    shows, and the CI gate holds projector_q1_codegen against
+    projector_q1_tables, so both entries are recorded from one paired
+    interleaved loop (two sequentially-timed tests would hand the
+    gate numbers from different scheduler windows)."""
+    data = document.encode("utf-8")
+    engine = GCXEngine(record_series=False)
+    plan = engine.compile(ADAPTED_QUERIES["q1"].text)
+    assert plan.kernels is not None and plan.kernels.projector is not None
+
+    def run_tables():
+        buffer = Buffer()
+        buffer.stats.record_series = False
+        CompiledStreamProjector(make_lexer(data), plan.dfa, buffer).run_to_end()
+        return buffer.stats
+
+    def run_codegen():
+        buffer = Buffer()
+        buffer.stats.record_series = False
+        GeneratedStreamProjector(
+            plan.kernels.projector, make_lexer(data), plan.dfa, buffer
+        ).run_to_end()
+        return buffer.stats
+
+    stats = benchmark.pedantic(run_codegen, rounds=3, iterations=1)
+    reference = run_tables()
+    assert stats.tokens == reference.tokens
+    assert stats.watermark == reference.watermark
+    assert stats.subtrees_skipped == reference.subtrees_skipped
+
+    best_codegen, best_tables = _paired_best(run_codegen, run_tables)
+    _record("projector_q1_codegen", best_codegen, len(data), stats.watermark)
+    _record("projector_q1_tables", best_tables, len(data), reference.watermark)
+
+
 def test_projector_subtree_heavy_path(benchmark, document):
     """A subtree path buffers (and materializes) most of the document."""
     paths = [
@@ -236,8 +299,10 @@ def test_engine_q1_throughput(benchmark, document):
 
 
 def test_engine_q1_compiled_throughput(benchmark, document):
-    """Pull mode through the compiled lazy-DFA kernel (the default)."""
-    engine = GCXEngine(record_series=False)
+    """Pull mode through the compiled lazy-DFA kernel, pinned to the
+    table-driven tier (``codegen=False``) so this entry stays the
+    baseline the generated kernels of DESIGN.md §12 are gated against."""
+    engine = GCXEngine(record_series=False, codegen=False)
     compiled = engine.compile(ADAPTED_QUERIES["q1"].text)
     oracle = GCXEngine(record_series=False, compiled=False)
 
@@ -263,9 +328,13 @@ def test_engine_q1_compiled_bytes_throughput(benchmark, document):
     """The full bytes path (DESIGN.md §11): the same compiled kernels
     fed raw UTF-8 bytes — what the server and the CLI actually stream —
     so the lexer scans the wire representation with no decode pass.
-    Byte-identical to the str-fed oracle."""
+    Byte-identical to the str-fed oracle.  Pinned to the table-driven
+    tier (``codegen=False``): this is the entry ``engine_q1_codegen``
+    is gated against — and when the codegen test also runs, it
+    re-records this entry from a paired interleaved measurement so the
+    gated ratio never compares two different thermal windows."""
     data = document.encode("utf-8")
-    engine = GCXEngine(record_series=False)
+    engine = GCXEngine(record_series=False, codegen=False)
     compiled = engine.compile(ADAPTED_QUERIES["q1"].text)
     oracle = GCXEngine(record_series=False, compiled=False, compiled_eval=False)
 
@@ -283,6 +352,46 @@ def test_engine_q1_compiled_bytes_throughput(benchmark, document):
         "engine_q1_compiled_bytes",
         len(data),
         result.stats.watermark,
+    )
+
+
+def test_engine_q1_codegen_throughput(benchmark, document):
+    """The per-plan generated-code kernels (DESIGN.md §12): the same
+    bytes workload as ``engine_q1_compiled_bytes``, run through the
+    exec-compiled projector/evaluator specializations instead of the
+    table-driven interpreters they were generated from.  Byte-identical
+    output AND an identical buffering profile (watermark, token count)
+    to the table tier — specialization must never change what is
+    buffered, only how fast the loop dispatches.
+
+    The JSON entries for both tiers are recorded from one paired
+    interleaved loop: the gate compares a few-percent margin, and two
+    sequentially-timed tests would hand it numbers from different
+    scheduler/thermal windows."""
+    data = document.encode("utf-8")
+    engine = GCXEngine(record_series=False)
+    compiled = engine.compile(ADAPTED_QUERIES["q1"].text)
+    assert compiled.kernels is not None
+    assert compiled.kernels.projector is not None
+    oracle = GCXEngine(record_series=False, codegen=False)
+    table_plan = oracle.compile(ADAPTED_QUERIES["q1"].text)
+
+    result = benchmark.pedantic(
+        lambda: engine.run(compiled, data), rounds=3, iterations=1
+    )
+    assert result.stats.final_buffered == 0
+    reference = oracle.run(table_plan, data)
+    assert result.output == reference.output
+    assert result.stats.watermark == reference.stats.watermark
+    assert result.stats.tokens == reference.stats.tokens
+    assert result.stats.subtrees_skipped == reference.stats.subtrees_skipped
+
+    best_codegen, best_tables = _paired_best(
+        lambda: engine.run(compiled, data), lambda: oracle.run(table_plan, data)
+    )
+    _record("engine_q1_codegen", best_codegen, len(data), result.stats.watermark)
+    _record(
+        "engine_q1_compiled_bytes", best_tables, len(data), reference.stats.watermark
     )
 
 
@@ -311,9 +420,10 @@ def test_evaluator_interp_throughput(benchmark, document):
 
 def test_evaluator_vm_throughput(benchmark, document):
     """Evaluator isolation, compiled side: the same DFA projector
-    feeds the operator-program VM (the default), so the difference to
-    ``evaluator_interp`` is purely the evaluation kernel."""
-    engine = GCXEngine(record_series=False)
+    feeds the operator-program VM, pinned to the table-driven tier
+    (``codegen=False``), so the difference to ``evaluator_interp`` is
+    purely the evaluation kernel, not the generated code of §12."""
+    engine = GCXEngine(record_series=False, codegen=False)
     compiled = engine.compile(ADAPTED_QUERIES["q8"].text)
     assert compiled.program is not None
     oracle = GCXEngine(record_series=False, compiled_eval=False)
@@ -336,7 +446,8 @@ def test_evaluator_vm_throughput(benchmark, document):
 
 
 def test_session_q1_throughput(benchmark, document):
-    """Push mode: the same workload fed chunk-wise through a session."""
+    """Push mode: the same workload fed chunk-wise through a session.
+    Runs the default (codegen) tier — what the server actually serves."""
     engine = GCXEngine(record_series=False)
     plan = engine.compile(ADAPTED_QUERIES["q1"].text)
 

@@ -11,7 +11,24 @@ the machinery it exists to replace:
   evaluation side in isolation;
 * ``lexer_bytes`` (the bytes-domain scanner, DESIGN.md §11) vs
   ``lexer_events`` (the str event fast path it replaces on the wire
-  path) — the tokenizer in isolation.
+  path) — the tokenizer in isolation;
+* ``projector_q1_codegen`` (the generated projector kernel,
+  DESIGN.md §12) vs ``projector_q1_tables`` (the table-driven kernel
+  it was generated from, same path set and bytes input) — the stage
+  where specialization shows;
+* ``engine_q1_codegen`` vs ``engine_q1_compiled_bytes`` — the same
+  comparison end to end.
+
+The two codegen pairs carry tolerance floors (0.9 per-stage, 0.85
+end to end) instead of a strict ``>=``: on Q1 the tokenizer's
+``skip_subtree`` is the ceiling, so the generated kernels' margin
+(~10% at the projector stage in a quiet window, ~0 at engine level)
+is smaller than the run-to-run timing noise of a shared machine —
+even with both sides of a pair measured interleaved in one
+GC-paused window, a strict gate flaps.  The floors still catch the
+regression class they exist for: a generated kernel silently
+falling off its fast path (back to memo dicts, or to the
+interpreter) costs far more than 5–15%.
 
 Usage::
 
@@ -29,11 +46,15 @@ DEFAULT_PATH = os.path.join(
     "BENCH_throughput.json",
 )
 
-#: (compiled entry, interpreting-oracle entry) pairs the gate enforces
+#: (compiled entry, oracle entry, floor) triples the gate enforces:
+#: fail when compiled < floor * oracle.  1.0 is strict; the sub-1.0
+#: floors are documented in the module docstring.
 GATED_PAIRS = (
-    ("engine_q1_compiled", "engine_q1_pull"),
-    ("evaluator_vm", "evaluator_interp"),
-    ("lexer_bytes", "lexer_events"),
+    ("engine_q1_compiled", "engine_q1_pull", 1.0),
+    ("evaluator_vm", "evaluator_interp", 1.0),
+    ("lexer_bytes", "lexer_events", 1.0),
+    ("projector_q1_codegen", "projector_q1_tables", 0.9),
+    ("engine_q1_codegen", "engine_q1_compiled_bytes", 0.85),
 )
 
 
@@ -44,7 +65,7 @@ def check(path: str) -> str:
             entries = json.load(handle).get("entries", {})
     except (OSError, ValueError) as exc:
         raise SystemExit(f"gate: cannot read {path}: {exc}")
-    needed = sorted({name for pair in GATED_PAIRS for name in pair})
+    needed = sorted({name for pair in GATED_PAIRS for name in pair[:2]})
     missing = [name for name in needed if name not in entries]
     if missing:
         raise SystemExit(
@@ -52,17 +73,17 @@ def check(path: str) -> str:
             "throughput benchmark run?"
         )
     lines = []
-    for compiled_name, oracle_name in GATED_PAIRS:
+    for compiled_name, oracle_name, floor in GATED_PAIRS:
         compiled = entries[compiled_name].get("mb_per_s", 0.0)
         oracle = entries[oracle_name].get("mb_per_s", 0.0)
         if not compiled:
             raise SystemExit(
                 f"gate: {compiled_name} was not measured (0 MB/s)"
             )
-        if compiled < oracle:
+        if compiled < floor * oracle:
             raise SystemExit(
-                f"gate: compiled kernel regressed below the interpreting "
-                f"oracle: {compiled_name} {compiled} MB/s < "
+                f"gate: compiled kernel regressed below its oracle: "
+                f"{compiled_name} {compiled} MB/s < {floor} * "
                 f"{oracle_name} {oracle} MB/s"
             )
         ratio = compiled / oracle if oracle else float("inf")

@@ -15,11 +15,18 @@ consecutive rows approximate each layer's own cost:
 * ``engine_str``     — the same over str input (what the engine paid
   before the bytes path, minus the wire decode it also needed)
 
+``--kernel`` selects which kernel tier the projector/engine stages
+run: the table-driven interpreters (``tables``), the per-plan
+generated code of DESIGN.md §12 (``codegen``), or — the default —
+``both``, which emits one row per variant (``projector:tables`` next
+to ``projector:codegen``) so the generated kernels' margin is itself
+a per-stage attribution.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/profile_stages.py
     PYTHONPATH=src python benchmarks/profile_stages.py --scale 16 \
-        --cprofile engine --top 15
+        --kernel codegen --cprofile engine:codegen --top 15
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import time
 
 from repro.bench.reporting import format_table
 from repro.core.buffer import Buffer
+from repro.core.codegen import GeneratedStreamProjector
 from repro.core.engine import GCXEngine
 from repro.core.projector import CompiledStreamProjector
 from repro.xmark.generator import generate_document
@@ -50,26 +58,63 @@ def _drain_events(source):
         sink.clear()
 
 
-def build_stages(scale: float, query_key: str):
-    """Return ``(document_bytes, [(stage, callable), ...])``."""
+def build_stages(scale: float, query_key: str, kernel: str = "both"):
+    """Return ``(document_bytes, [(stage, callable), ...])``.
+
+    *kernel* is ``tables``, ``codegen`` or ``both``; the projector and
+    engine stages appear once per selected kernel tier, suffixed with
+    the tier name when more than one is selected.
+    """
     document = generate_document(scale=scale, seed=42)
     data = document.encode("utf-8")
-    engine = GCXEngine(record_series=False)
-    plan = engine.compile(ADAPTED_QUERIES[query_key].text)
+    variants = ("tables", "codegen") if kernel == "both" else (kernel,)
 
-    def projector_only():
-        buffer = Buffer()
-        buffer.stats.record_series = False
-        CompiledStreamProjector(make_lexer(data), plan.dfa, buffer).run_to_end()
-        return buffer.stats.tokens
+    def projector_only(plan, use_codegen):
+        def run():
+            buffer = Buffer()
+            buffer.stats.record_series = False
+            lexer = make_lexer(data)
+            if use_codegen:
+                GeneratedStreamProjector(
+                    plan.kernels.projector, lexer, plan.dfa, buffer
+                ).run_to_end()
+            else:
+                CompiledStreamProjector(lexer, plan.dfa, buffer).run_to_end()
+            return buffer.stats.tokens
+
+        return run
 
     stages = [
         ("lexer_str", lambda: _drain_events(document)),
         ("lexer_bytes", lambda: _drain_events(data)),
-        ("projector", projector_only),
-        ("engine", lambda: engine.run(plan, data)),
-        ("engine_str", lambda: engine.run(plan, document)),
     ]
+    suffix = (lambda name, v: f"{name}:{v}") if len(variants) > 1 else (
+        lambda name, _v: name
+    )
+    for variant in variants:
+        use_codegen = variant == "codegen"
+        engine = GCXEngine(record_series=False, codegen=use_codegen)
+        plan = engine.compile(ADAPTED_QUERIES[query_key].text)
+        if use_codegen and (
+            plan.kernels is None or plan.kernels.projector is None
+        ):
+            raise SystemExit(
+                f"query {query_key} has no generated projector kernel"
+            )
+        stages.append(
+            (suffix("projector", variant), projector_only(plan, use_codegen))
+        )
+        stages.append(
+            (
+                suffix("engine", variant),
+                lambda engine=engine, plan=plan: engine.run(plan, data),
+            )
+        )
+    # the str-input engine row attributes the wire-decode cost, one
+    # tier is enough: use the last configured engine
+    stages.append(
+        ("engine_str", lambda engine=engine, plan=plan: engine.run(plan, document))
+    )
     return data, stages
 
 
@@ -88,6 +133,14 @@ def main(argv=None) -> int:
     parser.add_argument("--query", default="q1", choices=sorted(ADAPTED_QUERIES))
     parser.add_argument("--repeat", type=int, default=3, help="runs per stage")
     parser.add_argument(
+        "--kernel",
+        default="both",
+        choices=("tables", "codegen", "both"),
+        help="kernel tier for the projector/engine stages: the "
+        "table-driven interpreters, the generated per-plan code, or "
+        "one row per tier (default)",
+    )
+    parser.add_argument(
         "--cprofile",
         metavar="STAGE",
         help="additionally cProfile one stage and print its hottest functions",
@@ -95,7 +148,7 @@ def main(argv=None) -> int:
     parser.add_argument("--top", type=int, default=12, help="cProfile rows")
     args = parser.parse_args(argv)
 
-    data, stages = build_stages(args.scale, args.query)
+    data, stages = build_stages(args.scale, args.query, args.kernel)
     mb = len(data) / 1e6
 
     rows = []

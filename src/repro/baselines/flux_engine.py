@@ -27,6 +27,7 @@ This baseline models both behaviours on top of the GCX runtime:
 
 from __future__ import annotations
 
+from repro.core.codegen import generate_plan_kernels
 from repro.core.engine import CompiledQuery, GCXEngine, _try_compile_program
 from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.signoff import insert_signoffs
@@ -99,6 +100,7 @@ class FluxLikeEngine(GCXEngine):
         drain: bool = True,
         compiled: bool = True,
         compiled_eval: bool = True,
+        codegen: bool = True,
     ):
         # Schema knowledge enables the scope-based release; without a
         # DTD the engine cannot prove any scope complete and keeps the
@@ -110,6 +112,7 @@ class FluxLikeEngine(GCXEngine):
             drain=drain,
             compiled=compiled,
             compiled_eval=compiled_eval,
+            codegen=codegen,
         )
         self.dtd = dtd
 
@@ -134,6 +137,8 @@ class FluxLikeEngine(GCXEngine):
             self._coarsen_placements(analysis)
         rewritten = insert_signoffs(normalized, analysis)
         matcher = PathMatcher([(role.name, role.path) for role in analysis.roles])
+        dfa = PathDFA(matcher)
+        program = _try_compile_program(rewritten)
         return CompiledQuery(
             query_text,
             parsed,
@@ -141,8 +146,9 @@ class FluxLikeEngine(GCXEngine):
             analysis,
             rewritten,
             matcher,
-            dfa=PathDFA(matcher),
-            program=_try_compile_program(rewritten),
+            dfa=dfa,
+            program=program,
+            kernels=generate_plan_kernels(dfa, analysis, program),
         )
 
     @staticmethod

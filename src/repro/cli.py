@@ -4,7 +4,7 @@ profile buffer behaviour, generate workloads.
 Subcommands::
 
     gcx run QUERY.xq INPUT.xml [--engine gcx] [--stats] [--chunk-size N]
-            [--interpreted]
+            [--interpreted] [--no-codegen]
     gcx explain QUERY.xq
     gcx profile QUERY.xq INPUT.xml [--width 72] [--height 16]
     gcx xmark --scale 1.0 [--seed 42]
@@ -64,14 +64,19 @@ _CLI_ERRORS = (
 )
 
 
-def _make_engine(name: str, interpreted: bool = False):
+def _make_engine(name: str, interpreted: bool = False, codegen: bool = True):
     """Build the chosen engine; *interpreted* selects the oracle pair
     ``compiled=False, compiled_eval=False`` (interpreting NFA projector
     + interpreting pull evaluator) on the GCX-family engines for A/B
-    runs against the compiled kernels.  The DOM baseline has no
-    compiled kernels, so the flag is a no-op there."""
+    runs against the compiled kernels — it bypasses the generated-code
+    kernels with them.  *codegen* = False keeps the compiled table
+    kernels but disables the per-plan generated code (DESIGN.md §12).
+    The DOM baseline has none of these tiers, so the flags are no-ops
+    there."""
     toggles = (
-        {"compiled": False, "compiled_eval": False} if interpreted else {}
+        {"compiled": False, "compiled_eval": False}
+        if interpreted
+        else {"codegen": codegen}
     )
     if name == "gcx":
         return GCXEngine(**toggles)
@@ -110,7 +115,9 @@ def _evaluate(engine, query_text, input_path, chunk_size, output_stream=None):
 
 
 def _cmd_run(args) -> int:
-    engine = _make_engine(args.engine, interpreted=args.interpreted)
+    engine = _make_engine(
+        args.engine, interpreted=args.interpreted, codegen=args.codegen
+    )
     # GCX-family sessions emit results incrementally to stdout; the
     # DOM baseline has no streaming output, so its result is printed
     # after the fact.
@@ -224,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the interpreting oracles (NFA projector + pull "
         "evaluator) instead of the compiled kernels, for A/B runs; "
         "output is byte-identical",
+    )
+    run.add_argument(
+        "--no-codegen",
+        dest="codegen",
+        action="store_false",
+        help="keep the compiled table kernels but disable the per-plan "
+        "generated-code kernels, for A/B runs; output is byte-identical "
+        "(--interpreted bypasses codegen implicitly)",
     )
     run.add_argument(
         "--chunk-size",

@@ -1,0 +1,843 @@
+"""Per-plan generated-code kernels: the hot loops as specialized source.
+
+PRs 3-5 compiled the pipeline into *table-driven* interpreters: the
+projector walks a memoized lazy-DFA table and the evaluator dispatches
+a flat operator program.  Both still pay, on every single token, for
+work that is **constant for a given plan** — the memo-dict lookup and
+entry unpacking in the projector, the opcode fetch/decode loop in the
+VM.  This module removes that residue by *generating Python source*
+specialized to one plan, ``compile()``/``exec()``-ing it exactly once
+at plan-compile time, and caching the resulting kernels on the
+:class:`~repro.core.plan.QueryPlan` next to ``dfa``/``program`` (so
+the plan cache's single-flight and eviction rules cover them for
+free).  The idea is the classic grammar→generated-parser move (cf. the
+generated XPath parser in twisted's ``xpathparser.g``), applied to the
+paper's compile-once/stream-many architecture.
+
+**Kernel A — the projector** (:func:`generate_projector_kernel`): the
+plan's projection paths mention a closed set of tag names, so the DFA
+reachable over those tags is finite and computable at generation time.
+The generator pre-warms the shared :class:`~repro.core.matcher.PathDFA`
+memo over exactly that tag set and emits an ``advance()`` closure whose
+state dispatch is an if/elif chain over the warmed states with every
+transition — child state, parent adjustment, role counts, and crucially
+the *skip-subtree decision* — baked in as constants.  Unseen
+``(state, tag)`` pairs fall through to the shared memo dicts (and the
+lazy NFA derivation on a memo miss), so the generated code stays valid
+as the memo grows at runtime: baked constants never change because memo
+entries are derived deterministically from the immutable path set and
+are append-only (DESIGN.md §9's logical-immutability argument).
+
+**Kernel B — the evaluator** (:func:`generate_evaluator_kernel`): the
+flat op tuple of :class:`~repro.core.program.OperatorProgram` came out
+of a structured compiler, so its jump graph is reducible by
+construction.  A small decompiler re-discovers the ``for``/``if``
+structure and emits straight-line Python — loops as ``while``, loop
+cursors and bound nodes as locals, pre-escaped constant fragments as
+interned string constants — while delegating the blocking-pull
+semantics (``_next_child``, ``_output_path``, ``_signoff``, …) to the
+very same :class:`~repro.core.program.CompiledEvaluator` methods the
+VM uses, bound once as locals.  Opcode dispatch, pc bookkeeping and
+frame allocation disappear; semantics cannot drift because the
+primitives are shared.
+
+Both kernels are *optional tiers*: any generation failure (or a plan
+shape outside the generator's reach) yields ``None`` and the engine
+silently runs the table-driven kernels instead — the fallback ladder
+is codegen → tables → interpreter, each level a byte-identical oracle
+for the one above (enforced by the differential suites).
+
+This module is the **only** place in the repository allowed to call
+``exec``/``compile`` (a lint rule and a test pin that down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.buffer import Buffer, BufferNode
+from repro.core.evaluator import EvaluationError, format_number
+from repro.core.matcher import PathDFA
+from repro.core.program import (
+    C_CMP,
+    C_EXISTS,
+    C_TRUE,
+    CompiledEvaluator,
+    ITER_CHILD,
+    OP_CONSTRUCT,
+    OP_EMIT_AGG,
+    OP_EMIT_RAW,
+    OP_EMIT_SCALAR,
+    OP_FOR_INIT,
+    OP_FOR_NEXT,
+    OP_IF,
+    OP_JUMP,
+    OP_LET,
+    OP_OUTPUT_PATH,
+    OP_RAISE,
+    OP_SIGNOFF,
+    OperatorProgram,
+)
+from repro.core.stats import BufferStats
+
+__all__ = [
+    "CodegenError",
+    "CodegenEvaluator",
+    "EvaluatorKernel",
+    "GeneratedStreamProjector",
+    "PlanKernels",
+    "ProjectorKernel",
+    "generate_evaluator_kernel",
+    "generate_plan_kernels",
+    "generate_projector_kernel",
+]
+
+#: Baked dispatch stays readable (and the if/elif chains short) only
+#: while the warmed state space is small; plans whose projection paths
+#: reach more states than this keep the warmed memo but dispatch every
+#: state through the generic fall-through branch.
+MAX_BAKED_STATES = 48
+
+
+class CodegenError(Exception):
+    """The plan contains a shape this generator cannot specialize; the
+    caller falls back to the table-driven kernel (never an error)."""
+
+
+# ---------------------------------------------------------------------------
+# kernel containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProjectorKernel:
+    """One generated projector ``advance`` loop, plan-owned.
+
+    ``factory(projector) -> (advance, run_to_end)`` binds the generated
+    closure to one session's mutable runtime state; ``source`` is the
+    exact text that was compiled (observability: the server STATS frame
+    reports the footprint, and the differential tests print it on
+    mismatch).  The kernel is only valid against ``dfa`` — the memo
+    dicts and transition constants of that specific object are baked
+    into the source.
+    """
+
+    factory: object
+    source: str
+    dfa: PathDFA
+    baked_states: int
+    baked_transitions: int
+
+
+@dataclass(frozen=True)
+class EvaluatorKernel:
+    """One generated straight-line ``run`` function, plan-owned.
+
+    ``run_fn(evaluator)`` executes the unrolled program over a
+    :class:`CodegenEvaluator` (which supplies the shared blocking-pull
+    primitives); ``source`` is the compiled text.
+    """
+
+    run_fn: object
+    source: str
+    program: OperatorProgram
+
+
+@dataclass(frozen=True)
+class PlanKernels:
+    """The generated kernels of one plan (either side may be ``None``
+    when generation declined; the engine then uses the table kernel for
+    that side)."""
+
+    projector: ProjectorKernel | None
+    evaluator: EvaluatorKernel | None
+
+    @property
+    def kernel_count(self) -> int:
+        return (self.projector is not None) + (self.evaluator is not None)
+
+    @property
+    def source_chars(self) -> int:
+        total = 0
+        if self.projector is not None:
+            total += len(self.projector.source)
+        if self.evaluator is not None:
+            total += len(self.evaluator.source)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# shared emission plumbing
+# ---------------------------------------------------------------------------
+
+
+class _SourceWriter:
+    """Indentation-safe line accumulator for generated source.
+
+    The one prototype bug this generator ever had was a hand-managed
+    indent placing a dispatch outside its guarding branch; all emission
+    therefore goes through explicit ``depth`` arguments.
+    """
+
+    def __init__(self):
+        self._lines: list[str] = []
+
+    def line(self, depth: int, text: str) -> None:
+        self._lines.append("    " * depth + text if text else "")
+
+    def lines(self, depth: int, texts) -> None:
+        for text in texts:
+            self.line(depth, text)
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class _Constants:
+    """Registry of objects the generated source references by name.
+
+    Constants land in the exec namespace, so the generated code shares
+    the *same* dict/tuple/predicate objects the table kernels use —
+    role-count dicts handed to ``Buffer.add_roles`` are identical
+    objects either way.
+    """
+
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+        self.namespace: dict = {}
+        self._by_id: dict[int, str] = {}
+
+    def name_for(self, value) -> str:
+        key = id(value)
+        name = self._by_id.get(key)
+        if name is None:
+            name = f"{self._prefix}{len(self._by_id)}"
+            self._by_id[key] = name
+            self.namespace[name] = value
+        return name
+
+
+def _compile_namespace(source: str, filename: str, namespace: dict) -> dict:
+    """``compile`` + ``exec`` the generated module once; returns the
+    populated namespace.  The only exec/compile site in the repo."""
+    code = compile(source, filename, "exec")
+    exec(code, namespace)  # noqa: S102 - the codegen module's one job
+    return namespace
+
+
+# ---------------------------------------------------------------------------
+# Kernel A: the generated projector
+# ---------------------------------------------------------------------------
+
+
+def _projection_tags(analysis) -> list[str]:
+    """All tag names the plan's projection paths can ever match by
+    name — the closed tag alphabet the DFA is pre-warmed over."""
+    tags: set[str] = set()
+    for role in getattr(analysis, "roles", ()):
+        path = getattr(role, "path", None)
+        if path is None:
+            continue
+        for step in path.steps:
+            test = step.test
+            if getattr(test, "kind", None) == "name" and test.name:
+                tags.add(test.name)
+    return sorted(tags)
+
+
+def _warm_dfa(dfa: PathDFA, tags: list[str]) -> list[int]:
+    """Drive the lazy DFA over every warmed ``(state, tag)`` pair until
+    closure; returns the live states reachable over the tag alphabet
+    (document order of discovery, start state first)."""
+    seen: list[int] = [dfa.start]
+    seen_set = {dfa.start, PathDFA.dead}
+    index = 0
+    while index < len(seen):
+        state = seen[index]
+        index += 1
+        dfa.text(state)
+        for tag in tags:
+            child, parent, _counts = dfa.element(state, tag)
+            for nxt in (child, parent):
+                if nxt not in seen_set:
+                    seen_set.add(nxt)
+                    seen.append(nxt)
+        if len(seen) > 4 * MAX_BAKED_STATES:
+            # Pathological closure (deep descendant interleavings):
+            # keep the memo warm but stop enumerating; dispatch will be
+            # generic for the tail.
+            break
+    return seen
+
+
+_PROJ_STATS_LINES = (
+    "stats.tokens += 1",
+    "lc = buffer.live_count",
+    "if lc > stats.watermark:",
+    "    stats.watermark = lc",
+    "if stats.record_series:",
+    "    series.append(lc)",
+)
+
+_PROJ_SKIP_LINES = (
+    "cnt = skip_subtree()",
+    "if cnt > 0:",
+    "    stats.tokens += cnt",
+    "    lc = buffer.live_count",
+    "    if lc > stats.watermark:",
+    "        stats.watermark = lc",
+    "    if stats.record_series:",
+    "        series.extend([lc] * cnt)",
+)
+
+
+def _emit_baked_start(w: _SourceWriter, d: int, state: int, entry: tuple,
+                      consts: _Constants) -> None:
+    """The start-event body for one baked transition: every decision —
+    parent adjustment, materialization, skip-vs-descend — resolved at
+    generation time."""
+    child, parent, counts = entry
+    if parent != state:
+        w.line(d, f"states[-1] = {parent}")
+    if counts is None and not child:
+        # The hottest path of a selective plan: a fully irrelevant
+        # subtree.  One fused skip, single live-count read (no buffer
+        # mutation can happen in between).
+        w.lines(d, (
+            "stats.tokens += 1",
+            "stats.subtrees_skipped += 1",
+            "cnt = skip_subtree()",
+            "stats.tokens += cnt",
+            "lc = buffer.live_count",
+            "if lc > stats.watermark:",
+            "    stats.watermark = lc",
+            "if stats.record_series:",
+            "    series.append(lc)",
+            "    if cnt > 0:",
+            "        series.extend([lc] * cnt)",
+            "return True",
+        ))
+        return
+    if counts is not None:
+        counts_name = consts.name_for(counts)
+        w.lines(d, (
+            "top = len(nodes) - 1",
+            "pnode = nodes[top]",
+            "if pnode is None:",
+            "    pnode = materialize(top)",
+            "node = new_element(pnode, name, event[2])",
+            f"add_roles(node, {counts_name})",
+        ))
+    w.lines(d, _PROJ_STATS_LINES)
+    if child:
+        w.lines(d, (
+            "tags_append(name)",
+            "attrs_append(event[2])",
+            f"states_append({child})",
+            "nodes_append(node)" if counts is not None else "nodes_append(None)",
+        ))
+    else:
+        # counts is not None here (the None case returned above): a
+        # buffered leaf whose content cannot match — skipped but not
+        # counted as an irrelevant subtree, and closed afterwards.
+        w.lines(d, _PROJ_SKIP_LINES)
+        w.line(d, "close(node)")
+    w.line(d, "return True")
+
+
+def _emit_baked_text(w: _SourceWriter, d: int, state: int, entry: tuple,
+                     consts: _Constants) -> None:
+    """The text-event body for one baked state."""
+    counts, parent = entry
+    if counts is not None:
+        counts_name = consts.name_for(counts)
+        w.lines(d, (
+            "top = len(states) - 1",
+            "pnode = nodes[top]",
+            "if pnode is None:",
+            "    pnode = materialize(top)",
+            "node = new_text(pnode, event[3])",
+            f"add_roles(node, {counts_name})",
+        ))
+    if parent != state:
+        w.line(d, f"states[-1] = {parent}")
+    w.lines(d, _PROJ_STATS_LINES)
+    w.line(d, "return True")
+
+
+def generate_projector_kernel(dfa: PathDFA, analysis) -> ProjectorKernel:
+    """Generate, compile and return Kernel A for one plan.
+
+    Raises:
+        CodegenError: the DFA/analysis shape cannot be specialized.
+    """
+    if dfa is None:
+        raise CodegenError("plan has no DFA")
+    tags = _projection_tags(analysis)
+    warm = _warm_dfa(dfa, tags)
+    baked_states = [s for s in warm if s != PathDFA.dead][:MAX_BAKED_STATES]
+    consts = _Constants("K")
+    # Snapshot the warmed transitions now: entries added later (unseen
+    # document tags) are served by the fall-through memo lookup.  The
+    # snapshot is taken per state *before* emission so the baked chain
+    # and the bound memo dict can never disagree.
+    element_snapshot = {s: sorted(dfa._element_memo[s].items()) for s in baked_states}
+    text_snapshot = {s: dfa._text_memo[s] for s in baked_states}
+    baked_transitions = sum(len(v) for v in element_snapshot.values())
+
+    w = _SourceWriter()
+    w.lines(0, (
+        "def make_advance(P):",
+        "    lexer = P._lexer",
+        "    next_event = lexer.next_event",
+        "    skip_subtree = lexer.skip_subtree",
+        "    buffer = P._buffer",
+        "    stats = P._stats",
+        "    series = stats.series",
+        "    new_element = buffer.new_element",
+        "    new_text = buffer.new_text",
+        "    add_roles = buffer.add_roles",
+        "    close = buffer.close",
+        "    compute_element = DFA.compute_element",
+        "    compute_text = DFA.text",
+        "    tags = P._tags",
+        "    attrs = P._attrs",
+        "    states = P._states",
+        "    nodes = P._nodes",
+        "    tags_append = tags.append",
+        "    attrs_append = attrs.append",
+        "    states_append = states.append",
+        "    nodes_append = nodes.append",
+        "    tags_pop = tags.pop",
+        "    attrs_pop = attrs.pop",
+        "    states_pop = states.pop",
+        "    nodes_pop = nodes.pop",
+        "",
+        "    def materialize(index):",
+        "        depth = index",
+        "        while nodes[depth] is None:",
+        "            depth -= 1",
+        "        while depth < index:",
+        "            depth += 1",
+        "            nodes[depth] = new_element(nodes[depth - 1], tags[depth], attrs[depth])",
+        "        return nodes[index]",
+        "",
+        "    def advance():",
+        "        if P.exhausted:",
+        "            return False",
+        "        event = next_event()",
+        "        if event is None:",
+        "            P.exhausted = True",
+        "            close(buffer.root)",
+        "            return False",
+        "        kind = event[0]",
+        "        if kind == 0:",
+        "            name = event[1]",
+        "            state = states[-1]",
+    ))
+    # -- start events: baked per-state/tag chains, generic fall-through
+    d = 3  # inside `if kind == 0:`
+    keyword = "if"
+    for state in baked_states:
+        transitions = element_snapshot[state]
+        w.line(d, f"{keyword} state == {state}:")
+        keyword = "elif"
+        inner = "if"
+        for tag, entry in transitions:
+            w.line(d + 1, f"{inner} name == {tag!r}:")
+            inner = "elif"
+            # The end-tag scan of the bytes lexer does not intern, so
+            # tags compare by value (==), never identity.
+            _emit_baked_start(w, d + 2, state, entry, consts)
+        memo_name = consts.name_for(dfa._element_memo[state])
+        if inner == "if":  # no transitions baked for this state
+            w.line(d + 1, f"entry = {memo_name}.get(name)")
+        else:
+            w.line(d + 1, "else:")
+            w.line(d + 2, f"entry = {memo_name}.get(name)")
+    if keyword == "if":  # no baked states at all
+        w.line(d, "entry = EM[state].get(name)")
+    else:
+        w.line(d, "else:")
+        w.line(d + 1, "entry = EM[state].get(name)")
+    w.lines(d, (
+        "if entry is None:",
+        "    entry = compute_element(state, name)",
+        "child, parent, counts = entry",
+        "if parent != state:",
+        "    states[-1] = parent",
+        "if counts is not None:",
+        "    top = len(nodes) - 1",
+        "    pnode = nodes[top]",
+        "    if pnode is None:",
+        "        pnode = materialize(top)",
+        "    node = new_element(pnode, name, event[2])",
+        "    add_roles(node, counts)",
+        "else:",
+        "    node = None",
+    ))
+    w.lines(d, _PROJ_STATS_LINES)
+    w.lines(d, (
+        "if child:",
+        "    tags_append(name)",
+        "    attrs_append(event[2])",
+        "    states_append(child)",
+        "    nodes_append(node)",
+        "else:",
+        "    if node is None:",
+        "        stats.subtrees_skipped += 1",
+    ))
+    w.lines(d + 1, _PROJ_SKIP_LINES)
+    w.lines(d + 1, (
+        "if node is not None:",
+        "    close(node)",
+    ))
+    # -- end events
+    w.line(2, "elif kind == 1:")
+    w.lines(3, (
+        "tags_pop()",
+        "attrs_pop()",
+        "states_pop()",
+        "node = nodes_pop()",
+        "if node is not None:",
+        "    close(node)",
+    ))
+    w.lines(3, _PROJ_STATS_LINES)
+    # -- text events: baked per-state bodies, generic fall-through
+    w.line(2, "else:")
+    w.line(3, "state = states[-1]")
+    keyword = "if"
+    for state in baked_states:
+        entry = text_snapshot[state]
+        if entry is None:  # pragma: no cover - warm always fills it
+            continue
+        w.line(3, f"{keyword} state == {state}:")
+        keyword = "elif"
+        _emit_baked_text(w, 4, state, entry, consts)
+    w.lines(3, (
+        "entry = TM[state]",
+        "if entry is None:",
+        "    entry = compute_text(state)",
+        "counts, parent = entry",
+        "if counts is not None:",
+        "    top = len(states) - 1",
+        "    pnode = nodes[top]",
+        "    if pnode is None:",
+        "        pnode = materialize(top)",
+        "    node = new_text(pnode, event[3])",
+        "    add_roles(node, counts)",
+        "if parent != state:",
+        "    states[-1] = parent",
+    ))
+    w.lines(3, _PROJ_STATS_LINES)
+    w.line(2, "return True")
+    w.lines(0, (
+        "",
+        "    def run_to_end():",
+        "        while advance():",
+        "            pass",
+        "",
+        "    return advance, run_to_end",
+    ))
+
+    source = w.source()
+    namespace = dict(consts.namespace)
+    namespace["DFA"] = dfa
+    namespace["EM"] = dfa._element_memo
+    namespace["TM"] = dfa._text_memo
+    try:
+        module = _compile_namespace(source, "<gcx-projector-kernel>", namespace)
+    except SyntaxError as exc:  # pragma: no cover - generator bug guard
+        raise CodegenError(f"generated projector source invalid: {exc}") from exc
+    return ProjectorKernel(
+        factory=module["make_advance"],
+        source=source,
+        dfa=dfa,
+        baked_states=len(baked_states),
+        baked_transitions=baked_transitions,
+    )
+
+
+class GeneratedStreamProjector:
+    """Kernel A bound to one stream: the generated ``advance`` closure
+    over the same four-parallel-list stack as
+    :class:`~repro.core.projector.CompiledStreamProjector` (whose
+    observable behaviour it reproduces byte for byte)."""
+
+    def __init__(
+        self,
+        kernel: ProjectorKernel,
+        lexer,
+        dfa: PathDFA,
+        buffer: Buffer,
+        stats: BufferStats | None = None,
+    ):
+        if dfa is not kernel.dfa:
+            raise CodegenError("kernel was generated for a different DFA")
+        self._lexer = lexer
+        self._buffer = buffer
+        self._stats = stats if stats is not None else buffer.stats
+        self._tags: list = [None]
+        self._attrs: list = [None]
+        self._states: list[int] = [dfa.start]
+        self._nodes: list[BufferNode | None] = [buffer.root]
+        if dfa.start_roles:
+            buffer.add_roles(buffer.root, dfa.start_roles)
+        self.exhausted = False
+        self.advance, self.run_to_end = kernel.factory(self)
+
+
+# ---------------------------------------------------------------------------
+# Kernel B: the generated evaluator
+# ---------------------------------------------------------------------------
+
+
+def _expect_for(ops: tuple, pc: int, end: int) -> tuple:
+    """Validate the compiler's canonical for-loop shape at *pc* and
+    return ``(spec, slot, body_start, body_end, exit_pc)``."""
+    init = ops[pc]
+    if pc + 1 >= end:
+        raise CodegenError("for-init at block end")
+    nxt = ops[pc + 1]
+    if nxt[0] != OP_FOR_NEXT:
+        raise CodegenError("for-init not followed by for-next")
+    exit_pc = nxt[2]
+    if not (pc + 2 <= exit_pc - 1 <= end):
+        raise CodegenError("for exit outside block")
+    back = ops[exit_pc - 1]
+    if back[0] != OP_JUMP or back[1] != pc + 1:
+        raise CodegenError("for body does not jump back to its head")
+    return init[1], nxt[1], pc + 2, exit_pc - 1, exit_pc
+
+
+class _EvalEmitter:
+    """Decompile the flat op tuple back into structure and emit it."""
+
+    def __init__(self, program: OperatorProgram):
+        self.program = program
+        self.consts = _Constants("S")
+        self.w = _SourceWriter()
+        self._depth_counter = 0
+
+    # -- expressions -------------------------------------------------------
+
+    def _cond_expr(self, spec) -> str:
+        kind = spec[0]
+        if kind == C_CMP:
+            return f"comparison({self.consts.name_for(spec)})"
+        if kind == C_EXISTS:
+            return f"exists({self.consts.name_for(spec)})"
+        if kind == C_TRUE:
+            return "True"
+        return f"cond({self.consts.name_for(spec)})"
+
+    def _ctx_expr(self, ctx) -> str:
+        return "root" if ctx is None else f"slots[{ctx}]"
+
+    # -- statements --------------------------------------------------------
+
+    def _emit_simple(self, d: int, op: tuple) -> None:
+        w = self.w
+        code = op[0]
+        if code == OP_EMIT_RAW:
+            w.line(d, f"raw({self.consts.name_for(op[1])})")
+        elif code == OP_OUTPUT_PATH:
+            steps = self.consts.name_for(op[2])
+            w.line(d, f"output_path({op[1]!r}, {steps}, {op[3]!r})")
+        elif code == OP_SIGNOFF:
+            steps = self.consts.name_for(op[2])
+            w.line(d, f"signoff({op[1]!r}, {steps}, {op[3]!r})")
+        elif code == OP_EMIT_SCALAR:
+            w.line(d, f"_v = slots[{op[1]}]")
+            w.line(d, "wtext(_v if isinstance(_v, str) else format_number(_v))")
+        elif code == OP_EMIT_AGG:
+            w.line(d, f"wtext(format_number(aggregate({self.consts.name_for(op[1])})))")
+        elif code == OP_CONSTRUCT:
+            specs = self.consts.name_for(op[2])
+            w.line(d, f"start_element({op[1]!r}, resolve_attributes({specs}))")
+        elif code == OP_LET:
+            kind, payload = op[2]
+            if kind == "agg":
+                w.line(d, f"slots[{op[1]}] = aggregate({self.consts.name_for(payload)})")
+            else:
+                w.line(d, f"slots[{op[1]}] = {self.consts.name_for(payload)}")
+        elif code == OP_RAISE:
+            w.line(d, f"raise EvaluationError({op[1]!r})")
+        else:
+            raise CodegenError(f"unsupported opcode {code} in straight-line position")
+
+    def _emit_for(self, d: int, spec, slot: int, body_start: int, body_end: int) -> None:
+        w = self.w
+        n = self._depth_counter
+        self._depth_counter += 1
+        if spec[0] == ITER_CHILD:
+            pred = self.consts.name_for(spec[2])
+            position = spec[3]
+            w.line(d, f"_c{n} = {self._ctx_expr(spec[1])}")
+            w.line(d, f"_s{n} = 0")
+            if position is not None:
+                w.line(d, f"_m{n} = 0")
+            w.line(d, "while True:")
+            w.line(d + 1, f"_n{n} = next_child(_c{n}, _s{n}, {pred})")
+            w.line(d + 1, f"if _n{n} is None:")
+            w.line(d + 2, "break")
+            w.line(d + 1, f"_s{n} = _n{n}.seq")
+            if position is not None:
+                w.line(d + 1, f"_m{n} += 1")
+                w.line(d + 1, f"if _m{n} != {position}:")
+                w.line(d + 2, "continue")
+            w.line(d + 1, f"slots[{slot}] = _n{n}")
+            self._emit_block(d + 1, body_start, body_end)
+            if position is not None:
+                w.line(d + 1, "break")
+        else:
+            # Descendant / self iteration keeps the VM's frame helpers
+            # (deferred-push GC semantics live there); the unrolling win
+            # is the removed dispatch, not the frame.
+            frame_spec = self.consts.name_for(spec)
+            w.line(d, f"_f{n} = new_frame({frame_spec})")
+            w.line(d, "while True:")
+            w.line(d + 1, f"_n{n} = for_next(_f{n})")
+            w.line(d + 1, f"if _n{n} is None:")
+            w.line(d + 2, "break")
+            w.line(d + 1, f"slots[{slot}] = _n{n}")
+            self._emit_block(d + 1, body_start, body_end)
+
+    def _emit_if(self, d: int, pc: int, end: int) -> int:
+        ops = self.program.ops
+        op = ops[pc]
+        else_pc = op[2]
+        if not (pc < else_pc <= end):
+            raise CodegenError("if target outside block")
+        w = self.w
+        cond = self._cond_expr(op[1])
+        tail = else_pc - 1
+        has_else = (
+            tail > pc
+            and ops[tail][0] == OP_JUMP
+            and ops[tail][1] > tail  # forward: the then-block's skip
+        )
+        if has_else:
+            end_pc = ops[tail][1]
+            if end_pc > end:
+                raise CodegenError("else target outside block")
+            w.line(d, f"if {cond}:")
+            self._emit_block(d + 1, pc + 1, tail)
+            w.line(d, "else:")
+            self._emit_block(d + 1, else_pc, end_pc)
+            return end_pc
+        w.line(d, f"if {cond}:")
+        self._emit_block(d + 1, pc + 1, else_pc)
+        return else_pc
+
+    def _emit_block(self, d: int, start: int, end: int) -> None:
+        ops = self.program.ops
+        if start >= end:
+            self.w.line(d, "pass")
+            return
+        pc = start
+        while pc < end:
+            code = ops[pc][0]
+            if code == OP_FOR_INIT:
+                spec, slot, body_start, body_end, exit_pc = _expect_for(ops, pc, end)
+                self._emit_for(d, spec, slot, body_start, body_end)
+                pc = exit_pc
+            elif code == OP_IF:
+                pc = self._emit_if(d, pc, end)
+            elif code in (OP_FOR_NEXT, OP_JUMP):
+                raise CodegenError(f"unstructured opcode {code} at pc {pc}")
+            else:
+                self._emit_simple(d, ops[pc])
+                pc += 1
+
+    def emit(self) -> str:
+        w = self.w
+        w.lines(0, (
+            "def run(self):",
+            "    slots = self._slots",
+            "    writer = self._writer",
+            "    raw = writer.raw",
+            "    wtext = writer.text",
+            "    start_element = writer.start_element",
+            "    root = self._buffer.root",
+            "    next_child = self._next_child",
+            "    new_frame = self._new_frame",
+            "    for_next = self._for_next",
+            "    cond = self._cond",
+            "    comparison = self._comparison",
+            "    exists = self._exists",
+            "    output_path = self._output_path",
+            "    signoff = self._signoff",
+            "    aggregate = self._aggregate",
+            "    resolve_attributes = self._resolve_attributes",
+        ))
+        self._emit_block(1, 0, len(self.program.ops))
+        return w.source()
+
+
+def generate_evaluator_kernel(program: OperatorProgram) -> EvaluatorKernel:
+    """Generate, compile and return Kernel B for one operator program.
+
+    Raises:
+        CodegenError: the op stream is outside the structured shape the
+            decompiler understands (callers fall back to the VM).
+    """
+    if program is None:
+        raise CodegenError("plan has no operator program")
+    emitter = _EvalEmitter(program)
+    source = emitter.emit()
+    namespace = dict(emitter.consts.namespace)
+    namespace["EvaluationError"] = EvaluationError
+    namespace["format_number"] = format_number
+    try:
+        module = _compile_namespace(source, "<gcx-evaluator-kernel>", namespace)
+    except SyntaxError as exc:  # pragma: no cover - generator bug guard
+        raise CodegenError(f"generated evaluator source invalid: {exc}") from exc
+    return EvaluatorKernel(run_fn=module["run"], source=source, program=program)
+
+
+class CodegenEvaluator(CompiledEvaluator):
+    """Kernel B bound to one run: the generated straight-line ``run``
+    over the VM's own blocking-pull primitives (inherited), so the
+    observable behaviour is byte-identical to
+    :class:`~repro.core.program.CompiledEvaluator` by construction."""
+
+    def __init__(self, kernel: EvaluatorKernel, program, projector, buffer,
+                 writer, gc_enabled: bool = True):
+        if program is not kernel.program:
+            raise CodegenError("kernel was generated for a different program")
+        super().__init__(program, projector, buffer, writer, gc_enabled)
+        self._kernel_run = kernel.run_fn
+
+    def run(self) -> None:
+        self._kernel_run(self)
+
+
+# ---------------------------------------------------------------------------
+# plan-level entry point
+# ---------------------------------------------------------------------------
+
+
+def generate_plan_kernels(dfa, analysis, program) -> PlanKernels | None:
+    """Generate both kernels for one plan, tolerating partial coverage.
+
+    Called once per plan compile (inside the cache's single-flight, so
+    N racing sessions trigger exactly one generation).  Any failure is
+    a silent fallback to the table kernels — codegen is a pure
+    optimisation tier, never a correctness risk.
+    """
+    projector = None
+    evaluator = None
+    if dfa is not None:
+        try:
+            projector = generate_projector_kernel(dfa, analysis)
+        except CodegenError:
+            projector = None
+    if program is not None:
+        try:
+            evaluator = generate_evaluator_kernel(program)
+        except CodegenError:
+            evaluator = None
+    if projector is None and evaluator is None:
+        return None
+    return PlanKernels(projector=projector, evaluator=evaluator)

@@ -58,6 +58,13 @@ Ablation switches:
   :class:`~repro.core.evaluator.PullEvaluator` instead of the compiled
   operator-program VM (DESIGN.md §10).  Again byte-identical; again an
   oracle switch.  ``gcx run --interpreted`` sets both to ``False``.
+* ``codegen=False`` — run the table-driven kernels instead of the
+  per-plan generated-code kernels (DESIGN.md §12).  Byte-identical; the
+  fallback ladder is codegen → tables → interpreter, and each level is
+  the differential oracle of the one above.  ``gcx run --no-codegen``
+  sets it; ``--interpreted`` bypasses codegen implicitly (generated
+  kernels specialize the *compiled* table kernels, so disabling those
+  disables codegen with them).
 """
 
 from __future__ import annotations
@@ -67,6 +74,11 @@ from dataclasses import dataclass
 
 from repro.core.analysis import analyze_query
 from repro.core.buffer import Buffer
+from repro.core.codegen import (
+    CodegenEvaluator,
+    GeneratedStreamProjector,
+    generate_plan_kernels,
+)
 from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.plan import CompiledQuery, PlanCache, QueryPlan
 from repro.core.program import (
@@ -143,6 +155,7 @@ class GCXEngine:
         plan_cache: PlanCache | None = None,
         compiled: bool = True,
         compiled_eval: bool = True,
+        codegen: bool = True,
     ):
         self.gc_enabled = gc_enabled
         self.first_witness = first_witness
@@ -154,6 +167,11 @@ class GCXEngine:
         #: evaluate through the compiled operator-program VM; False
         #: falls back to the interpreting PullEvaluator (the oracle).
         self.compiled_eval = compiled_eval
+        #: use the per-plan generated-code kernels where the plan has
+        #: them; False falls back to the table-driven kernels (the
+        #: oracles).  Only consulted where ``compiled`` resp.
+        #: ``compiled_eval`` already selected the compiled tier.
+        self.codegen = codegen
         #: LRU of compiled plans; pass a shared :class:`PlanCache` to
         #: let several engines reuse each other's compilations.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
@@ -204,6 +222,8 @@ class GCXEngine:
         rewritten = insert_signoffs(normalized, analysis)
         matcher_spec = [(role.name, role.path) for role in analysis.roles]
         matcher = PathMatcher(matcher_spec)
+        dfa = PathDFA(matcher)
+        program = _try_compile_program(rewritten)
         return QueryPlan(
             query_text,
             parsed,
@@ -211,8 +231,12 @@ class GCXEngine:
             analysis,
             rewritten,
             matcher,
-            dfa=PathDFA(matcher),
-            program=_try_compile_program(rewritten),
+            dfa=dfa,
+            program=program,
+            # Generated inside the plan cache's single-flight, so N
+            # racing sessions of one query trigger exactly one
+            # generation; eviction drops the kernels with the plan.
+            kernels=generate_plan_kernels(dfa, analysis, program),
         )
 
     # ------------------------------------------------------------------
@@ -248,15 +272,33 @@ class GCXEngine:
         # The plan's matcher/dfa are immutable resp. logically immutable
         # (per-stream match state lives on the projector's stack), so
         # concurrent runs share them.
+        kernels = compiled.kernels if self.codegen else None
         if self.compiled and compiled.dfa is not None:
-            projector = CompiledStreamProjector(lexer, compiled.dfa, buffer, stats)
+            if kernels is not None and kernels.projector is not None:
+                projector = GeneratedStreamProjector(
+                    kernels.projector, lexer, compiled.dfa, buffer, stats
+                )
+            else:
+                projector = CompiledStreamProjector(
+                    lexer, compiled.dfa, buffer, stats
+                )
         else:
             projector = StreamProjector(lexer, compiled.matcher, buffer, stats)
         writer = XmlWriter(stream=output_stream)
         if self.compiled_eval and compiled.program is not None:
-            evaluator = CompiledEvaluator(
-                compiled.program, projector, buffer, writer, self.gc_enabled
-            )
+            if kernels is not None and kernels.evaluator is not None:
+                evaluator = CodegenEvaluator(
+                    kernels.evaluator,
+                    compiled.program,
+                    projector,
+                    buffer,
+                    writer,
+                    self.gc_enabled,
+                )
+            else:
+                evaluator = CompiledEvaluator(
+                    compiled.program, projector, buffer, writer, self.gc_enabled
+                )
         else:
             evaluator = PullEvaluator(
                 compiled.rewritten, projector, buffer, writer, self.gc_enabled
@@ -317,6 +359,7 @@ class GCXEngine:
             max_pending_output=max_pending_output,
             compiled=self.compiled,
             compiled_eval=self.compiled_eval,
+            codegen=self.codegen,
             binary_output=binary_output,
             **kwargs,
         )

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.analysis import StaticAnalysis
+from repro.core.codegen import PlanKernels
 from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.program import OperatorProgram
 from repro.xquery import ast as q
@@ -68,6 +69,14 @@ class QueryPlan:
     #: fragment or the plan was hand-built; runs then fall back to the
     #: interpreting :class:`~repro.core.evaluator.PullEvaluator`.
     program: OperatorProgram | None = None
+    #: per-plan generated-code kernels (DESIGN.md §12): specialized
+    #: Python for the projector/evaluator hot loops, exec-compiled once
+    #: at plan-compile time inside the cache's single-flight.  ``None``
+    #: when generation declined (or for hand-built plans); runs then
+    #: use the table-driven kernels — the fallback is silent and
+    #: byte-identical.  Evicting the plan drops the kernels and their
+    #: source with it; re-admission regenerates them exactly once.
+    kernels: PlanKernels | None = None
 
     def matcher_spec(self) -> list[tuple[str, object]]:
         """The ``(role name, projection path)`` pairs behind
@@ -328,6 +337,37 @@ class PlanCache:
             snapshot["plans"] += 1
             snapshot["ops"] += program.op_count
             snapshot["slots"] += program.n_slots
+        return snapshot
+
+    def codegen_stats(self) -> dict:
+        """Aggregate generated-kernel occupancy over the cached plans.
+
+        The codegen twin of :meth:`dfa_stats` / :meth:`program_stats`
+        (server observability, DESIGN.md §12): how many plans carry
+        generated kernels on each side, the total generated-source
+        footprint in characters, and how many plans fell back entirely
+        to the table-driven kernels.  Plans cached under several source
+        keys count once; evicting a plan removes its kernels (and their
+        source chars) from this snapshot.
+        """
+        with self._lock:
+            plans = {id(plan): plan for plan, _canonical in self._plans.values()}
+        snapshot = {
+            "plans": 0,
+            "projector_kernels": 0,
+            "evaluator_kernels": 0,
+            "source_chars": 0,
+            "fallbacks": 0,
+        }
+        for plan in plans.values():
+            kernels = getattr(plan, "kernels", None)
+            if kernels is None:
+                snapshot["fallbacks"] += 1
+                continue
+            snapshot["plans"] += 1
+            snapshot["projector_kernels"] += kernels.projector is not None
+            snapshot["evaluator_kernels"] += kernels.evaluator is not None
+            snapshot["source_chars"] += kernels.source_chars
         return snapshot
 
     def clear(self) -> None:

@@ -66,6 +66,7 @@ import time
 from collections import deque
 
 from repro.core.buffer import Buffer
+from repro.core.codegen import CodegenEvaluator, GeneratedStreamProjector
 from repro.core.evaluator import PullEvaluator
 from repro.core.plan import QueryPlan
 from repro.core.program import CompiledEvaluator
@@ -304,6 +305,7 @@ class StreamSession:
         max_pending_chunks: int = DEFAULT_MAX_PENDING_CHUNKS,
         compiled: bool = True,
         compiled_eval: bool = True,
+        codegen: bool = True,
         binary_output: bool = False,
     ):
         self.plan = plan
@@ -326,10 +328,17 @@ class StreamSession:
         # match state lives on the projector's stack, and the dfa's
         # transition memo only ever gains deterministic entries — one
         # session discovering a tag makes it a dict lookup for all.
+        kernels = plan.kernels if codegen else None
         if compiled and plan.dfa is not None:
-            self._projector = CompiledStreamProjector(
-                self._lexer, plan.dfa, self._buffer, self._stats
-            )
+            if kernels is not None and kernels.projector is not None:
+                self._projector = GeneratedStreamProjector(
+                    kernels.projector, self._lexer, plan.dfa,
+                    self._buffer, self._stats,
+                )
+            else:
+                self._projector = CompiledStreamProjector(
+                    self._lexer, plan.dfa, self._buffer, self._stats
+                )
         else:
             self._projector = StreamProjector(
                 self._lexer, plan.matcher, self._buffer, self._stats
@@ -338,9 +347,16 @@ class StreamSession:
         # The plan's operator program is immutable and shared too; all
         # per-run state (slots, loop frames) lives on the evaluator.
         if compiled_eval and plan.program is not None:
-            self._evaluator = CompiledEvaluator(
-                plan.program, self._projector, self._buffer, self._writer, gc_enabled
-            )
+            if kernels is not None and kernels.evaluator is not None:
+                self._evaluator = CodegenEvaluator(
+                    kernels.evaluator, plan.program, self._projector,
+                    self._buffer, self._writer, gc_enabled,
+                )
+            else:
+                self._evaluator = CompiledEvaluator(
+                    plan.program, self._projector, self._buffer, self._writer,
+                    gc_enabled,
+                )
         else:
             self._evaluator = PullEvaluator(
                 plan.rewritten, self._projector, self._buffer, self._writer, gc_enabled

@@ -90,7 +90,8 @@ class ServerMetrics:
     # reporting
     # ------------------------------------------------------------------
 
-    def snapshot(self, plan_cache=None, dfa=None, programs=None) -> dict:
+    def snapshot(self, plan_cache=None, dfa=None, programs=None,
+                 codegen=None) -> dict:
         """A JSON-ready view of the registry.
 
         *plan_cache* takes a :class:`~repro.core.plan.PlanCacheStats`;
@@ -102,7 +103,10 @@ class ServerMetrics:
         per-token work the connections have amortized away).
         *programs* takes
         :meth:`~repro.core.plan.PlanCache.program_stats` — the compiled
-        operator programs backing the evaluation side.
+        operator programs backing the evaluation side.  *codegen* takes
+        :meth:`~repro.core.plan.PlanCache.codegen_stats` — how many
+        plans carry generated-code kernels and the generated-source
+        footprint they hold (DESIGN.md §12).
         """
         with self._lock:
             latencies = sorted(self._latencies)
@@ -143,4 +147,6 @@ class ServerMetrics:
             snap["dfa"] = dict(dfa)
         if programs is not None:
             snap["programs"] = dict(programs)
+        if codegen is not None:
+            snap["codegen"] = dict(codegen)
         return snap

@@ -165,10 +165,12 @@ class SessionScheduler:
 
     def snapshot(self) -> dict:
         """Service metrics plus the shared plan cache's counters, the
-        compiled kernels' transition-memo occupancy and the operator
-        programs' footprint."""
+        compiled kernels' transition-memo occupancy, the operator
+        programs' footprint and the generated-code kernels' count and
+        source footprint."""
         return self.metrics.snapshot(
             plan_cache=self.engine.plan_cache.stats,
             dfa=self.engine.plan_cache.dfa_stats(),
             programs=self.engine.plan_cache.program_stats(),
+            codegen=self.engine.plan_cache.codegen_stats(),
         )

@@ -1144,7 +1144,9 @@ def make_lexer(
     :class:`~repro.xmlio.lexer_bytes.ByteXmlLexer` (DESIGN.md §11),
     which scans the raw bytes and decodes text lazily.  For an
     iterable the *first non-empty chunk* decides the domain — it is
-    pulled eagerly at construction; later chunks stay lazy.
+    pulled eagerly at construction (leading empty chunks are skipped,
+    but their type still picks the domain if the iterable holds
+    nothing else); later chunks stay lazy.
 
     Args:
         source: a complete document (``str`` or ``bytes``), an
@@ -1168,11 +1170,19 @@ def make_lexer(
         raise TypeError("pass either an iterable source or refill=, not both")
     chunks = iter(source)
     first = None
+    empty = None
     for chunk in chunks:
         if chunk:
             first = chunk
             break
+        # Remember the type of leading empty chunks: an all-empty bytes
+        # iterable must still get the bytes-domain lexer.
+        empty = chunk
     if first is None:
+        if isinstance(empty, (bytes, bytearray, memoryview)):
+            from repro.xmlio.lexer_bytes import ByteXmlLexer
+
+            return ByteXmlLexer(b"", keep_whitespace)
         return XmlLexer("", keep_whitespace)
     rest = itertools.chain((first,), chunks)
     if isinstance(first, (bytes, bytearray, memoryview)):

@@ -84,8 +84,24 @@ class TestReporting:
 
 
 class TestThroughputGate:
-    """The CI gate enforces compiled >= interpreting on both kernel
-    pairs (projector and evaluator)."""
+    """The CI gate enforces compiled >= interpreting on every kernel
+    pair (projector, evaluator, lexer, generated code)."""
+
+    #: a payload that satisfies every gated pair, overridden per test.
+    #: engine_q1_codegen deliberately sits below engine_q1_compiled_bytes
+    #: but above its 0.85 floor — the documented noise tolerance.
+    PASSING = dict(
+        engine_q1_compiled=10.0,
+        engine_q1_pull=4.0,
+        evaluator_vm=12.0,
+        evaluator_interp=9.0,
+        lexer_bytes=15.0,
+        lexer_events=10.0,
+        projector_q1_codegen=11.0,
+        projector_q1_tables=10.0,
+        engine_q1_codegen=9.5,
+        engine_q1_compiled_bytes=10.0,
+    )
 
     @staticmethod
     def _gate():
@@ -119,33 +135,16 @@ class TestThroughputGate:
 
     def test_passes_when_compiled_wins_all_pairs(self, tmp_path):
         gate = self._gate()
-        path = self._write(
-            tmp_path,
-            self._entries(
-                engine_q1_compiled=10.0,
-                engine_q1_pull=4.0,
-                evaluator_vm=12.0,
-                evaluator_interp=9.0,
-                lexer_bytes=15.0,
-                lexer_events=10.0,
-            ),
-        )
+        path = self._write(tmp_path, self._entries(**self.PASSING))
         message = gate.check(path)
         assert "evaluator_vm" in message and "ok" in message
         assert "lexer_bytes" in message
+        assert "projector_q1_codegen" in message
 
     def test_fails_when_vm_regresses_below_interpreter(self, tmp_path):
         gate = self._gate()
         path = self._write(
-            tmp_path,
-            self._entries(
-                engine_q1_compiled=10.0,
-                engine_q1_pull=4.0,
-                evaluator_vm=8.0,
-                evaluator_interp=9.0,
-                lexer_bytes=15.0,
-                lexer_events=10.0,
-            ),
+            tmp_path, self._entries(**{**self.PASSING, "evaluator_vm": 8.0})
         )
         with pytest.raises(SystemExit, match="evaluator_vm"):
             gate.check(path)
@@ -153,30 +152,44 @@ class TestThroughputGate:
     def test_fails_when_bytes_lexer_regresses_below_str(self, tmp_path):
         gate = self._gate()
         path = self._write(
-            tmp_path,
-            self._entries(
-                engine_q1_compiled=10.0,
-                engine_q1_pull=4.0,
-                evaluator_vm=12.0,
-                evaluator_interp=9.0,
-                lexer_bytes=9.0,
-                lexer_events=10.0,
-            ),
+            tmp_path, self._entries(**{**self.PASSING, "lexer_bytes": 9.0})
         )
         with pytest.raises(SystemExit, match="lexer_bytes"):
             gate.check(path)
 
-    def test_fails_when_evaluator_entries_missing(self, tmp_path):
+    def test_fails_when_generated_projector_loses_to_tables(self, tmp_path):
+        """The projector-stage codegen pair has a 0.9 noise floor:
+        8.5 vs 10.0 is below it and fails."""
         gate = self._gate()
         path = self._write(
             tmp_path,
-            self._entries(
-                engine_q1_compiled=10.0,
-                engine_q1_pull=4.0,
-                lexer_bytes=15.0,
-                lexer_events=10.0,
-            ),
+            self._entries(**{**self.PASSING, "projector_q1_codegen": 8.5}),
         )
+        with pytest.raises(SystemExit, match="projector_q1_codegen"):
+            gate.check(path)
+
+    def test_engine_codegen_pair_tolerates_noise_but_has_a_floor(
+        self, tmp_path
+    ):
+        """End to end the tokenizer is the ceiling, so the codegen/
+        tables engine pair carries a 0.85 floor: 9.5 vs 10.0 passes
+        (PASSING already encodes that), 8.0 vs 10.0 fails."""
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(**{**self.PASSING, "engine_q1_codegen": 8.0}),
+        )
+        with pytest.raises(SystemExit, match="engine_q1_codegen"):
+            gate.check(path)
+
+    def test_fails_when_evaluator_entries_missing(self, tmp_path):
+        gate = self._gate()
+        payload = {
+            name: value
+            for name, value in self.PASSING.items()
+            if not name.startswith("evaluator")
+        }
+        path = self._write(tmp_path, self._entries(**payload))
         with pytest.raises(SystemExit, match="evaluator"):
             gate.check(path)
 

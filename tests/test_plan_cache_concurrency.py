@@ -379,3 +379,107 @@ class TestSequentialInvariantsStillHold:
         cache.get_or_compile("q-one", compiler)
         assert compiler.calls == ["q-one", "q-two", "q-one"]
         assert cache.stats.misses == 3
+
+
+class TestCodegenArtifactLifecycle:
+    """ISSUE 6: generated-code kernels ride the plan through the cache
+    — generated exactly once inside the single-flight, dropped with the
+    plan on eviction, regenerated exactly once on re-admission."""
+
+    QUERY_A = "<r>{ for $x in /doc/item return $x/name }</r>"
+    QUERY_B = "<r>{ for $x in /doc/thing return $x }</r>"
+
+    @staticmethod
+    def _counting_codegen(monkeypatch):
+        """Patch the engine's kernel generation with a counting proxy."""
+        import repro.core.codegen as codegen_module
+        import repro.core.engine as engine_module
+
+        calls: list[int] = []
+        lock = threading.Lock()
+        real = codegen_module.generate_plan_kernels
+
+        def counting(dfa, analysis, program):
+            with lock:
+                calls.append(1)
+            time.sleep(0.01)
+            return real(dfa, analysis, program)
+
+        monkeypatch.setattr(engine_module, "generate_plan_kernels", counting)
+        return calls
+
+    def test_eviction_drops_kernels_and_readmission_regenerates_once(
+        self, monkeypatch
+    ):
+        calls = self._counting_codegen(monkeypatch)
+        engine = GCXEngine(plan_cache=PlanCache(capacity=1))
+        plan_a = engine.compile(self.QUERY_A)
+        assert plan_a.kernels is not None
+        assert plan_a.kernels.kernel_count == 2
+        assert len(calls) == 1
+        chars_a = plan_a.kernels.source_chars
+
+        snap = engine.plan_cache.codegen_stats()
+        assert snap["plans"] == 1
+        assert snap["source_chars"] == chars_a
+
+        engine.compile(self.QUERY_B)  # evicts plan A, kernels and all
+        assert len(calls) == 2
+        snap = engine.plan_cache.codegen_stats()
+        assert snap["plans"] == 1
+        assert snap["source_chars"] != 0
+        assert snap["source_chars"] == (
+            engine.compile(self.QUERY_B).kernels.source_chars
+        )
+
+        plan_a2 = engine.compile(self.QUERY_A)  # re-admission: regenerate
+        assert plan_a2 is not plan_a
+        assert plan_a2.kernels is not plan_a.kernels
+        assert plan_a2.kernels.source_chars == chars_a
+        assert len(calls) == 3  # exactly one regeneration, not N
+
+    def test_racing_sessions_generate_kernels_exactly_once(self, monkeypatch):
+        calls = self._counting_codegen(monkeypatch)
+        engine = GCXEngine()
+        results, errors = _run_threads(
+            32, lambda _i: engine.compile(self.QUERY_A)
+        )
+        assert not errors
+        assert len(calls) == 1  # single-flight covers generation too
+        assert all(plan is results[0] for plan in results)
+        assert results[0].kernels is not None
+
+    def test_32_sessions_install_audit_with_codegen(self):
+        """The memo-install audit of ISSUE 3, re-run with the generated
+        projector kernel driving the shared DFA: 32 concurrent sessions
+        over one plan, every output equal to a fresh engine's, and the
+        shared memo still a deterministic machine afterwards."""
+        engine = GCXEngine(codegen=True)
+        query = TestDfaSharingUnderConcurrency.QUERY
+        document = TestDfaSharingUnderConcurrency._document
+
+        def run_session(index: int):
+            plan = engine.compile(query)
+            assert plan.kernels is not None and plan.kernels.projector is not None
+            session = engine.session(plan)
+            doc = document(index % 8)
+            for start in range(0, len(doc), 41):
+                session.feed(doc[start : start + 41])
+            result = session.finish()
+            return (plan, result.output, result.stats.watermark)
+
+        results, errors = _run_threads(32, run_session)
+        assert not errors
+        assert len({id(plan) for plan, _o, _w in results}) == 1
+        plan = results[0][0]
+
+        reference = GCXEngine(codegen=False)  # table oracle
+        for index in range(8):
+            expected = reference.query(query, document(index))
+            for thread_index in range(index, 32, 8):
+                _plan, output, watermark = results[thread_index]
+                assert output == expected.output
+                assert watermark == expected.stats.watermark
+
+        _audit_dfa(plan.dfa)
+        assert engine.plan_cache.codegen_stats()["projector_kernels"] == 1

@@ -304,3 +304,43 @@ class TestIncremental:
         tokens = [t for t in tokenize(["<a><b/>", "<b/></a>"])
                   if t.kind is TokenKind.START]
         assert tokens[1].name is tokens[2].name
+
+
+class TestIterableDomainSniffing:
+    """make_lexer picks the scanning domain from the first chunk of an
+    iterable source — including when that chunk is empty (the empty
+    chunk is skipped, but its *type* still decides)."""
+
+    def test_leading_empty_bytes_chunk_picks_bytes_domain(self):
+        from repro.xmlio.lexer_bytes import ByteXmlLexer
+
+        lexer = make_lexer([b"", b"<a>x</a>"])
+        assert isinstance(lexer, ByteXmlLexer)
+        assert [str(t) for t in lexer] == ["<a>", "x", "</a>"]
+
+    def test_leading_empty_str_chunk_picks_str_domain(self):
+        from repro.xmlio.lexer import XmlLexer
+
+        lexer = make_lexer(["", "<a>x</a>"])
+        assert isinstance(lexer, XmlLexer)
+        assert [str(t) for t in lexer] == ["<a>", "x", "</a>"]
+
+    def test_all_empty_bytes_iterable_gets_bytes_lexer(self):
+        from repro.xmlio.lexer_bytes import ByteXmlLexer
+
+        assert isinstance(make_lexer([b"", b""]), ByteXmlLexer)
+        assert isinstance(make_lexer([b""]), ByteXmlLexer)
+
+    def test_all_empty_str_iterable_gets_str_lexer(self):
+        from repro.xmlio.lexer import XmlLexer
+
+        assert isinstance(make_lexer([""]), XmlLexer)
+        assert isinstance(make_lexer([]), XmlLexer)
+
+    def test_tokenize_skips_leading_empty_chunks_bytes(self):
+        tokens = list(tokenize([b"", b"", b"<a>", b"", b"x</a>"]))
+        assert [str(t) for t in tokens] == ["<a>", "x", "</a>"]
+
+    def test_tokenize_skips_leading_empty_chunks_str(self):
+        tokens = list(tokenize(["", "", "<a>", "", "x</a>"]))
+        assert [str(t) for t in tokens] == ["<a>", "x", "</a>"]
