@@ -7,7 +7,15 @@ This measures what DESIGN.md §8 promises: one process serving many
 concurrent streams off one shared plan, with per-stream memory bounded
 by active garbage collection.
 
-Every run appends an aggregate entry — MB/s of XML pushed through the
+The multiplex benchmark then serves the same comparison for shared
+streams (DESIGN.md §13): 8 *distinct* queries over one published
+document — one lex+project pass fanning out to 8 subscribers
+(``server_8queries_shared``) — against the 8 independent sessions
+they replace (``server_8queries_independent``).  The aggregate MB/s
+ratio between the two entries is gated by
+``check_throughput_gate.py``.
+
+Every run appends aggregate entries — MB/s of XML pushed through the
 server and completed requests/s — to ``BENCH_throughput.json`` next to
 the single-stream numbers, so the concurrency overhead of the service
 stays diffable across pull requests.
@@ -27,7 +35,8 @@ from repro.bench.reporting import merge_bench_json
 from repro.core.engine import GCXEngine
 from repro.server.client import GCXClient
 from repro.server.service import ServerThread
-from repro.xmark.queries import ADAPTED_QUERIES
+from repro.xmark.generator import generate_document
+from repro.xmark.queries import ADAPTED_QUERIES, MULTIPLEX_QUERIES
 
 _BENCH_JSON = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -108,3 +117,124 @@ def test_server_throughput(xmark_fig4):
     assert snapshot["ttfr_ms"]["count"] == requests
     # the first RESULT fragment must exist well before session end
     assert snapshot["ttfr_ms"]["p99"] <= snapshot["latency_ms"]["p99"]
+
+
+# ---------------------------------------------------------------------------
+# shared-stream multiplexing vs independent sessions (DESIGN.md §13)
+# ---------------------------------------------------------------------------
+
+_MUX_REPEATS = 5
+_MUX_SCALE = 16.0  # ~0.7 MB: large enough that lexing dominates setup
+
+
+def _run_shared_once(handle, stream, data, expected):
+    subscribers = [GCXClient(handle.host, handle.port) for _ in expected]
+    try:
+        for client, query in zip(subscribers, MULTIPLEX_QUERIES):
+            client.subscribe(stream, query)
+        box: list = [None] * len(expected)
+
+        def collect(index, client):
+            box[index] = client.collect()
+
+        started = time.perf_counter()
+        readers = [
+            threading.Thread(target=collect, args=(index, client))
+            for index, client in enumerate(subscribers)
+        ]
+        for reader in readers:
+            reader.start()
+        with GCXClient(handle.host, handle.port, chunk_size=_CHUNK) as pub:
+            pub.publish_document(stream, data)
+        for reader in readers:
+            reader.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        for client in subscribers:
+            client.close()
+    for outcome, want in zip(box, expected):
+        assert outcome.output == want
+    return elapsed
+
+
+def _run_independent_once(handle, data, expected):
+    errors: list[BaseException] = []
+
+    def drive(index):
+        try:
+            with GCXClient(handle.host, handle.port, chunk_size=_CHUNK) as client:
+                output = client.run_query(MULTIPLEX_QUERIES[index], data).output
+                assert output == expected[index]
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, args=(index,))
+        for index in range(len(expected))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+    return elapsed
+
+
+def test_server_multiplex_throughput():
+    """8 distinct queries, one shared stream, vs 8 independent
+    sessions over the same document — the lex+project de-duplication
+    the multiplexer exists for, measured end to end over TCP.
+
+    Aggregate MB/s counts the document once per query served (the
+    work a client asked for), so the shared/independent ratio is the
+    wall-clock ratio; ``check_throughput_gate.py`` holds it above its
+    floor.
+
+    Protocol: one untimed warmup of each side (plan cache hot, threads
+    spawned once), then interleaved timed rounds summed per side —
+    interleaving exposes both sides to the same machine weather, and
+    the sum is steadier than a min of noisy 8-thread wall-clocks.
+    """
+    document = generate_document(scale=_MUX_SCALE, seed=42)
+    data = document.encode("utf-8")
+    engine = GCXEngine(record_series=False)
+    expected = [engine.query(q, document).output for q in MULTIPLEX_QUERIES]
+    fanout = len(MULTIPLEX_QUERIES)
+
+    with ServerThread(max_sessions=2 * fanout, max_streams=4) as handle:
+        _run_independent_once(handle, data, expected)  # warmup, untimed
+        _run_shared_once(handle, "bench-warmup", data, expected)
+        shared = independent = 0.0
+        for round_index in range(_MUX_REPEATS):
+            independent += _run_independent_once(handle, data, expected)
+            shared += _run_shared_once(
+                handle, f"bench-{round_index}", data, expected
+            )
+
+    served_bytes = len(data) * fanout * _MUX_REPEATS
+    merge_bench_json(
+        _BENCH_JSON,
+        {
+            "server_8queries_shared": {
+                "mb_per_s": round(served_bytes / 1e6 / shared, 3),
+                "seconds": round(shared, 5),
+                "input_bytes": len(data),
+                "served_bytes": served_bytes,
+                "queries": fanout,
+                "rounds": _MUX_REPEATS,
+            },
+            "server_8queries_independent": {
+                "mb_per_s": round(served_bytes / 1e6 / independent, 3),
+                "seconds": round(independent, 5),
+                "input_bytes": len(data),
+                "served_bytes": served_bytes,
+                "queries": fanout,
+                "rounds": _MUX_REPEATS,
+            },
+        },
+    )
+    # Sanity here (the CI gate enforces the documented floor): sharing
+    # the pass must not be slower than running the sessions apart.
+    assert shared < independent

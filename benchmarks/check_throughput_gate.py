@@ -17,7 +17,11 @@ the machinery it exists to replace:
   it was generated from, same path set and bytes input) — the stage
   where specialization shows;
 * ``engine_q1_codegen`` vs ``engine_q1_compiled_bytes`` — the same
-  comparison end to end.
+  comparison end to end;
+* ``server_8queries_shared`` (8 distinct queries multiplexed over one
+  published stream, DESIGN.md §13) vs ``server_8queries_independent``
+  (the 8 separate sessions they replace) — the shared lex+project
+  pass must keep its fan-out win.
 
 The two codegen pairs carry tolerance floors (0.9 per-stage, 0.85
 end to end) instead of a strict ``>=``: on Q1 the tokenizer's
@@ -29,6 +33,14 @@ GC-paused window, a strict gate flaps.  The floors still catch the
 regression class they exist for: a generated kernel silently
 falling off its fast path (back to memo dicts, or to the
 interpreter) costs far more than 5–15%.
+
+The multiplex pair targets a 3x aggregate-throughput win (measured
+3.0–3.3x across machines and scales) but gates at 2.7: the two
+sides are separate wall-clock measurements of an 8-thread TCP
+workload, whose run-to-run spread is ~10% even on a quiet machine.
+The floor still catches the real regression class — a driver that
+stops skipping, re-lexes per subscriber, or serializes the fan-out
+lands near 1x, nowhere near 2.7.
 
 Usage::
 
@@ -55,6 +67,7 @@ GATED_PAIRS = (
     ("lexer_bytes", "lexer_events", 1.0),
     ("projector_q1_codegen", "projector_q1_tables", 0.9),
     ("engine_q1_codegen", "engine_q1_compiled_bytes", 0.85),
+    ("server_8queries_shared", "server_8queries_independent", 2.7),
 )
 
 

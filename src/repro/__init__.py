@@ -36,6 +36,12 @@ from repro.core.engine import CompiledQuery, GCXEngine, QueryPlan, RunResult
 from repro.core.plan import PlanCache, PlanCacheStats
 from repro.core.session import SessionStateError, StreamSession
 from repro.core.stats import BufferStats
+from repro.multiplex import (
+    MultiplexError,
+    MultiplexPlan,
+    SharedStreamSession,
+    StreamSubscriber,
+)
 from repro.xquery.parser import XQueryParseError, parse_query
 from repro.xquery.normalize import NormalizationError, normalize_query
 from repro.xmlio.errors import XmlStarvedError, XmlSyntaxError
@@ -46,13 +52,17 @@ __all__ = [
     "BufferStats",
     "CompiledQuery",
     "GCXEngine",
+    "MultiplexError",
+    "MultiplexPlan",
     "NormalizationError",
     "PlanCache",
     "PlanCacheStats",
     "QueryPlan",
     "RunResult",
     "SessionStateError",
+    "SharedStreamSession",
     "StreamSession",
+    "StreamSubscriber",
     "XQueryParseError",
     "XmlStarvedError",
     "XmlSyntaxError",

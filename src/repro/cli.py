@@ -5,11 +5,18 @@ Subcommands::
 
     gcx run QUERY.xq INPUT.xml [--engine gcx] [--stats] [--chunk-size N]
             [--interpreted] [--no-codegen]
+    gcx multiplex INPUT.xml -q Q1.xq -q Q2.xq ... [--stats]
     gcx explain QUERY.xq
     gcx profile QUERY.xq INPUT.xml [--width 72] [--height 16]
     gcx xmark --scale 1.0 [--seed 42]
-    gcx serve [--host H] [--port P] [--max-sessions N]
+    gcx serve [--host H] [--port P] [--max-sessions N] [--max-streams N]
     gcx stats [--host H] [--port P] [--json]
+
+``multiplex`` evaluates several queries over one document in a single
+shared lex+project pass (DESIGN.md §13): every query subscribes to one
+:class:`~repro.multiplex.session.SharedStreamSession`, subtrees no
+query needs are skipped once at lexer speed for all of them, and each
+query's output is byte-identical to running it alone.
 
 (``gcx`` is the console script; ``python -m repro.cli`` works too.)
 
@@ -131,6 +138,33 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_multiplex(args) -> int:
+    """N queries, one document, one shared lex+project pass."""
+    engine = _make_engine("gcx", codegen=args.codegen)
+    shared = engine.shared_session()
+    subscribers = [
+        (path, shared.subscribe(engine.compile(_read(path))))
+        for path in args.query
+    ]
+    chunk_size = max(1, args.chunk_size)
+    with open(args.input, "rb") as handle:
+        for chunk in _file_chunks(handle, chunk_size):
+            shared.feed(chunk)
+    summary = shared.finish()
+    for path, subscriber in subscribers:
+        result = subscriber.finish()
+        if len(subscribers) > 1:
+            print(f"=== {path}")
+        print(result.output)
+        if args.stats:
+            print(f"{path}: {result.stats.summary()}", file=sys.stderr)
+    if args.stats:
+        print(
+            f"stream: {json.dumps(summary, sort_keys=True)}", file=sys.stderr
+        )
+    return 0
+
+
 def _cmd_explain(args) -> int:
     compiled = GCXEngine().compile(_read(args.query))
     print(compiled.describe())
@@ -164,12 +198,16 @@ def _cmd_serve(args) -> int:
 
     async def _main() -> None:
         server = GCXServer(
-            host=args.host, port=args.port, max_sessions=args.max_sessions
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            max_streams=args.max_streams,
         )
         await server.start()
         print(
             f"gcx server listening on {server.host}:{server.port} "
-            f"(max {server.scheduler.max_sessions} concurrent sessions; "
+            f"(max {server.scheduler.max_sessions} concurrent sessions, "
+            f"{server.scheduler.max_streams} shared streams; "
             "Ctrl-C to stop)",
             file=sys.stderr,
             flush=True,
@@ -187,12 +225,55 @@ def _cmd_serve(args) -> int:
 
 
 def _flatten(mapping: dict, prefix: str = ""):
-    """``{'a': {'b': 1}} -> [('a.b', 1)]`` for line-per-metric output."""
+    """``{'a': {'b': 1}} -> [('a.b', 1)]``; list items get ``[i]``."""
     for key, value in sorted(mapping.items()):
         if isinstance(value, dict):
             yield from _flatten(value, f"{prefix}{key}.")
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                if isinstance(item, dict):
+                    yield from _flatten(item, f"{prefix}{key}[{index}].")
+                else:
+                    yield f"{prefix}{key}[{index}]", item
         else:
             yield f"{prefix}{key}", value
+
+
+def _stats_tables(snapshot: dict) -> str:
+    """Render a metrics snapshot as aligned per-section tables.
+
+    Top-level scalars (``uptime_s``, ``peak_buffer_watermark``) form
+    the first table; every nested section — ``sessions``, ``bytes``,
+    ``dfa``, ``codegen``, ``multiplex``, ... — becomes its own block
+    with the keys flattened relative to the section and the values
+    right-aligned, so ``gcx stats`` reads as a report rather than a
+    JSON dump.
+    """
+    blocks: list[tuple[str, list[tuple[str, str]]]] = []
+    scalars = [
+        (key, str(value))
+        for key, value in sorted(snapshot.items())
+        if not isinstance(value, dict)
+    ]
+    if scalars:
+        blocks.append(("server", scalars))
+    for key, value in sorted(snapshot.items()):
+        if isinstance(value, dict):
+            rows = [(name, str(cell)) for name, cell in _flatten(value)]
+            blocks.append((key, rows))
+    lines: list[str] = []
+    for title, rows in blocks:
+        if lines:
+            lines.append("")
+        lines.append(title)
+        if not rows:
+            lines.append("  (empty)")
+            continue
+        name_width = max(len(name) for name, _ in rows)
+        value_width = max(len(cell) for _, cell in rows)
+        for name, cell in rows:
+            lines.append(f"  {name:<{name_width}}  {cell:>{value_width}}")
+    return "\n".join(lines)
 
 
 def _cmd_stats(args) -> int:
@@ -203,8 +284,7 @@ def _cmd_stats(args) -> int:
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
-        for name, value in _flatten(snapshot):
-            print(f"{name} = {value}")
+        print(_stats_tables(snapshot))
     return 0
 
 
@@ -248,6 +328,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
+    multiplex = sub.add_parser(
+        "multiplex",
+        help="evaluate several queries over one document in one shared pass",
+    )
+    multiplex.add_argument("input", help="path to the XML input")
+    multiplex.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        required=True,
+        help="path to a query file (repeat for each subscribed query)",
+    )
+    multiplex.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-query and stream statistics to stderr",
+    )
+    multiplex.add_argument(
+        "--no-codegen",
+        dest="codegen",
+        action="store_false",
+        help="disable the per-plan generated-code kernels, for A/B runs",
+    )
+    multiplex.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="input read size in bytes (default %(default)s)",
+    )
+    multiplex.set_defaults(func=_cmd_multiplex)
+
     explain = sub.add_parser(
         "explain", help="show roles and the rewritten query (static analysis)"
     )
@@ -289,6 +400,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="admission bound: concurrent sessions beyond this get BUSY "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--max-streams",
+        type=int,
+        default=16,
+        help="bound on concurrently live shared (SUBSCRIBE/PUBLISH) "
+        "streams; subscribers count against --max-sessions "
         "(default %(default)s)",
     )
     serve.set_defaults(func=_cmd_serve)

@@ -364,6 +364,72 @@ class GCXEngine:
             **kwargs,
         )
 
+    def shared_session(
+        self,
+        max_pending_chunks: int | None = None,
+        max_pending_batches: int | None = None,
+    ):
+        """Open a shared-stream session (DESIGN.md §13): subscribe any
+        number of compiled plans, then feed one document once — a
+        single lexer+projector pass serves every subscriber, and each
+        subscriber's result is byte-identical to an independent
+        :meth:`session` run of its plan.
+
+        Args:
+            max_pending_chunks: bound on input chunks queued ahead of
+                the shared driver (backpressure, as in
+                :meth:`session`).
+            max_pending_batches: bound on event batches queued ahead of
+                the slowest subscriber; the driver pauses beyond it.
+        """
+        from repro.multiplex.session import SharedStreamSession
+
+        kwargs = {}
+        if max_pending_chunks is not None:
+            kwargs["max_pending_chunks"] = max_pending_chunks
+        if max_pending_batches is not None:
+            kwargs["max_pending_batches"] = max_pending_batches
+        return SharedStreamSession(
+            gc_enabled=self.gc_enabled,
+            record_series=self.record_series,
+            drain=self.drain,
+            compiled_eval=self.compiled_eval,
+            codegen=self.codegen,
+            **kwargs,
+        )
+
+    def multiplex(
+        self,
+        queries,
+        xml_source,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> list[RunResult]:
+        """Evaluate several queries over one document in **one** pass.
+
+        Compiles each query (plans are accepted as-is), subscribes all
+        of them to a shared stream, feeds *xml_source* once, and
+        returns one :class:`RunResult` per query, in order.  Accepts
+        the same source shapes as :meth:`run`.
+        """
+        plans = [
+            query if isinstance(query, QueryPlan) else self.compile(query)
+            for query in queries
+        ]
+        if hasattr(xml_source, "read"):
+            xml_source = _file_chunks(xml_source, chunk_size)
+        elif isinstance(xml_source, (str, bytes)):
+            xml_source = (xml_source,)
+        shared = self.shared_session()
+        subscribers = [shared.subscribe(plan) for plan in plans]
+        try:
+            for chunk in xml_source:
+                shared.feed(chunk)
+            shared.finish()
+        except BaseException:
+            shared.abort()
+            raise
+        return [subscriber.finish() for subscriber in subscribers]
+
     def query(self, query_text: str, xml_source) -> RunResult:
         """Compile (through the plan cache) and run in one call."""
         return self.run(self.compile(query_text), xml_source)

@@ -347,3 +347,133 @@ class PathDFA:
                     1 for entry in self._text_memo if entry is not None
                 ),
             }
+
+
+class ProductDFA:
+    """Lazy product of several plans' :class:`PathDFA` machines.
+
+    The shared-stream multiplexer (DESIGN.md §13) runs **one** lexer
+    pass over a document on behalf of N subscribed plans, and the only
+    global decision that pass has to make is the skip decision: a
+    subtree may be fast-forwarded at lexer speed exactly when it is
+    dead in *every* subscribed plan.  The product DFA answers that
+    question in one dict lookup per tag.
+
+    A product state is the interned tuple of per-component state ids —
+    component *i* is the id the *i*-th plan's own DFA would be in at
+    this node, so the product state is, by construction, exactly the
+    vector of states the subscribers' projectors hold on their own
+    stacks.  A product state is *dead* when every component is dead
+    (each component's dead state is its empty multiset, so the product
+    dead condition is "no live instance of any subscribed plan at or
+    below this node").
+
+    Transitions delegate to the component DFAs — ``element`` asks each
+    component for its own ``(child, parent', counts)`` transition and
+    interns the child/parent vectors — so the product shares the
+    components' memos with every single-plan session of those plans: a
+    tag learned by a lone session is a dict hit for the multiplexer
+    and vice versa.  Parent updates (first-witness ``[1]`` exhaustion)
+    are mirrored so the product's dead verdicts can never run ahead of
+    (or behind) any subscriber's own view.
+
+    Thread safety follows :class:`PathDFA`: hot reads are plain dict
+    lookups; misses intern and publish under ``_lock`` and concurrent
+    misses compute identical entries.
+    """
+
+    def __init__(self, components):
+        self.components: tuple[PathDFA, ...] = tuple(components)
+        self._lock = threading.Lock()
+        #: component-state vector -> product state id
+        self._ids: dict[tuple, int] = {}
+        #: product state id -> component-state vector
+        self._states: list[tuple] = []
+        #: product state id -> True when every component is dead
+        self._dead: list[bool] = []
+        #: product state id -> {tag: (child, parent', child_is_dead)}
+        self._element_memo: list[dict] = []
+        #: product state id -> parent' product state once computed
+        self._text_memo: list[int | None] = []
+        self.start = self._intern(tuple(dfa.start for dfa in self.components))
+
+    # ------------------------------------------------------------------
+
+    def _intern(self, key: tuple) -> int:
+        """Id of the component vector *key*, creating the product state
+        on first sight (caller holds ``_lock`` except during init)."""
+        state = self._ids.get(key)
+        if state is None:
+            state = len(self._states)
+            self._states.append(key)
+            self._dead.append(all(c == PathDFA.dead for c in key))
+            self._element_memo.append({})
+            self._text_memo.append(None)
+            self._ids[key] = state
+        return state
+
+    def is_dead(self, state: int) -> bool:
+        """True when no subscribed plan can match at or below a node in
+        *state* — the shared skip-subtree condition."""
+        return self._dead[state]
+
+    # ------------------------------------------------------------------
+
+    def element(self, state: int, tag: str) -> tuple:
+        """Transition for an arriving element with *tag* under *state*;
+        returns ``(child_state, parent_state', child_is_dead)``."""
+        entry = self._element_memo[state].get(tag)
+        if entry is None:
+            entry = self.compute_element(state, tag)
+        return entry
+
+    def compute_element(self, state: int, tag: str) -> tuple:
+        """Derive and memoize the ``(state, tag)`` product transition
+        from the component DFAs (their memos do the per-plan work)."""
+        key = self._states[state]
+        children = []
+        parents = []
+        for dfa, component in zip(self.components, key):
+            child, parent, _counts = dfa.element(component, tag)
+            children.append(child)
+            parents.append(parent)
+        with self._lock:
+            entry = self._element_memo[state].get(tag)
+            if entry is None:
+                child = self._intern(tuple(children))
+                entry = (child, self._intern(tuple(parents)), self._dead[child])
+                self._element_memo[state][tag] = entry
+        return entry
+
+    def text(self, state: int) -> int:
+        """Parent-state update for an arriving text node under *state*
+        (text-step ``[1]`` exhaustion mirrored from the components)."""
+        entry = self._text_memo[state]
+        if entry is None:
+            key = self._states[state]
+            parents = tuple(
+                dfa.text(component)[1]
+                for dfa, component in zip(self.components, key)
+            )
+            with self._lock:
+                entry = self._text_memo[state]
+                if entry is None:
+                    entry = self._intern(parents)
+                    self._text_memo[state] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Memo occupancy (the multiplex section of the STATS frame)."""
+        with self._lock:
+            return {
+                "components": len(self.components),
+                "states": len(self._states),
+                "element_transitions": sum(
+                    len(memo) for memo in self._element_memo
+                ),
+                "text_transitions": sum(
+                    1 for entry in self._text_memo if entry is not None
+                ),
+            }

@@ -1,0 +1,18 @@
+"""Shared-stream multiplexing: one lex+project pass for N plans.
+
+See DESIGN.md §13.  :class:`MultiplexPlan` merges the subscribed
+plans' path-DFAs into one product DFA (skip a subtree only when it is
+dead in *every* plan); :class:`SharedStreamSession` runs the single
+driver pass and fans events out to per-plan :class:`StreamSubscriber`
+pipelines whose outputs are byte-identical to independent sessions.
+"""
+
+from repro.multiplex.plan import MultiplexError, MultiplexPlan
+from repro.multiplex.session import SharedStreamSession, StreamSubscriber
+
+__all__ = [
+    "MultiplexError",
+    "MultiplexPlan",
+    "SharedStreamSession",
+    "StreamSubscriber",
+]

@@ -1,0 +1,59 @@
+"""The multiplex plan: N query plans merged behind one product DFA.
+
+One :class:`MultiplexPlan` is the compile-time half of shared-stream
+evaluation (DESIGN.md §13): it pins the subscribed
+:class:`~repro.core.plan.QueryPlan` objects — each immutable and
+shared with any number of single-plan sessions — and merges their
+path-DFAs into one :class:`~repro.core.matcher.ProductDFA` whose dead
+states encode "no subscribed plan can match at or below this node",
+the condition under which the shared pass may fast-forward a whole
+subtree at lexer speed for everyone at once.
+
+Like a :class:`QueryPlan`, a multiplex plan carries no per-stream
+state: the product memo only ever gains deterministic entries, so one
+plan may serve any number of concurrent shared streams over the same
+subscriber set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.matcher import ProductDFA
+from repro.core.plan import QueryPlan
+
+
+class MultiplexError(ValueError):
+    """A plan set cannot be multiplexed (e.g. a plan without a DFA)."""
+
+
+@dataclass(frozen=True)
+class MultiplexPlan:
+    """N immutable query plans plus the product DFA that merges their
+    projection paths for the shared pass."""
+
+    plans: tuple[QueryPlan, ...]
+    product: ProductDFA
+
+    @classmethod
+    def for_plans(cls, plans) -> "MultiplexPlan":
+        """Build the product over *plans* (each needs a compiled DFA —
+        every engine-compiled plan has one; hand-built plans that
+        bypass the compiler do not and cannot ride a shared stream)."""
+        plans = tuple(plans)
+        for plan in plans:
+            if plan.dfa is None:
+                raise MultiplexError(
+                    "multiplexing needs compiled plans (plan has no DFA)"
+                )
+        return cls(plans, ProductDFA(plan.dfa for plan in plans))
+
+    @property
+    def fanout(self) -> int:
+        """Number of subscribed plans."""
+        return len(self.plans)
+
+    def stats(self) -> dict:
+        """Product-DFA memo occupancy (the STATS frame's multiplex
+        section aggregates this over the live shared streams)."""
+        return self.product.stats()

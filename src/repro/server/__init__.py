@@ -36,6 +36,8 @@ _EXPORTS = {
     "ServerError": "repro.server.client",
     "ServerMetrics": "repro.server.metrics",
     "ManagedSession": "repro.server.scheduler",
+    "ManagedStream": "repro.server.scheduler",
+    "ManagedSubscriber": "repro.server.scheduler",
     "SessionScheduler": "repro.server.scheduler",
     "GCXServer": "repro.server.service",
     "ServerThread": "repro.server.service",

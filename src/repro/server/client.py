@@ -214,6 +214,89 @@ class GCXClient:
             self.send_chunk(chunk)
         return self.finish()
 
+    # ------------------------------------------------------------------
+    # shared streams (DESIGN.md §13)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, stream_name: str, query_text: str) -> int:
+        """Attach *query_text* to the named shared stream; returns the
+        server-side subscriber id.
+
+        The stream's results arrive on this connection once a
+        publisher feeds the stream — read them with :meth:`collect`
+        (or incrementally with :meth:`recv_result`).  Raises
+        :class:`ServerBusyError` when the server is at its session or
+        stream limit and :class:`ServerError` when the query does not
+        compile or the stream already started streaming.
+        """
+        self._send(FrameType.SUBSCRIBE, f"{stream_name}\n{query_text}")
+        frame = self._recv()
+        if frame.type is FrameType.BUSY:
+            raise ServerBusyError(frame.text)
+        if frame.type is not FrameType.OPENED:
+            raise ProtocolError(f"expected OPENED, got {frame.type.name}")
+        return int(frame.text)
+
+    def collect(self) -> QueryOutcome:
+        """Read this subscription's RESULT frames until its FINISH.
+
+        Blocks until the stream's publisher finishes the input (the
+        socket timeout applies per frame).  Raises
+        :class:`ServerError` when the stream or this subscriber's
+        evaluation failed.
+        """
+        parts: list[str] = []
+        while True:
+            frame = self._recv()
+            if frame.type is FrameType.RESULT:
+                parts.append(frame.text)
+            elif frame.type is FrameType.FINISH:
+                summary = json.loads(frame.text) if frame.payload else {}
+                return QueryOutcome("".join(parts), summary)
+            else:
+                raise ProtocolError(
+                    f"expected RESULT or FINISH, got {frame.type.name}"
+                )
+
+    def publish(self, stream_name: str) -> str:
+        """Bind this connection as the named stream's publisher.
+
+        Raises :class:`ServerBusyError` at the stream limit and
+        :class:`ServerError` when the stream already has a publisher.
+        """
+        self._send(FrameType.PUBLISH, stream_name)
+        frame = self._recv()
+        if frame.type is FrameType.BUSY:
+            raise ServerBusyError(frame.text)
+        if frame.type is not FrameType.OPENED:
+            raise ProtocolError(f"expected OPENED, got {frame.type.name}")
+        return frame.text
+
+    def publish_document(
+        self, stream_name: str, document: str | bytes | Iterable
+    ) -> dict:
+        """Publish *document* to the named stream in one conversation:
+        PUBLISH, every CHUNK, FINISH.  Returns the server's stream
+        summary (subscriber count, bytes, product-DFA occupancy);
+        subscribers receive their results on their own connections.
+        """
+        self.publish(stream_name)
+        if isinstance(document, (str, bytes)):
+            text = document
+            document = (
+                text[start : start + self.chunk_size]
+                for start in range(0, len(text), self.chunk_size)
+            )
+        for chunk in document:
+            self.send_chunk(chunk)
+        self._send(FrameType.FINISH)
+        frame = self._recv()
+        if frame.type is not FrameType.FINISH:
+            raise ProtocolError(f"expected FINISH, got {frame.type.name}")
+        return json.loads(frame.text) if frame.payload else {}
+
+    # ------------------------------------------------------------------
+
     def stats(self) -> dict:
         """The server's metrics snapshot (the STATS frame)."""
         self._send(FrameType.STATS)

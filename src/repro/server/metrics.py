@@ -44,6 +44,19 @@ class ServerMetrics:
         #: OPEN the first serialized output fragment existed.  Sessions
         #: with empty results record nothing here.
         self._ttfrs: deque[float] = deque(maxlen=latency_window)
+        # shared-stream (multiplex) accounting: streams are the
+        # published documents, subscribers the queries riding them
+        # (each subscriber also holds a session slot and is therefore
+        # counted in the session counters above).
+        self._streams_opened = 0
+        self._streams_active = 0
+        self._streams_completed = 0
+        self._streams_failed = 0
+        self._subscribers_opened = 0
+        self._subscribers_active = 0
+        self._subscribers_completed = 0
+        self._subscribers_failed = 0
+        self._peak_fanout = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -78,6 +91,41 @@ class ServerMetrics:
         with self._lock:
             self._sessions_rejected += 1
 
+    def stream_opened(self) -> None:
+        with self._lock:
+            self._streams_opened += 1
+            self._streams_active += 1
+
+    def stream_finished(self, fanout: int) -> None:
+        with self._lock:
+            self._streams_active -= 1
+            self._streams_completed += 1
+            if fanout > self._peak_fanout:
+                self._peak_fanout = fanout
+
+    def stream_failed(self) -> None:
+        with self._lock:
+            self._streams_active -= 1
+            self._streams_failed += 1
+
+    def subscriber_opened(self, fanout: int) -> None:
+        """*fanout* is the stream's subscriber count including this one."""
+        with self._lock:
+            self._subscribers_opened += 1
+            self._subscribers_active += 1
+            if fanout > self._peak_fanout:
+                self._peak_fanout = fanout
+
+    def subscriber_finished(self) -> None:
+        with self._lock:
+            self._subscribers_active -= 1
+            self._subscribers_completed += 1
+
+    def subscriber_failed(self) -> None:
+        with self._lock:
+            self._subscribers_active -= 1
+            self._subscribers_failed += 1
+
     def add_bytes_in(self, count: int) -> None:
         with self._lock:
             self._bytes_in += count
@@ -91,7 +139,7 @@ class ServerMetrics:
     # ------------------------------------------------------------------
 
     def snapshot(self, plan_cache=None, dfa=None, programs=None,
-                 codegen=None) -> dict:
+                 codegen=None, multiplex=None) -> dict:
         """A JSON-ready view of the registry.
 
         *plan_cache* takes a :class:`~repro.core.plan.PlanCacheStats`;
@@ -106,7 +154,9 @@ class ServerMetrics:
         operator programs backing the evaluation side.  *codegen* takes
         :meth:`~repro.core.plan.PlanCache.codegen_stats` — how many
         plans carry generated-code kernels and the generated-source
-        footprint they hold (DESIGN.md §12).
+        footprint they hold (DESIGN.md §12).  *multiplex* takes the
+        scheduler's live shared-stream occupancy (DESIGN.md §13); the
+        stream/subscriber counters recorded here are merged into it.
         """
         with self._lock:
             latencies = sorted(self._latencies)
@@ -149,4 +199,22 @@ class ServerMetrics:
             snap["programs"] = dict(programs)
         if codegen is not None:
             snap["codegen"] = dict(codegen)
+        if multiplex is not None:
+            with self._lock:
+                snap["multiplex"] = {
+                    "streams": {
+                        "opened": self._streams_opened,
+                        "active": self._streams_active,
+                        "completed": self._streams_completed,
+                        "failed": self._streams_failed,
+                    },
+                    "subscribers": {
+                        "opened": self._subscribers_opened,
+                        "active": self._subscribers_active,
+                        "completed": self._subscribers_completed,
+                        "failed": self._subscribers_failed,
+                    },
+                    "peak_fanout": self._peak_fanout,
+                    **dict(multiplex),
+                }
         return snap

@@ -27,6 +27,28 @@ Conversation shape (client frames on the left, server on the right)::
     STATS()           ->
                       <-  STATS(metrics JSON)
 
+Shared streams (DESIGN.md §13) replace OPEN with a pub/sub pair: any
+number of subscriber connections attach queries to a *named* stream,
+then one publisher connection feeds the document once and every
+subscriber receives its own results — one lex+project pass serving
+all of them::
+
+    SUBSCRIBE("name\n" + query)  ->
+                      <-  OPENED(subscriber id) | BUSY(reason) | ERROR(msg)
+                      ...            (the publisher's stream runs) ...
+                      <-  RESULT(output part)*     (this query's results)
+                      <-  FINISH(session stats JSON)  | ERROR(msg)
+
+    PUBLISH(name)     ->
+                      <-  OPENED(stream name) | BUSY(reason) | ERROR(msg)
+    CHUNK(xml)*       ->          (first CHUNK seals the subscriber set)
+    FINISH()          ->
+                      <-  FINISH(stream summary JSON)  | ERROR(msg)
+
+A failed SUBSCRIBE or PUBLISH behaves exactly like a failed OPEN: the
+server answers ERROR or BUSY and *drains* that conversation's
+pipelined CHUNK/FINISH frames, so the connection stays usable.
+
 Results stream: RESULT frames may arrive any time after OPENED — the
 server emits output fragments while the client is still sending CHUNK
 frames — so a client that interleaves other requests (e.g. STATS) on a
@@ -78,6 +100,9 @@ class FrameType(enum.IntEnum):
     BUSY = 6  # server: admission refused, retry later
     STATS = 7  # client: request metrics / server: metrics JSON
     OPENED = 8  # server: session admitted; payload = session id
+    SUBSCRIBE = 9  # client: attach a query to a shared stream;
+    #                payload = "stream name\n" + query text
+    PUBLISH = 10  # client: feed a shared stream; payload = stream name
 
 
 class Frame(NamedTuple):

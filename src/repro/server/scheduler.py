@@ -23,10 +23,15 @@ import threading
 import time
 
 from repro.core.engine import GCXEngine, RunResult
+from repro.core.session import SessionStateError
 from repro.server.metrics import ServerMetrics
 
 #: default admission bound of a service
 DEFAULT_MAX_SESSIONS = 64
+
+#: default bound on concurrently live shared streams (DESIGN.md §13);
+#: subscribers are bounded separately — each holds a session slot
+DEFAULT_MAX_STREAMS = 16
 
 
 class ManagedSession:
@@ -83,6 +88,106 @@ class ManagedSession:
         self._scheduler._release(self, None)
 
 
+class ManagedSubscriber:
+    """One admitted shared-stream subscriber plus its accounting.
+
+    A subscriber holds a regular admission slot — N queries riding one
+    stream cost the same admission as N independent sessions; what
+    they share is the lex+project work, not the cap — and is released
+    exactly once, on :meth:`finish` or :meth:`abort`.
+    """
+
+    def __init__(
+        self,
+        scheduler: "SessionScheduler",
+        stream: "ManagedStream",
+        subscriber,
+        subscriber_id: int,
+    ):
+        self._scheduler = scheduler
+        self.stream = stream
+        self._subscriber = subscriber
+        self.id = subscriber_id
+        self._opened = time.perf_counter()
+        self._released = False
+
+    def next_output(
+        self, max_bytes: int | None = None, timeout: float | None = None
+    ) -> bytes | None:
+        """The subscriber's RESULT-pump feed (see
+        :meth:`ManagedSession.next_output`)."""
+        return self._subscriber.next_output(max_bytes, timeout)
+
+    def finish(self) -> RunResult:
+        """Collect this subscriber's result once the stream ended."""
+        result = self._subscriber.finish()
+        self._scheduler._release_subscriber(
+            self, result, self._subscriber.time_to_first_output
+        )
+        return result
+
+    def abort(self) -> None:
+        """Drop the subscription (errors, client gone, shutdown)."""
+        self._subscriber.abort()
+        self._scheduler._release_subscriber(self, None)
+
+
+class ManagedStream:
+    """One named shared stream plus its accounting.
+
+    Created on first SUBSCRIBE (or PUBLISH) of a name; removed from
+    the registry when the publisher finishes or the stream is aborted.
+    Wraps a :class:`~repro.multiplex.session.SharedStreamSession`; the
+    subscriber set grows through :meth:`SessionScheduler.try_subscribe`
+    and freezes at the publisher's first chunk.
+    """
+
+    def __init__(self, scheduler: "SessionScheduler", name: str, shared):
+        self._scheduler = scheduler
+        self.name = name
+        self._shared = shared
+        self._publisher_bound = False
+        self._released = False
+
+    @property
+    def fanout(self) -> int:
+        return len(self._shared.subscribers)
+
+    @property
+    def sealed(self) -> bool:
+        return self._shared.sealed
+
+    @property
+    def bytes_in(self) -> int:
+        return self._shared.bytes_fed
+
+    def feed(self, chunk: bytes) -> None:
+        """Forward one raw publisher chunk (blocks under backpressure
+        from the slowest subscriber; the first chunk seals the
+        subscriber set)."""
+        self._shared.feed(chunk)
+
+    def finish(self) -> dict:
+        """End of the published input; returns the stream summary."""
+        summary = self._shared.finish()
+        self._scheduler._release_stream(self, failed=False)
+        return summary
+
+    def abort(self) -> None:
+        """Tear the stream down, subscribers included."""
+        self._shared.abort()
+        self._scheduler._release_stream(self, failed=True)
+
+    def occupancy(self) -> dict:
+        """One live stream's line in the STATS multiplex section."""
+        return {
+            "name": self.name,
+            "subscribers": self.fanout,
+            "sealed": self.sealed,
+            "bytes_in": self.bytes_in,
+        }
+
+
 class SessionScheduler:
     """Admit sessions while capacity lasts; refuse cleanly beyond it."""
 
@@ -92,6 +197,7 @@ class SessionScheduler:
         max_sessions: int = DEFAULT_MAX_SESSIONS,
         metrics: ServerMetrics | None = None,
         max_pending_output: int | None = None,
+        max_streams: int = DEFAULT_MAX_STREAMS,
     ):
         #: all sessions share this engine's plan cache; record_series is
         #: off because a server never plots per-token series and the
@@ -105,9 +211,12 @@ class SessionScheduler:
         #: pump) catches up.  ``None`` = unbounded — the right default
         #: for direct callers that only read output at ``finish()``.
         self.max_pending_output = max_pending_output
+        self.max_streams = max(1, max_streams)
         self._lock = threading.Lock()
         self._active = 0
         self._ids = itertools.count(1)
+        #: live shared streams by name (DESIGN.md §13)
+        self._streams: dict[str, ManagedStream] = {}
 
     @property
     def active(self) -> int:
@@ -163,14 +272,136 @@ class SessionScheduler:
         else:
             self.metrics.session_failed()
 
+    # ------------------------------------------------------------------
+    # shared streams (DESIGN.md §13)
+    # ------------------------------------------------------------------
+
+    def _stream_for(self, name: str) -> ManagedStream | None:
+        """Get or create the live stream *name* (``None`` when the
+        registry is at ``max_streams``).  Caller holds ``_lock``."""
+        stream = self._streams.get(name)
+        if stream is None:
+            if len(self._streams) >= self.max_streams:
+                return None
+            stream = ManagedStream(self, name, self.engine.shared_session())
+            self._streams[name] = stream
+            self.metrics.stream_opened()
+        return stream
+
+    def try_subscribe(
+        self, stream_name: str, query_text: str
+    ) -> ManagedSubscriber | None:
+        """Attach a query to the named shared stream, or ``None`` when
+        full (session cap — every subscriber holds a session slot — or
+        stream cap for a first subscriber).
+
+        Compile errors propagate after the provisional slot is
+        returned; subscribing to a stream that already started
+        streaming raises ``SessionStateError`` (the caller answers
+        ERROR, exactly like a failed OPEN).
+        """
+        with self._lock:
+            if self._active >= self.max_sessions:
+                self.metrics.session_rejected()
+                return None
+            stream = self._stream_for(stream_name)
+            if stream is None:
+                self.metrics.session_rejected()
+                return None
+            self._active += 1
+        try:
+            plan = self.engine.compile(query_text)
+            subscriber = stream._shared.subscribe(
+                plan,
+                max_pending_output=self.max_pending_output,
+                binary_output=True,
+            )
+        except BaseException:
+            with self._lock:
+                self._active -= 1
+            raise
+        self.metrics.session_opened()
+        self.metrics.subscriber_opened(stream.fanout)
+        return ManagedSubscriber(self, stream, subscriber, next(self._ids))
+
+    def try_publish(self, stream_name: str) -> ManagedStream | None:
+        """Bind a publisher to the named shared stream, or ``None``
+        when the registry is at ``max_streams``.
+
+        Publishing an (as yet) subscriber-less name is allowed — the
+        stream then projects everything away in one skip.  A second
+        publisher for a live name raises ``SessionStateError``.
+        """
+        with self._lock:
+            stream = self._stream_for(stream_name)
+            if stream is None:
+                return None
+            if stream._publisher_bound:
+                raise SessionStateError(
+                    f"stream {stream_name!r} already has a publisher"
+                )
+            stream._publisher_bound = True
+        return stream
+
+    def _release_subscriber(
+        self,
+        managed: ManagedSubscriber,
+        result: RunResult | None,
+        time_to_first_output: float | None = None,
+    ) -> None:
+        with self._lock:
+            if managed._released:
+                return
+            managed._released = True
+            self._active -= 1
+        if result is not None:
+            self.metrics.session_finished(
+                time.perf_counter() - managed._opened,
+                result.stats.watermark,
+                time_to_first_result=time_to_first_output,
+            )
+            self.metrics.subscriber_finished()
+        else:
+            self.metrics.session_failed()
+            self.metrics.subscriber_failed()
+
+    def _release_stream(self, managed: ManagedStream, failed: bool) -> None:
+        with self._lock:
+            if managed._released:
+                return
+            managed._released = True
+            if self._streams.get(managed.name) is managed:
+                del self._streams[managed.name]
+        if failed:
+            self.metrics.stream_failed()
+        else:
+            self.metrics.stream_finished(managed.fanout)
+
+    def _multiplex_snapshot(self) -> dict:
+        """Live shared-stream occupancy for the STATS frame."""
+        with self._lock:
+            streams = list(self._streams.values())
+        live = [stream.occupancy() for stream in streams]
+        product = {"states": 0, "element_transitions": 0, "text_transitions": 0}
+        for stream in streams:
+            plan = stream._shared.multiplex_plan
+            if plan is not None:
+                stats = plan.stats()
+                for key in product:
+                    product[key] += stats[key]
+        return {"live": live, "product_dfa": product}
+
+    # ------------------------------------------------------------------
+
     def snapshot(self) -> dict:
         """Service metrics plus the shared plan cache's counters, the
         compiled kernels' transition-memo occupancy, the operator
-        programs' footprint and the generated-code kernels' count and
-        source footprint."""
+        programs' footprint, the generated-code kernels' count and
+        source footprint, and the shared-stream occupancy."""
         return self.metrics.snapshot(
             plan_cache=self.engine.plan_cache.stats,
             dfa=self.engine.plan_cache.dfa_stats(),
             programs=self.engine.plan_cache.program_stats(),
             codegen=self.engine.plan_cache.codegen_stats(),
+            multiplex=self._multiplex_snapshot(),
         )

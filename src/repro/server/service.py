@@ -36,6 +36,13 @@ Failure semantics (DESIGN.md §8):
   stream (or the client's view of the conversation) can no longer be
   trusted.
 
+Shared streams (DESIGN.md §13): SUBSCRIBE attaches a query to a named
+stream (admission counts the subscriber against the session cap) and
+hands the rest of that conversation to a per-subscriber pump; PUBLISH
+binds the connection as the stream's publisher, whose CHUNK frames
+drive **one** lex+project pass serving every subscriber.  A failed
+SUBSCRIBE or PUBLISH enters the same drain mode as a failed OPEN.
+
 Shutdown closes the listener, cancels the connection tasks and aborts
 their sessions; :class:`ServerThread` packages start/stop on a daemon
 thread for blocking callers (tests, benchmarks, the CI smoke job).
@@ -57,7 +64,11 @@ from repro.server.protocol import (
     encode_frame,
     read_frame,
 )
-from repro.server.scheduler import DEFAULT_MAX_SESSIONS, SessionScheduler
+from repro.server.scheduler import (
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_MAX_STREAMS,
+    SessionScheduler,
+)
 from repro.xmlio.errors import XmlStarvedError
 
 #: everything a query can fail with that deserves an ERROR frame (the
@@ -103,6 +114,7 @@ class GCXServer:
         max_sessions: int = DEFAULT_MAX_SESSIONS,
         scheduler: SessionScheduler | None = None,
         result_frame_size: int = DEFAULT_RESULT_FRAME_SIZE,
+        max_streams: int = DEFAULT_MAX_STREAMS,
     ):
         self.host = host
         self.port = port  # 0 = ephemeral; replaced by the bound port on start()
@@ -115,17 +127,22 @@ class GCXServer:
                 # output-side backpressure: a session may run at most a
                 # few frames ahead of its RESULT pump
                 max_pending_output=4 * self.result_frame_size,
+                max_streams=max_streams,
             )
         )
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
         # feed()/finish() block (backpressure, drain) and every session
         # additionally parks one RESULT-pump call in next_output();
-        # two slots per admissible session plus slack for admissions
-        # and STATS, so a stalled producer or a quiet pump can never
-        # starve the others.
+        # two slots per admissible session (subscribers hold session
+        # slots, so their pumps are covered) plus one feed slot per
+        # live shared stream's publisher plus slack for admissions and
+        # STATS, so a stalled producer or a quiet pump can never starve
+        # the others.
         self._executor = ThreadPoolExecutor(
-            max_workers=2 * self.scheduler.max_sessions + 4,
+            max_workers=2 * self.scheduler.max_sessions
+            + self.scheduler.max_streams
+            + 4,
             thread_name_prefix="gcx-serve",
         )
 
@@ -206,6 +223,9 @@ class GCXServer:
         send_lock = asyncio.Lock()  # handler + pump share the writer
         session = None  # the ManagedSession of the query in flight
         pump = None  # the RESULT-pump task of that session
+        publishing = None  # the ManagedStream this connection publishes
+        subscription = None  # the latest ManagedSubscriber on this connection
+        sub_pump = None  # that subscriber's RESULT/FINISH pump task
         discarding = False  # drain this query's frames after an ERROR
         try:
             while True:
@@ -227,7 +247,7 @@ class GCXServer:
                     )
 
                 elif frame.type is FrameType.OPEN:
-                    if session is not None:
+                    if session is not None or publishing is not None:
                         await self._send(
                             writer,
                             FrameType.ERROR,
@@ -283,8 +303,147 @@ class GCXServer:
                         self._pump_results(writer, session, loop, send_lock)
                     )
 
+                elif frame.type is FrameType.SUBSCRIBE:
+                    if session is not None or publishing is not None:
+                        await self._send(
+                            writer,
+                            FrameType.ERROR,
+                            "SUBSCRIBE while a session is active",
+                            lock=send_lock,
+                        )
+                        return
+                    if sub_pump is not None and not sub_pump.done():
+                        await self._send(
+                            writer,
+                            FrameType.ERROR,
+                            "SUBSCRIBE while a subscription is active",
+                            lock=send_lock,
+                        )
+                        return
+                    # Like OPEN: a SUBSCRIBE starts a fresh conversation
+                    # and ends any drain from a previous refusal.
+                    discarding = False
+                    try:
+                        stream_name, sep, query_text = frame.text.partition("\n")
+                    except UnicodeDecodeError as exc:
+                        await self._send(
+                            writer, FrameType.ERROR, _one_line(exc), lock=send_lock
+                        )
+                        discarding = True
+                        continue
+                    if not sep:
+                        await self._send(
+                            writer,
+                            FrameType.ERROR,
+                            "SUBSCRIBE payload must be 'stream\\nquery'",
+                            lock=send_lock,
+                        )
+                        discarding = True
+                        continue
+                    admit = loop.run_in_executor(
+                        self._executor,
+                        self.scheduler.try_subscribe,
+                        stream_name,
+                        query_text,
+                    )
+                    try:
+                        subscription = await asyncio.shield(admit)
+                    except asyncio.CancelledError:
+                        admit.add_done_callback(_abort_orphaned_admission)
+                        raise
+                    except QUERY_ERRORS as exc:
+                        # Compile failure or a stream that already
+                        # started streaming: same drain mode as a
+                        # failed OPEN, so pipelined CHUNK/FINISH
+                        # frames never kill the connection.
+                        await self._send(
+                            writer, FrameType.ERROR, _one_line(exc), lock=send_lock
+                        )
+                        discarding = True
+                        continue
+                    if subscription is None:
+                        await self._send(
+                            writer,
+                            FrameType.BUSY,
+                            "server is at its session or stream limit",
+                            lock=send_lock,
+                        )
+                        discarding = True
+                        continue
+                    await self._send(
+                        writer, FrameType.OPENED, str(subscription.id),
+                        lock=send_lock,
+                    )
+                    # The rest of this subscription is server-driven:
+                    # the pump streams RESULT frames while the
+                    # publisher feeds, then delivers the FINISH
+                    # summary (or ERROR) once the stream ends.
+                    sub_pump = asyncio.create_task(
+                        self._pump_subscriber(
+                            writer, subscription, loop, send_lock
+                        )
+                    )
+
+                elif frame.type is FrameType.PUBLISH:
+                    if session is not None or publishing is not None:
+                        await self._send(
+                            writer,
+                            FrameType.ERROR,
+                            "PUBLISH while a session is active",
+                            lock=send_lock,
+                        )
+                        return
+                    discarding = False
+                    try:
+                        stream_name = frame.text
+                    except UnicodeDecodeError as exc:
+                        await self._send(
+                            writer, FrameType.ERROR, _one_line(exc), lock=send_lock
+                        )
+                        discarding = True
+                        continue
+                    try:
+                        # Cheap (no compile): builds at most an empty
+                        # shared session; fine on the event loop.
+                        publishing = self.scheduler.try_publish(stream_name)
+                    except QUERY_ERRORS as exc:
+                        # e.g. a second publisher for a live stream —
+                        # drain mode, exactly like a failed OPEN.
+                        await self._send(
+                            writer, FrameType.ERROR, _one_line(exc), lock=send_lock
+                        )
+                        discarding = True
+                        continue
+                    if publishing is None:
+                        await self._send(
+                            writer,
+                            FrameType.BUSY,
+                            f"server is at its "
+                            f"{self.scheduler.max_streams}-stream limit",
+                            lock=send_lock,
+                        )
+                        discarding = True
+                        continue
+                    await self._send(
+                        writer, FrameType.OPENED, stream_name, lock=send_lock
+                    )
+
                 elif frame.type is FrameType.CHUNK:
                     if discarding:
+                        continue
+                    if publishing is not None:
+                        self.metrics.add_bytes_in(len(frame.payload))
+                        try:
+                            # The shared stream's driver backpressures
+                            # through feed() just like a session: a
+                            # slow subscriber pauses this read loop.
+                            await loop.run_in_executor(
+                                self._executor, publishing.feed, frame.payload
+                            )
+                        except QUERY_ERRORS as exc:
+                            publishing, discarding = await self._fail_stream(
+                                writer, publishing, exc, send_lock
+                            )
                         continue
                     if session is None:
                         await self._send(
@@ -313,6 +472,28 @@ class GCXServer:
                     if discarding:
                         # End of the query whose ERROR was already sent.
                         discarding = False
+                        continue
+                    if publishing is not None:
+                        try:
+                            summary = await loop.run_in_executor(
+                                self._executor, publishing.finish
+                            )
+                        except QUERY_ERRORS as exc:
+                            publishing, _ = await self._fail_stream(
+                                writer, publishing, exc, send_lock
+                            )
+                            discarding = False
+                            continue
+                        publishing = None
+                        # Subscribers get their RESULT/FINISH frames
+                        # from their own pumps; the publisher gets the
+                        # stream-level summary.
+                        await self._send(
+                            writer,
+                            FrameType.FINISH,
+                            json.dumps(summary, sort_keys=True),
+                            lock=send_lock,
+                        )
                         continue
                     if session is None:
                         await self._send(
@@ -354,11 +535,24 @@ class GCXServer:
         finally:
             if pump is not None:
                 pump.cancel()
+            if sub_pump is not None:
+                sub_pump.cancel()
             if session is not None:
                 # Never block the event loop on the worker join.  The
                 # abort also closes the output channel, releasing the
                 # pump's executor thread.
                 self._executor.submit(session.abort)
+            if subscription is not None:
+                # Idempotent after a delivered FINISH (the slot is
+                # released exactly once); otherwise drops this
+                # subscriber out of the shared stream — the driver
+                # keeps serving the others.
+                self._executor.submit(subscription.abort)
+            if publishing is not None:
+                # Publisher gone mid-stream: the whole stream fails
+                # (subscribers see the input break off, their pumps
+                # report ERROR) and the name is freed.
+                self._executor.submit(publishing.abort)
 
     async def _pump_results(self, writer, session, loop, lock) -> None:
         """Forward output fragments as RESULT frames while they are
@@ -382,6 +576,47 @@ class GCXServer:
                 await self._send(writer, FrameType.RESULT, part, lock=lock)
             except ConnectionError:
                 return  # client gone; the handler cleans up
+
+    async def _pump_subscriber(self, writer, subscription, loop, lock) -> None:
+        """Serve one shared-stream subscription end to end: forward
+        RESULT frames while the publisher's stream runs, then — once
+        the output channel drains — collect the subscriber's result
+        and send its FINISH summary (or the ERROR that felled the
+        stream or this plan's evaluation)."""
+        while True:
+            part = await loop.run_in_executor(
+                self._executor, subscription.next_output, self.result_frame_size
+            )
+            if part is None:
+                break
+            if not part:
+                continue
+            self.metrics.add_bytes_out(len(part))
+            try:
+                await self._send(writer, FrameType.RESULT, part, lock=lock)
+            except ConnectionError:
+                return  # client gone; the handler cleans up
+        try:
+            result = await loop.run_in_executor(
+                self._executor, subscription.finish
+            )
+        except QUERY_ERRORS as exc:
+            self._executor.submit(subscription.abort)
+            with contextlib.suppress(ConnectionError):
+                await self._send(writer, FrameType.ERROR, _one_line(exc), lock=lock)
+            return
+        with contextlib.suppress(ConnectionError):
+            await self._send_result(writer, result, lock)
+
+    async def _fail_stream(self, writer, stream, exc, lock) -> tuple[None, bool]:
+        """Send ERROR for a failed shared stream and enter drain mode.
+
+        The abort tears the stream down; each subscriber's pump
+        reports the failure on its own connection (their pipelines
+        saw the same broadcast error)."""
+        self._executor.submit(stream.abort)
+        await self._send(writer, FrameType.ERROR, _one_line(exc), lock=lock)
+        return None, True
 
     async def _fail_query(
         self, writer, session, pump, exc, lock

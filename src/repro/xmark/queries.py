@@ -246,3 +246,23 @@ EXTRA_QUERIES: dict[str, AdaptedQuery] = {
     query.key: query
     for query in (Q20_GROUPED, Q6_ORIGINAL, Q8_ORIGINAL, Q13_ORIGINAL)
 }
+
+#: 8 distinct single-pass queries over the people / closed_auctions
+#: sections: the shared-stream workload (DESIGN.md §13) used by the CI
+#: multiplex smoke leg and the ``server_8queries_shared`` benchmark.
+#: All are streamable with tiny buffers, so what the benchmark compares
+#: is exactly the work multiplexing de-duplicates — the per-session
+#: lex+project pass — not evaluator-side buffering artifacts.
+MULTIPLEX_QUERIES: list[str] = [
+    "for $p in /site/people/person return $p/name",
+    "for $p in /site/people/person return $p/emailaddress",
+    "for $p in /site/people/person return"
+    " <contact>{$p/name, $p/phone}</contact>",
+    "let $n := count(/site/people/person) return <people>{$n}</people>",
+    "for $c in /site/closed_auctions/closed_auction return $c/price",
+    "for $c in /site/closed_auctions/closed_auction return"
+    " <sale>{$c/price, $c/date}</sale>",
+    "for $c in /site/closed_auctions/closed_auction return $c/quantity",
+    "let $n := count(/site/closed_auctions/closed_auction)"
+    " return <sold>{$n}</sold>",
+]

@@ -101,6 +101,8 @@ class TestThroughputGate:
         projector_q1_tables=10.0,
         engine_q1_codegen=9.5,
         engine_q1_compiled_bytes=10.0,
+        server_8queries_shared=24.0,
+        server_8queries_independent=8.0,
     )
 
     @staticmethod
@@ -140,6 +142,19 @@ class TestThroughputGate:
         assert "evaluator_vm" in message and "ok" in message
         assert "lexer_bytes" in message
         assert "projector_q1_codegen" in message
+        assert "server_8queries_shared" in message
+
+    def test_multiplex_pair_gates_at_its_documented_floor(self, tmp_path):
+        """The shared/independent pair carries a 2.7x floor: 3.0x
+        passes (PASSING encodes it), 2.0x is the regression class the
+        gate exists for — a driver that stops sharing the pass."""
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(**{**self.PASSING, "server_8queries_shared": 16.0}),
+        )
+        with pytest.raises(SystemExit, match="server_8queries_shared"):
+            gate.check(path)
 
     def test_fails_when_vm_regresses_below_interpreter(self, tmp_path):
         gate = self._gate()

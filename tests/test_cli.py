@@ -138,6 +138,64 @@ class TestErrorMapping:
         assert "no complete token buffered" in err
 
 
+class TestMultiplex:
+    @pytest.fixture
+    def multi_workload(self, tmp_path):
+        from repro.xmark.generator import generate_document
+
+        xml = tmp_path / "doc.xml"
+        xml.write_text(generate_document(scale=0.5, seed=3), encoding="utf-8")
+        names = tmp_path / "names.xq"
+        names.write_text(
+            "for $p in /site/people/person return $p/name", encoding="utf-8"
+        )
+        prices = tmp_path / "prices.xq"
+        prices.write_text(
+            "for $c in /site/closed_auctions/closed_auction return $c/price",
+            encoding="utf-8",
+        )
+        return str(xml), str(names), str(prices)
+
+    def test_multiplex_matches_independent_runs(self, multi_workload, capsys):
+        xml, names, prices = multi_workload
+        assert main(["run", names, xml]) == 0
+        names_out = capsys.readouterr().out
+        assert main(["run", prices, xml]) == 0
+        prices_out = capsys.readouterr().out
+        assert main(["multiplex", xml, "-q", names, "-q", prices]) == 0
+        out = capsys.readouterr().out
+        assert f"=== {names}" in out
+        assert f"=== {prices}" in out
+        head, _, tail = out.partition(f"=== {prices}\n")
+        assert head == f"=== {names}\n{names_out}"
+        assert tail == prices_out
+
+    def test_multiplex_single_query_has_no_header(self, multi_workload, capsys):
+        xml, names, _ = multi_workload
+        assert main(["run", names, xml]) == 0
+        expected = capsys.readouterr().out
+        assert main(["multiplex", xml, "-q", names]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_multiplex_stats_reports_stream_summary(
+        self, multi_workload, capsys
+    ):
+        xml, names, prices = multi_workload
+        assert main(["multiplex", xml, "-q", names, "-q", prices, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "stream:" in err
+        assert '"subscribers": 2' in err
+
+    def test_multiplex_bad_query_reports_error(self, multi_workload, capsys):
+        xml, names, _ = multi_workload
+        import pathlib
+
+        bad = pathlib.Path(xml).with_name("bad.xq")
+        bad.write_text("for $x in", encoding="utf-8")
+        assert main(["multiplex", xml, "-q", names, "-q", str(bad)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestExplain:
     def test_explain_prints_roles_and_signoffs(self, workload, capsys):
         query, _ = workload
@@ -179,12 +237,34 @@ class TestServeAndStats:
         assert args.max_sessions == 3
         assert args.func.__name__ == "_cmd_serve"
 
-    def test_stats_pretty_output(self, live_server, capsys):
+    def test_stats_pretty_output_is_aligned_tables(self, live_server, capsys):
         assert main(["stats", "--port", str(live_server.port)]) == 0
         out = capsys.readouterr().out
-        assert "sessions.opened = " in out
-        assert "plan_cache.hit_rate = " in out
-        assert "latency_ms.p99 = " in out
+        lines = out.splitlines()
+        # Sections render as a bare header followed by indented,
+        # aligned key/value rows — not "a.b = v" dumps or raw JSON.
+        assert "sessions" in lines
+        assert "plan_cache" in lines
+        assert "multiplex" in lines
+        assert not any(" = " in line for line in lines)
+        section_rows = [line for line in lines if line.startswith("  ")]
+        assert any(line.lstrip().startswith("opened") for line in section_rows)
+        assert any(line.lstrip().startswith("hit_rate") for line in section_rows)
+        # Alignment: within a section, values end at one column.
+        sessions_at = lines.index("sessions")
+        block = []
+        for line in lines[sessions_at + 1 :]:
+            if not line.startswith("  "):
+                break
+            block.append(line)
+        assert len(block) >= 4
+        assert len({len(line) for line in block}) == 1
+
+    def test_stats_pretty_output_nests_multiplex(self, live_server, capsys):
+        assert main(["stats", "--port", str(live_server.port)]) == 0
+        out = capsys.readouterr().out
+        assert "streams.opened" in out
+        assert "peak_fanout" in out
 
     def test_stats_json_output(self, live_server, capsys):
         assert main(["stats", "--port", str(live_server.port), "--json"]) == 0

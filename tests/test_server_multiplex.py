@@ -1,0 +1,297 @@
+"""Shared streams over the wire: SUBSCRIBE / PUBLISH end to end.
+
+One publisher connection feeds a named stream once; N subscriber
+connections each attached one compiled plan to it.  The server runs a
+single lexer+projector pass (DESIGN.md §13) and every subscriber's
+RESULT bytes must equal an independent engine run of its query.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.engine import GCXEngine
+from repro.server.client import GCXClient, ServerBusyError, ServerError
+from repro.server.protocol import FrameType, encode_frame, read_frame_blocking
+from repro.server.service import ServerThread
+from repro.xmark.generator import generate_document
+
+QUERIES = [
+    "for $p in /site/people/person return $p/name",
+    "for $c in /site/closed_auctions/closed_auction return $c/price",
+    "for $i in /site/regions//item return $i/name",
+    "let $n := count(/site/people/person) return <total>{$n}</total>",
+]
+
+
+@pytest.fixture(scope="module")
+def doc() -> str:
+    return generate_document(scale=0.5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def expected(doc):
+    engine = GCXEngine(record_series=False)
+    return [engine.query(q, doc).output for q in QUERIES]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(max_sessions=16, max_streams=4) as handle:
+        yield handle
+
+
+def _collect_into(client, box, index):
+    try:
+        box[index] = client.collect()
+    except BaseException as exc:  # noqa: BLE001 - asserted by callers
+        box[index] = exc
+
+
+def _fanout(server, doc, queries, stream="xmark"):
+    """Subscribe one client per query, publish *doc* once, return
+    (outcomes, stream summary)."""
+    subscribers = [GCXClient(server.host, server.port) for _ in queries]
+    try:
+        for client, query in zip(subscribers, queries):
+            client.subscribe(stream, query)
+        box: list = [None] * len(queries)
+        readers = [
+            threading.Thread(target=_collect_into, args=(client, box, i))
+            for i, client in enumerate(subscribers)
+        ]
+        for reader in readers:
+            reader.start()
+        with GCXClient(server.host, server.port, chunk_size=4096) as publisher:
+            summary = publisher.publish_document(stream, doc)
+        for reader in readers:
+            reader.join(timeout=60)
+        for item in box:
+            if isinstance(item, BaseException):
+                raise item
+        return box, summary
+    finally:
+        for client in subscribers:
+            client.close()
+
+
+class TestFanout:
+    def test_every_subscriber_byte_identical(self, server, doc, expected):
+        outcomes, summary = _fanout(server, doc, QUERIES)
+        for outcome, want in zip(outcomes, expected):
+            assert outcome.output == want
+            assert outcome.session["output_chars"] == len(want)
+        assert summary["subscribers"] == len(QUERIES)
+        assert summary["bytes_in"] == len(doc.encode("utf-8"))
+        assert summary["product_dfa"]["components"] == len(QUERIES)
+
+    def test_single_subscriber_stream(self, server, doc, expected):
+        outcomes, summary = _fanout(server, doc, QUERIES[:1], stream="solo")
+        assert outcomes[0].output == expected[0]
+        assert summary["subscribers"] == 1
+
+    def test_publish_with_no_subscribers_skips_everything(self, server, doc):
+        with GCXClient(server.host, server.port) as publisher:
+            summary = publisher.publish_document("empty", doc)
+        assert summary["subscribers"] == 0
+
+    def test_stream_name_is_reusable_after_finish(self, server, doc, expected):
+        for _ in range(2):
+            outcomes, _ = _fanout(server, doc, QUERIES[:2], stream="again")
+            assert [o.output for o in outcomes] == expected[:2]
+
+    def test_stats_multiplex_section(self, doc, expected):
+        with ServerThread(max_sessions=8, max_streams=2) as handle:
+            outcomes, _ = _fanout(handle, doc, QUERIES[:3])
+            with GCXClient(handle.host, handle.port) as client:
+                snap = client.stats()
+        assert [o.output for o in outcomes] == expected[:3]
+        mux = snap["multiplex"]
+        assert mux["streams"]["opened"] == 1
+        assert mux["streams"]["completed"] == 1
+        assert mux["streams"]["active"] == 0
+        assert mux["subscribers"]["completed"] == 3
+        assert mux["subscribers"]["active"] == 0
+        assert mux["peak_fanout"] == 3
+        assert snap["sessions"]["completed"] >= 3  # subscribers hold slots
+
+
+class TestSubscribeErrors:
+    def test_bad_query_gets_error_and_connection_survives(
+        self, server, doc, expected
+    ):
+        with GCXClient(server.host, server.port) as client:
+            with pytest.raises(ServerError, match="XQueryParseError"):
+                client.subscribe("xmark2", "for $x in broken (((")
+            # The very same connection can still run a normal query.
+            assert client.run_query(QUERIES[0], doc).output == expected[0]
+
+    def test_missing_separator_gets_error(self, server):
+        with GCXClient(server.host, server.port) as client:
+            client._send(FrameType.SUBSCRIBE, "no-newline-and-no-query")
+            with pytest.raises(ServerError, match="SUBSCRIBE payload"):
+                client._recv()
+            client.stats()  # still usable
+
+    def test_pipelined_frames_after_failed_subscribe_are_drained(
+        self, server, doc, expected
+    ):
+        """Satellite: a pipelining client sends SUBSCRIBE+CHUNK+FINISH
+        before reading the ERROR; the server drains the dead
+        conversation and serves the next query on the same socket."""
+        with socket.create_connection(
+            (server.host, server.port), timeout=30
+        ) as sock:
+            wire = (
+                encode_frame(FrameType.SUBSCRIBE, "s\nfor $x in broken (((")
+                + encode_frame(FrameType.CHUNK, "<doc>ignored")
+                + encode_frame(FrameType.FINISH)
+                + encode_frame(FrameType.OPEN, QUERIES[0])
+            )
+            for start in range(0, len(doc), 8192):
+                wire += encode_frame(FrameType.CHUNK, doc[start : start + 8192])
+            wire += encode_frame(FrameType.FINISH)
+            sock.sendall(wire)
+            frames = []
+            while True:
+                frame = read_frame_blocking(sock)
+                assert frame is not None, "connection closed before FINISH"
+                frames.append(frame)
+                if frame.type is FrameType.FINISH:
+                    break
+        assert frames[0].type is FrameType.ERROR
+        assert "XQueryParseError" in frames[0].text
+        assert frames[1].type is FrameType.OPENED
+        output = "".join(f.text for f in frames if f.type is FrameType.RESULT)
+        assert output == expected[0]
+
+    def test_subscribe_after_stream_started_is_refused(self, server, doc):
+        with GCXClient(server.host, server.port) as publisher:
+            publisher.publish("sealed")
+            publisher.send_chunk(doc[:4096])  # first chunk seals the plan
+            late = GCXClient(server.host, server.port)
+            try:
+                with pytest.raises(ServerError, match="sealed"):
+                    late.subscribe("sealed", QUERIES[0])
+            finally:
+                late.close()
+            publisher.send_chunk(doc[4096:])
+            publisher._send(FrameType.FINISH)
+            frame = publisher._recv()
+            assert frame.type is FrameType.FINISH
+
+
+class TestPublishErrors:
+    def test_second_publisher_for_live_stream_refused(self, server, doc):
+        with GCXClient(server.host, server.port) as first:
+            first.publish("contested")
+            with GCXClient(server.host, server.port) as second:
+                with pytest.raises(ServerError, match="publisher"):
+                    second.publish("contested")
+                # Drain mode: the refused connection still serves STATS.
+                second.stats()
+            first.send_chunk(doc)
+            first._send(FrameType.FINISH)
+            assert first._recv().type is FrameType.FINISH
+
+    def test_stream_limit_answers_busy(self, doc):
+        with ServerThread(max_sessions=8, max_streams=1) as handle:
+            with GCXClient(handle.host, handle.port) as holder:
+                holder.publish("one")
+                with GCXClient(handle.host, handle.port) as over:
+                    with pytest.raises(ServerBusyError, match="stream limit"):
+                        over.publish("two")
+                holder.send_chunk(doc)
+                holder._send(FrameType.FINISH)
+                assert holder._recv().type is FrameType.FINISH
+            # The slot frees: a new stream opens fine.
+            with GCXClient(handle.host, handle.port) as next_publisher:
+                assert next_publisher.publish_document("two", doc)[
+                    "subscribers"
+                ] == 0
+
+    def test_subscriber_limit_answers_busy(self, doc):
+        """Each subscriber counts against max_sessions."""
+        with ServerThread(max_sessions=1, max_streams=2) as handle:
+            holder = GCXClient(handle.host, handle.port)
+            over = GCXClient(handle.host, handle.port)
+            try:
+                holder.subscribe("cap", QUERIES[0])
+                with pytest.raises(ServerBusyError):
+                    over.subscribe("cap", QUERIES[1])
+            finally:
+                holder.close()
+                over.close()
+
+    def test_malformed_stream_fails_every_subscriber(self, server, doc):
+        subscribers = [GCXClient(server.host, server.port) for _ in range(2)]
+        try:
+            for client, query in zip(subscribers, QUERIES[:2]):
+                client.subscribe("doomed", query)
+            box: list = [None] * 2
+            readers = [
+                threading.Thread(target=_collect_into, args=(c, box, i))
+                for i, c in enumerate(subscribers)
+            ]
+            for reader in readers:
+                reader.start()
+            with GCXClient(server.host, server.port) as publisher:
+                publisher.publish("doomed")
+                publisher.send_chunk("<site><people></wrong>")
+                publisher._send(FrameType.FINISH)
+                frame = publisher._read_frame()
+                assert frame.type is FrameType.ERROR
+                assert "XmlSyntaxError" in frame.text
+            for reader in readers:
+                reader.join(timeout=60)
+            for item in box:
+                assert isinstance(item, ServerError)
+                assert "XmlSyntaxError" in str(item)
+        finally:
+            for client in subscribers:
+                client.close()
+
+    def test_publisher_disconnect_fails_subscribers_and_frees_the_name(
+        self, server, doc
+    ):
+        sub = GCXClient(server.host, server.port)
+        try:
+            sub.subscribe("vanishing", QUERIES[0])
+            box: list = [None]
+            reader = threading.Thread(target=_collect_into, args=(sub, box, 0))
+            reader.start()
+            publisher = GCXClient(server.host, server.port)
+            publisher.publish("vanishing")
+            publisher.send_chunk(doc[:2048])
+            publisher.close()  # mid-stream disconnect
+            reader.join(timeout=60)
+            assert isinstance(box[0], (ServerError, ConnectionError))
+        finally:
+            sub.close()
+        # The name is reclaimable by a fresh publisher.
+        with GCXClient(server.host, server.port) as fresh:
+            assert fresh.publish("vanishing") == "vanishing"
+            fresh.send_chunk("<site></site>")
+            fresh._send(FrameType.FINISH)
+            assert fresh._recv().type is FrameType.FINISH
+
+
+class TestConversationGuards:
+    def test_subscribe_while_session_active_closes(self, server, doc):
+        with GCXClient(server.host, server.port) as client:
+            client.open(QUERIES[0])
+            client._send(FrameType.SUBSCRIBE, "x\n" + QUERIES[1])
+            with pytest.raises((ServerError, ConnectionError)):
+                client._recv()
+                client._recv()
+
+    def test_publish_while_session_active_closes(self, server):
+        with GCXClient(server.host, server.port) as client:
+            client.open(QUERIES[0])
+            client._send(FrameType.PUBLISH, "x")
+            with pytest.raises((ServerError, ConnectionError)):
+                client._recv()
+                client._recv()

@@ -1,6 +1,7 @@
 """Framing protocol: encoding, incremental decoding, guard rails."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.server.protocol import (
     HEADER,
@@ -11,6 +12,22 @@ from repro.server.protocol import (
     ProtocolError,
     encode_frame,
 )
+
+#: one representative wire conversation touching EVERY frame type —
+#: incremental decoding must be boundary-proof for all of them, the
+#: shared-stream SUBSCRIBE/PUBLISH pair included
+ALL_TYPE_FRAMES = [
+    (FrameType.OPEN, b"for $x in /a return $x"),
+    (FrameType.CHUNK, "<doc>\xe9l\xe9ment</doc>".encode("utf-8")),
+    (FrameType.FINISH, b""),
+    (FrameType.RESULT, b"<r/>"),
+    (FrameType.ERROR, b"XmlSyntaxError: boom"),
+    (FrameType.BUSY, b"server is at its limit"),
+    (FrameType.STATS, b'{"sessions": {}}'),
+    (FrameType.OPENED, b"17"),
+    (FrameType.SUBSCRIBE, b"xmark\nfor $p in /site return $p"),
+    (FrameType.PUBLISH, b"xmark"),
+]
 
 
 class TestEncode:
@@ -49,6 +66,36 @@ class TestFrameDecoder:
             frames.extend(decoder.feed(wire[index : index + 1]))
         assert [frame.type for frame in frames] == [FrameType.OPEN, FrameType.CHUNK]
         assert frames[1].text == "<doc/>"
+        assert decoder.pending_bytes == 0
+
+    def test_every_frame_type_survives_byte_at_a_time_delivery(self):
+        """Satellite: the full frame vocabulary — SUBSCRIBE and
+        PUBLISH included — decodes identically when the wire arrives
+        one byte at a time."""
+        assert {t for t, _ in ALL_TYPE_FRAMES} == set(FrameType)
+        wire = b"".join(encode_frame(t, p) for t, p in ALL_TYPE_FRAMES)
+        decoder = FrameDecoder()
+        frames = []
+        for index in range(len(wire)):
+            frames.extend(decoder.feed(wire[index : index + 1]))
+        assert frames == [Frame(t, p) for t, p in ALL_TYPE_FRAMES]
+        assert decoder.pending_bytes == 0
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_random_split_points_reassemble_every_type(self, data):
+        """Any segmentation of the byte stream — TCP guarantees order,
+        nothing else — yields the same frames."""
+        wire = b"".join(encode_frame(t, p) for t, p in ALL_TYPE_FRAMES)
+        cuts = data.draw(
+            st.lists(st.integers(0, len(wire)), max_size=16), label="cuts"
+        )
+        bounds = sorted({0, len(wire), *cuts})
+        decoder = FrameDecoder()
+        frames = []
+        for start, stop in zip(bounds, bounds[1:]):
+            frames.extend(decoder.feed(wire[start:stop]))
+        assert frames == [Frame(t, p) for t, p in ALL_TYPE_FRAMES]
         assert decoder.pending_bytes == 0
 
     def test_partial_frame_stays_pending(self):

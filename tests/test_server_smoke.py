@@ -1,10 +1,13 @@
-"""CI smoke test: a real server, 8 concurrent clients, XMark Q1.
+"""CI smoke test: a real server, 8 concurrent clients, XMark Q1 —
+plus the shared-stream leg: 8 distinct queries over one multiplexed
+publish.
 
 Deliberately small and self-contained — the CI workflow runs exactly
 this module under a hard timeout to prove the service stack (framing,
-admission, backpressure, shutdown) works end to end on a fresh
-checkout.  Byte-identity against a one-shot ``GCXEngine.run`` is the
-acceptance bar: serving must never change a result.
+admission, backpressure, shutdown, SUBSCRIBE/PUBLISH fan-out) works
+end to end on a fresh checkout.  Byte-identity against a one-shot
+``GCXEngine.run`` is the acceptance bar: serving must never change a
+result.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ import threading
 from repro.core.engine import GCXEngine
 from repro.server.client import GCXClient
 from repro.server.service import ServerThread
-from repro.xmark.queries import ADAPTED_QUERIES
+from repro.xmark.queries import ADAPTED_QUERIES, MULTIPLEX_QUERIES
 
 CLIENTS = 8
 
@@ -50,3 +53,52 @@ def test_eight_concurrent_clients_byte_identical(xmark_small):
     assert all(output == expected for output in outputs)
     assert snapshot["sessions"]["completed"] == CLIENTS
     assert snapshot["plan_cache"]["misses"] == 1
+
+
+def test_eight_queries_one_shared_stream_byte_identical(xmark_small):
+    """Shared-stream leg: 8 subscriber connections, 8 *distinct*
+    queries, one published document — one lex+project pass serves them
+    all, and every output matches its independent engine run."""
+    engine = GCXEngine(record_series=False)
+    expected = [engine.query(q, xmark_small).output for q in MULTIPLEX_QUERIES]
+
+    outcomes: list = [None] * CLIENTS
+    errors: list[BaseException] = []
+
+    def collect(index: int, client: GCXClient) -> None:
+        try:
+            outcomes[index] = client.collect()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    with ServerThread(max_sessions=CLIENTS, max_streams=2) as handle:
+        subscribers = [
+            GCXClient(handle.host, handle.port) for _ in MULTIPLEX_QUERIES
+        ]
+        try:
+            for client, query in zip(subscribers, MULTIPLEX_QUERIES):
+                client.subscribe("smoke", query)
+            readers = [
+                threading.Thread(target=collect, args=(index, client))
+                for index, client in enumerate(subscribers)
+            ]
+            for reader in readers:
+                reader.start()
+            with GCXClient(handle.host, handle.port, chunk_size=8192) as pub:
+                summary = pub.publish_document(
+                    "smoke", xmark_small.encode("utf-8")
+                )
+            for reader in readers:
+                reader.join(timeout=60)
+        finally:
+            for client in subscribers:
+                client.close()
+        snapshot = handle.server.scheduler.snapshot()
+
+    assert not errors
+    assert [outcome.output for outcome in outcomes] == expected
+    assert summary["subscribers"] == CLIENTS
+    assert summary["bytes_in"] == len(xmark_small.encode("utf-8"))
+    assert snapshot["multiplex"]["streams"]["completed"] == 1
+    assert snapshot["multiplex"]["subscribers"]["completed"] == CLIENTS
+    assert snapshot["multiplex"]["peak_fanout"] == CLIENTS
