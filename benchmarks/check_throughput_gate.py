@@ -42,6 +42,19 @@ The floor still catches the real regression class — a driver that
 stops skipping, re-lexes per subscriber, or serializes the fan-out
 lands near 1x, nowhere near 2.7.
 
+The worker-pool pair (``server_q1_8clients_4workers`` vs the
+single-process ``server_q1_8clients``, DESIGN.md §14) targets the
+4-core acceptance bar of >= 3x but gates at 2.5: the pool's win is
+bounded by the host's cores, and two multi-process TCP wall-clocks
+carry the same ~10% spread as the multiplex pair, compounded by CI
+runners' neighbours.  A pool that silently stops sharding —
+workers contending on one socket, or every connection landing on
+one process — sits at 1x, far below 2.5.  The pair is enforced
+only when the recording host had at least 4 CPUs (the benchmark
+records ``cpu_count``): on fewer cores 4 workers *cannot* beat one
+process by 3x, so the honest reading there is the curve itself,
+not a ratio gate.
+
 Usage::
 
     python benchmarks/check_throughput_gate.py [path/to/BENCH_throughput.json]
@@ -70,6 +83,12 @@ GATED_PAIRS = (
     ("server_8queries_shared", "server_8queries_independent", 2.7),
 )
 
+#: the worker-pool scaling pair: enforced like GATED_PAIRS, but only
+#: when the compiled entry was recorded on a host with at least
+#: MIN_POOL_CPUS cores (the ratio is core-bound, see the docstring)
+POOL_PAIR = ("server_q1_8clients_4workers", "server_q1_8clients", 2.5)
+MIN_POOL_CPUS = 4
+
 
 def check(path: str) -> str:
     """Return a success message, or raise SystemExit with the failure."""
@@ -78,7 +97,10 @@ def check(path: str) -> str:
             entries = json.load(handle).get("entries", {})
     except (OSError, ValueError) as exc:
         raise SystemExit(f"gate: cannot read {path}: {exc}")
-    needed = sorted({name for pair in GATED_PAIRS for name in pair[:2]})
+    needed = sorted(
+        {name for pair in GATED_PAIRS for name in pair[:2]}
+        | set(POOL_PAIR[:2])
+    )
     missing = [name for name in needed if name not in entries]
     if missing:
         raise SystemExit(
@@ -103,6 +125,27 @@ def check(path: str) -> str:
         lines.append(
             f"{compiled_name} {compiled} MB/s vs "
             f"{oracle_name} {oracle} MB/s ({ratio:.2f}x)"
+        )
+    pool_name, single_name, floor = POOL_PAIR
+    pool = entries[pool_name].get("mb_per_s", 0.0)
+    single = entries[single_name].get("mb_per_s", 0.0)
+    cpus = entries[pool_name].get("cpu_count") or 0
+    if cpus >= MIN_POOL_CPUS:
+        if not pool or pool < floor * single:
+            raise SystemExit(
+                f"gate: worker pool stopped scaling: {pool_name} "
+                f"{pool} MB/s < {floor} * {single_name} {single} MB/s "
+                f"on a {cpus}-core host"
+            )
+        lines.append(
+            f"{pool_name} {pool} MB/s vs {single_name} {single} MB/s "
+            f"({pool / single if single else float('inf'):.2f}x, "
+            f"{cpus} cpus)"
+        )
+    else:
+        lines.append(
+            f"{pool_name} recorded on {cpus} cpu(s) — scaling ratio "
+            f"not enforced (needs >= {MIN_POOL_CPUS})"
         )
     return "gate: ok — " + "; ".join(lines)
 

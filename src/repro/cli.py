@@ -10,6 +10,7 @@ Subcommands::
     gcx profile QUERY.xq INPUT.xml [--width 72] [--height 16]
     gcx xmark --scale 1.0 [--seed 42]
     gcx serve [--host H] [--port P] [--max-sessions N] [--max-streams N]
+              [--workers N] [--pool-mode auto|reuseport|fdpass]
     gcx stats [--host H] [--port P] [--json]
 
 ``multiplex`` evaluates several queries over one document in a single
@@ -35,6 +36,13 @@ Failures — unparsable queries, malformed or truncated XML
 lexer (:class:`~repro.xmlio.errors.XmlStarvedError`), evaluation
 errors — exit non-zero with a one-line ``error:`` message, never a
 traceback.
+
+``serve --workers N`` (N > 1) runs the multi-process worker pool
+(DESIGN.md §14): N shared-nothing server processes on one listen port
+— SO_REUSEPORT where the platform has it, the supervisor's fd-passing
+acceptor otherwise — scaling throughput past the GIL.  ``gcx stats``
+against a pool reports fleet-wide totals plus the per-worker
+breakdown, whichever worker answers.
 """
 
 from __future__ import annotations
@@ -192,6 +200,8 @@ def _cmd_xmark(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    if args.workers > 1:
+        return _serve_pool(args)
     import asyncio
 
     from repro.server.service import GCXServer
@@ -224,6 +234,43 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _serve_pool(args) -> int:
+    """``serve --workers N``: supervise the worker pool until a
+    signal arrives, then drain gracefully (DESIGN.md §14)."""
+    import signal
+    import threading
+
+    from repro.server.workers import WorkerSupervisor
+
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_args: stop.set())
+    supervisor = WorkerSupervisor(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+        max_streams=args.max_streams,
+        mode=args.pool_mode,
+    )
+    supervisor.start()
+    try:
+        print(
+            f"gcx worker pool listening on {supervisor.host}:{supervisor.port} "
+            f"({supervisor.workers} workers, mode {supervisor.mode}, "
+            f"max {supervisor.max_sessions} concurrent sessions fleet-wide; "
+            "Ctrl-C to drain and stop)",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop.wait()
+        print("gcx worker pool draining", file=sys.stderr, flush=True)
+    finally:
+        supervisor.stop(graceful=True)
+    print("gcx worker pool stopped", file=sys.stderr)
+    return 0
+
+
 def _flatten(mapping: dict, prefix: str = ""):
     """``{'a': {'b': 1}} -> [('a.b', 1)]``; list items get ``[i]``."""
     for key, value in sorted(mapping.items()):
@@ -247,19 +294,23 @@ def _stats_tables(snapshot: dict) -> str:
     ``dfa``, ``codegen``, ``multiplex``, ... — becomes its own block
     with the keys flattened relative to the section and the values
     right-aligned, so ``gcx stats`` reads as a report rather than a
-    JSON dump.
+    JSON dump.  A fleet snapshot (``gcx stats`` against
+    ``serve --workers N``) renders the same way: ``fleet`` and
+    ``totals`` as sections, the ``per_worker`` list as one section
+    with ``[i].``-prefixed rows.
     """
     blocks: list[tuple[str, list[tuple[str, str]]]] = []
     scalars = [
         (key, str(value))
         for key, value in sorted(snapshot.items())
-        if not isinstance(value, dict)
+        if not isinstance(value, (dict, list))
     ]
     if scalars:
         blocks.append(("server", scalars))
     for key, value in sorted(snapshot.items()):
-        if isinstance(value, dict):
-            rows = [(name, str(cell)) for name, cell in _flatten(value)]
+        if isinstance(value, (dict, list)):
+            section = value if isinstance(value, dict) else {key: value}
+            rows = [(name, str(cell)) for name, cell in _flatten(section)]
             blocks.append((key, rows))
     lines: list[str] = []
     for title, rows in blocks:
@@ -409,6 +460,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on concurrently live shared (SUBSCRIBE/PUBLISH) "
         "streams; subscribers count against --max-sessions "
         "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes sharing the listen port; >1 runs the "
+        "shared-nothing pool (SO_REUSEPORT or fd-passing) and splits "
+        "--max-sessions across workers (default %(default)s)",
+    )
+    serve.add_argument(
+        "--pool-mode",
+        default="auto",
+        choices=("auto", "reuseport", "fdpass"),
+        help="how pool workers share the port: kernel SO_REUSEPORT "
+        "load balancing or the supervisor's fd-passing acceptor "
+        "(default: reuseport where available)",
     )
     serve.set_defaults(func=_cmd_serve)
 

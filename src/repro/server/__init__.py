@@ -16,7 +16,11 @@ multi-client service (DESIGN.md §8):
 * :mod:`repro.server.metrics` — a lock-safe registry behind the STATS
   frame and ``gcx stats``;
 * :mod:`repro.server.client` — the blocking client the CLI, tests and
-  ``benchmarks/bench_server.py`` drive the server with.
+  ``benchmarks/bench_server.py`` drive the server with;
+* :mod:`repro.server.workers` — the multi-process worker pool
+  (``gcx serve --workers N``): N shared-nothing server processes on
+  one SO_REUSEPORT listen port (fd-passing fallback), scaling the
+  service past the GIL (DESIGN.md §14).
 """
 
 import importlib
@@ -41,6 +45,12 @@ _EXPORTS = {
     "SessionScheduler": "repro.server.scheduler",
     "GCXServer": "repro.server.service",
     "ServerThread": "repro.server.service",
+    "WorkerConfig": "repro.server.workers",
+    "WorkerSupervisor": "repro.server.workers",
+    "aggregate_snapshots": "repro.server.metrics",
+    "fetch_fleet_stats": "repro.server.workers",
+    "reuseport_available": "repro.server.workers",
+    "split_admission": "repro.server.scheduler",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -23,9 +23,12 @@ input is finished.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import random
 import select
 import socket
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterable
@@ -71,8 +74,26 @@ class GCXClient:
         port: int = DEFAULT_PORT,
         timeout: float = 60.0,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        busy_retries: int = 0,
+        busy_backoff: float = 0.05,
     ):
+        """*busy_retries* > 0 turns a BUSY refusal in :meth:`open` /
+        :meth:`subscribe` into up to that many bounded retries with
+        exponential backoff (base *busy_backoff* seconds, jittered so a
+        refused herd does not re-arrive in lockstep).  Each retry
+        **reconnects**: against a worker pool (DESIGN.md §14) admission
+        is per worker, so a fresh connection re-rolls which worker the
+        kernel picks — the fleet may have free slots even though the
+        first worker was full.  Off by default: refuse-don't-queue
+        stays the server's contract, and callers that probe admission
+        (tests, load generators) must see BUSY immediately.
+        """
         self.chunk_size = max(1, chunk_size)
+        self.busy_retries = max(0, busy_retries)
+        self.busy_backoff = busy_backoff
+        self._host = host
+        self._port = port
+        self._timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         #: frames received ahead of consumption (streamed RESULTs the
         #: send loop drained off the socket), oldest first
@@ -122,6 +143,31 @@ class GCXClient:
             raise ServerError(frame.text)
         return frame
 
+    def _reconnect(self) -> None:
+        with contextlib.suppress(OSError):
+            self._sock.close()
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._frames.clear()
+        self._decoder = FrameDecoder()
+
+    def _with_busy_retry(self, attempt):
+        """Run *attempt* (a session-opening call), retrying BUSY up to
+        ``busy_retries`` times.  Safe to reconnect between tries: a
+        BUSY reply is a refusal — no server-side state was created."""
+        failures = 0
+        while True:
+            try:
+                return attempt()
+            except ServerBusyError:
+                if failures >= self.busy_retries:
+                    raise
+                delay = self.busy_backoff * (2**failures)
+                time.sleep(delay * (0.5 + random.random()))
+                failures += 1
+                self._reconnect()
+
     # ------------------------------------------------------------------
     # the query conversation
     # ------------------------------------------------------------------
@@ -130,8 +176,13 @@ class GCXClient:
         """Start a session; returns the server-side session id.
 
         Raises :class:`ServerBusyError` when admission is refused and
-        :class:`ServerError` when the query does not compile.
+        :class:`ServerError` when the query does not compile.  With
+        ``busy_retries`` set, BUSY is retried (reconnecting) before it
+        is raised.
         """
+        return self._with_busy_retry(lambda: self._open_once(query_text))
+
+    def _open_once(self, query_text: str) -> int:
         self._send(FrameType.OPEN, query_text)
         frame = self._recv()
         if frame.type is FrameType.BUSY:
@@ -227,8 +278,15 @@ class GCXClient:
         (or incrementally with :meth:`recv_result`).  Raises
         :class:`ServerBusyError` when the server is at its session or
         stream limit and :class:`ServerError` when the query does not
-        compile or the stream already started streaming.
+        compile or the stream already started streaming.  With
+        ``busy_retries`` set, BUSY is retried (reconnecting) before it
+        is raised.
         """
+        return self._with_busy_retry(
+            lambda: self._subscribe_once(stream_name, query_text)
+        )
+
+    def _subscribe_once(self, stream_name: str, query_text: str) -> int:
         self._send(FrameType.SUBSCRIBE, f"{stream_name}\n{query_text}")
         frame = self._recv()
         if frame.type is FrameType.BUSY:

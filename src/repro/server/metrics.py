@@ -15,6 +15,67 @@ import time
 from collections import deque
 
 
+#: snapshot keys that aggregate as a maximum across workers rather
+#: than a sum: peaks are fleet-wide peaks, percentile estimates merge
+#: conservatively (the fleet p99 is at most the worst worker's p99 —
+#: reported as exactly that, since raw windows never cross the
+#: process boundary), and uptime is the oldest worker's
+_MAX_KEYS = frozenset(
+    {"peak_buffer_watermark", "peak_fanout", "p50", "p99", "uptime_s"}
+)
+
+
+def aggregate_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-worker metrics snapshots into fleet-wide totals.
+
+    The aggregation protocol of DESIGN.md §14: numeric leaves are
+    summed, except the peak/percentile/uptime keys in ``_MAX_KEYS``
+    which take the maximum (a fleet peak is the worst worker's peak;
+    percentiles are upper-bounded by the worst worker because the raw
+    latency windows stay in their processes).  Nested dicts merge
+    recursively; lists and strings keep the first worker's value
+    (they are descriptive, not additive).  Derived ratios
+    (``plan_cache.hit_rate``) are recomputed from the summed counters
+    so the fleet rate is not a meaningless average of averages.
+    """
+    snapshots = [snap for snap in snapshots if isinstance(snap, dict)]
+    if not snapshots:
+        return {}
+
+    def merge(values: list, key: str):
+        values = [value for value in values if value is not None]
+        if not values:
+            return None
+        first = values[0]
+        if isinstance(first, dict):
+            merged = {}
+            for sub_key in first:
+                merged[sub_key] = merge(
+                    [value.get(sub_key) for value in values if isinstance(value, dict)],
+                    sub_key,
+                )
+            return merged
+        if isinstance(first, bool) or not isinstance(first, (int, float)):
+            return first
+        numbers = [value for value in values if isinstance(value, (int, float))]
+        if key in _MAX_KEYS:
+            return max(numbers)
+        total = sum(numbers)
+        return round(total, 6) if isinstance(total, float) else total
+
+    totals = {
+        key: merge([snap.get(key) for snap in snapshots], key)
+        for key in snapshots[0]
+    }
+    plan_cache = totals.get("plan_cache")
+    if isinstance(plan_cache, dict):
+        lookups = plan_cache.get("hits", 0) + plan_cache.get("misses", 0)
+        plan_cache["hit_rate"] = (
+            round(plan_cache.get("hits", 0) / lookups, 4) if lookups else 0.0
+        )
+    return totals
+
+
 def _percentile(sorted_values: list[float], quantile: float) -> float:
     """Nearest-rank percentile of an already-sorted list (0.0 if empty)."""
     if not sorted_values:

@@ -27,6 +27,13 @@ Conversation shape (client frames on the left, server on the right)::
     STATS()           ->
                       <-  STATS(metrics JSON)
 
+The STATS payload is one server's metrics snapshot — except against a
+worker pool (``gcx serve --workers N``, DESIGN.md §14), where the
+answering worker returns the fleet-aggregated shape instead:
+``{"fleet": {...}, "totals": {...}, "per_worker": [...]}`` — totals
+summed (peaks/percentiles as maxima) across every worker plus the
+per-worker breakdown, whichever worker the connection landed on.
+
 Shared streams (DESIGN.md §13) replace OPEN with a pub/sub pair: any
 number of subscriber connections attach queries to a *named* stream,
 then one publisher connection feeds the document once and every

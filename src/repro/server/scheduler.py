@@ -34,6 +34,22 @@ DEFAULT_MAX_SESSIONS = 64
 DEFAULT_MAX_STREAMS = 16
 
 
+def split_admission(max_sessions: int, workers: int) -> list[int]:
+    """Split a global admission cap across a worker pool.
+
+    Every worker gets ``max_sessions // workers`` slots and the
+    remainder is spread over the first ``max_sessions % workers``
+    workers, so the per-worker caps always sum to the global cap
+    (DESIGN.md §14) — the fleet as a whole admits exactly as many
+    sessions as one process with the same ``--max-sessions`` would.
+    Every worker keeps at least one slot, so oversized pools degrade
+    into extra capacity rather than dead workers.
+    """
+    workers = max(1, workers)
+    base, remainder = divmod(max(1, max_sessions), workers)
+    return [max(1, base + (1 if index < remainder else 0)) for index in range(workers)]
+
+
 class ManagedSession:
     """One admitted session plus its accounting.
 

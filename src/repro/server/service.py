@@ -1,5 +1,13 @@
 """The asyncio TCP service: many concurrent streaming sessions, one process.
 
+One process is also the unit of sharding: ``gcx serve --workers N``
+(:mod:`repro.server.workers`, DESIGN.md §14) runs N of these servers
+in separate processes over one listen port — each constructed with a
+pre-bound ``listen_sock`` (SO_REUSEPORT) or fed accepted sockets via
+:meth:`GCXServer.adopt_connection` (fd passing), and a
+``stats_provider`` that swaps the local STATS payload for the
+supervisor's fleet aggregate.
+
 Each connection is one handler task reading frames in order.  The
 pull-chain work — ``feed()`` under backpressure, ``finish()`` — runs in
 a bounded thread pool via ``run_in_executor`` so the event loop never
@@ -115,9 +123,21 @@ class GCXServer:
         scheduler: SessionScheduler | None = None,
         result_frame_size: int = DEFAULT_RESULT_FRAME_SIZE,
         max_streams: int = DEFAULT_MAX_STREAMS,
+        listen_sock=None,
+        stats_provider=None,
     ):
         self.host = host
         self.port = port  # 0 = ephemeral; replaced by the bound port on start()
+        #: a pre-bound listening socket to serve instead of binding
+        #: host/port — how a worker process shares one port with its
+        #: siblings via SO_REUSEPORT (DESIGN.md §14)
+        self.listen_sock = listen_sock
+        #: when set, STATS frames are answered with this callable's
+        #: dict instead of the local scheduler snapshot — a pool worker
+        #: plugs in the supervisor's fleet aggregation here.  Called on
+        #: an executor thread (it may do blocking control-channel I/O);
+        #: any failure falls back to the local snapshot.
+        self.stats_provider = stats_provider
         self.result_frame_size = max(1, result_frame_size)
         self.scheduler = (
             scheduler
@@ -155,10 +175,44 @@ class GCXServer:
     # ------------------------------------------------------------------
 
     async def start(self) -> "GCXServer":
-        """Bind and start accepting connections."""
-        self._server = await asyncio.start_server(self._on_client, self.host, self.port)
+        """Bind (or adopt ``listen_sock``) and start accepting."""
+        if self.listen_sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_client, sock=self.listen_sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_client, self.host, self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
         return self
+
+    async def adopt_connection(self, sock) -> None:
+        """Serve one already-accepted TCP connection (the fd-passing
+        fallback of DESIGN.md §14: a parent acceptor hands accepted
+        sockets to workers over a Unix socket).  Runs the full
+        per-connection protocol; returns when the conversation ends."""
+        reader, writer = await asyncio.open_connection(sock=sock)
+        await self._on_client(reader, writer)
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful drain: stop accepting, let live conversations end.
+
+        Closes the listener (new connection attempts are refused —
+        under SO_REUSEPORT the kernel routes them to sibling workers
+        instead) and waits up to *timeout* seconds for every open
+        connection to finish its conversation and disconnect.  Returns
+        ``True`` when the server emptied out, ``False`` on timeout
+        (the caller then escalates to :meth:`shutdown`, which aborts
+        whatever is left).
+        """
+        if self._server is not None:
+            self._server.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while self._connections and loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        return not self._connections
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -241,7 +295,21 @@ class GCXServer:
                     return
 
                 if frame.type is FrameType.STATS:
-                    payload = json.dumps(self.scheduler.snapshot(), sort_keys=True)
+                    snapshot = None
+                    if self.stats_provider is not None:
+                        # Fleet aggregation does blocking control-
+                        # channel I/O: keep it off the event loop, and
+                        # fall back to the local snapshot if the
+                        # supervisor is unreachable.
+                        try:
+                            snapshot = await loop.run_in_executor(
+                                self._executor, self.stats_provider
+                            )
+                        except Exception:  # noqa: BLE001 - degraded STATS
+                            snapshot = None
+                    if snapshot is None:
+                        snapshot = self.scheduler.snapshot()
+                    payload = json.dumps(snapshot, sort_keys=True)
                     await self._send(
                         writer, FrameType.STATS, payload, lock=send_lock
                     )

@@ -1,0 +1,752 @@
+"""Multi-process sharded serving: the SO_REUSEPORT worker pool.
+
+One asyncio process tops out well below the hardware: the engine is
+pure Python, so the GIL caps a whole server at one core while
+``engine_q1_*`` shows a single engine saturating that core alone.
+Sessions, however, are perfectly shardable — each one is independent
+per-connection state over an immutable plan — so the pool runs N
+**shared-nothing** worker processes (DESIGN.md §14), each with its own
+event loop, engine, PlanCache, executor and metrics registry.  Nothing
+crosses the process boundary on the data path; this module therefore
+never imports the multiplex or session layers — workers build their
+own engine stack when they boot.
+
+Two ways to share one listen port:
+
+* ``reuseport`` (the default wherever ``SO_REUSEPORT`` exists): every
+  worker binds its own listening socket with ``SO_REUSEPORT`` and the
+  kernel load-balances incoming connections across them.  The
+  supervisor holds a bound-but-never-listening placeholder socket so
+  an ephemeral ``port=0`` resolves once and the number stays reserved
+  across worker restarts.
+* ``fdpass`` (the fallback): the supervisor owns the only listening
+  socket, accepts in a small thread, and hands each accepted
+  connection to a worker round-robin over that worker's Unix-domain
+  *fd channel* (``socket.send_fds`` / ``recv_fds``).  Round-robin
+  placement is deterministic, which the crash tests exploit.
+
+The **control channel** is one Unix socket the supervisor listens on;
+line-delimited JSON messages, three conversation kinds:
+
+* a worker's persistent *link* (``{"op": "register", ...}`` first):
+  strictly supervisor-initiated request/response afterwards —
+  ``{"op": "snapshot"}`` returns the worker's local metrics snapshot,
+  ``{"op": "drain"}`` asks it to stop accepting, finish open
+  conversations and exit;
+* an ephemeral ``{"op": "fleet"}`` request (any worker, answering a
+  client's STATS frame): the supervisor polls every registered link
+  for a snapshot and replies with fleet-wide totals
+  (:func:`~repro.server.metrics.aggregate_snapshots`) plus the
+  per-worker breakdown — so a STATS query answered by *any* worker
+  reports the whole fleet;
+* the ``fdpass`` fd channels (``{"op": "fdchannel", ...}`` first).
+
+Lifecycle: the supervisor spawns workers (``multiprocessing`` *spawn*
+— never fork from a threaded parent), waits for them to register
+(i.e. to be accepting), and a monitor thread restarts any worker that
+dies unexpectedly with exponential backoff (reset once a worker
+survives a few seconds).  SIGTERM/SIGINT — to the supervisor or to a
+single worker — triggers graceful drain: the listener closes (under
+``reuseport`` the kernel simply routes new connections to the
+siblings), open sessions run to completion, then the process exits;
+the supervisor restarts a drained worker unless the supervisor itself
+is stopping.  Admission is split per worker
+(:func:`~repro.server.scheduler.split_admission`) so the fleet
+preserves the global ``max_sessions`` cap; clients that hit a
+worker-local BUSY can opt into the client's bounded retry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import multiprocessing
+import os
+import shutil
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.server.metrics import aggregate_snapshots
+from repro.server.scheduler import (
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_MAX_STREAMS,
+    split_admission,
+)
+
+#: how a worker proves it lived long enough to reset restart backoff
+_HEALTHY_SECONDS = 5.0
+
+#: spawn, never fork: the supervisor runs threads, and forking a
+#: threaded process hands the child whatever locks were held mid-fork
+_MP = multiprocessing.get_context("spawn")
+
+
+def reuseport_available() -> bool:
+    """Whether this platform can share a listen port via SO_REUSEPORT."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything one worker process needs (must stay picklable)."""
+
+    index: int
+    host: str
+    port: int
+    mode: str  # "reuseport" | "fdpass"
+    control_path: str
+    max_sessions: int
+    max_streams: int
+    drain_timeout: float
+
+
+# ---------------------------------------------------------------------------
+# wire helpers (line-delimited JSON over Unix stream sockets)
+# ---------------------------------------------------------------------------
+
+
+def _encode(message: dict) -> bytes:
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def _bind_socket(host: str, port: int, reuseport: bool):
+    """A TCP socket bound to (host, port); optionally SO_REUSEPORT."""
+    infos = socket.getaddrinfo(
+        host, port, type=socket.SOCK_STREAM, proto=socket.IPPROTO_TCP
+    )
+    family, _type, proto, _canon, addr = infos[0]
+    sock = socket.socket(family, socket.SOCK_STREAM, proto)
+    try:
+        if reuseport:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        else:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(addr[:2])
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def fetch_fleet_stats(control_path: str, timeout: float = 5.0) -> dict:
+    """Ask the supervisor for the aggregated fleet snapshot (blocking).
+
+    This is the worker's ``stats_provider``: a STATS frame answered by
+    any worker turns into one ephemeral control-channel round trip.
+    """
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(control_path)
+        sock.sendall(_encode({"op": "fleet"}))
+        chunks = bytearray()
+        while not chunks.endswith(b"\n"):
+            piece = sock.recv(1 << 16)
+            if not piece:
+                raise ConnectionError("supervisor closed the control channel")
+            chunks.extend(piece)
+    return json.loads(chunks.decode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# the worker process
+# ---------------------------------------------------------------------------
+
+
+def _consume_task_error(task) -> None:
+    """Retrieve (and drop) a finished adoption task's exception so the
+    event loop never logs 'exception was never retrieved' noise."""
+    if not task.cancelled():
+        task.exception()
+
+
+def _receive_fds(config: WorkerConfig, server, loop, stop_serving) -> None:
+    """The fd-channel thread of a ``fdpass`` worker: receive accepted
+    connection fds from the supervisor's acceptor and hand each to the
+    event loop.  Closing the channel (on drain) makes the acceptor
+    route new connections to the sibling workers."""
+    channel = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        channel.connect(config.control_path)
+        channel.sendall(_encode({"op": "fdchannel", "worker": config.index}))
+        # No reply handshake: inbound traffic on this socket must be
+        # exclusively fd-bearing messages.  A plain recv() that strayed
+        # past a message boundary would make the kernel silently close
+        # the SCM_RIGHTS fds riding the bytes it consumed — the
+        # connection would die without either end seeing an error.
+        channel.settimeout(0.2)
+        while not stop_serving.is_set():
+            try:
+                _data, fds, _flags, _addr = socket.recv_fds(channel, 16, 32)
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            if not fds:
+                return  # EOF: supervisor gone or draining
+            for fd in fds:
+                conn = socket.socket(fileno=fd)
+                future = None
+                with contextlib.suppress(RuntimeError):  # loop closing
+                    future = loop.call_soon_threadsafe(
+                        _adopt_in_loop, server, conn
+                    )
+                if future is None:
+                    conn.close()
+    finally:
+        channel.close()
+
+
+def _adopt_in_loop(server, conn) -> None:
+    import asyncio
+
+    task = asyncio.ensure_future(server.adopt_connection(conn))
+    task.add_done_callback(_consume_task_error)
+
+
+async def _serve_control(reader, writer, server, config, request_stop) -> None:
+    """Serve the supervisor's requests on the persistent link."""
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    while True:
+        line = await reader.readline()
+        if not line:
+            # Supervisor vanished: no restarts, no fleet stats, nobody
+            # to drain us later — shut down gracefully now.
+            request_stop()
+            return
+        message = json.loads(line)
+        op = message.get("op")
+        if op == "snapshot":
+            snapshot = await loop.run_in_executor(
+                None, server.scheduler.snapshot
+            )
+            snapshot["worker"] = {
+                "index": config.index,
+                "pid": os.getpid(),
+                "max_sessions": server.scheduler.max_sessions,
+            }
+            writer.write(_encode(snapshot))
+            await writer.drain()
+        elif op == "drain":
+            writer.write(_encode({"ok": True}))
+            await writer.drain()
+            request_stop()
+        else:
+            writer.write(_encode({"error": f"unknown op {op!r}"}))
+            await writer.drain()
+
+
+async def _worker_amain(config: WorkerConfig) -> None:
+    import asyncio
+    import signal
+
+    # Worker-side import: the engine stack lives and dies inside this
+    # process (shared-nothing — see the module docstring and the CI
+    # import guard).
+    from repro.server.service import GCXServer
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    stop_serving = threading.Event()  # mirrored for the fd thread
+
+    def request_stop() -> None:
+        stop_serving.set()
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, request_stop)
+
+    listen_sock = None
+    if config.mode == "reuseport":
+        listen_sock = _bind_socket(config.host, config.port, reuseport=True)
+    server = GCXServer(
+        host=config.host,
+        port=config.port,
+        max_sessions=config.max_sessions,
+        max_streams=config.max_streams,
+        listen_sock=listen_sock,
+        stats_provider=lambda: fetch_fleet_stats(config.control_path),
+    )
+    if config.mode == "reuseport":
+        await server.start()
+
+    reader, writer = await asyncio.open_unix_connection(config.control_path)
+    writer.write(
+        _encode(
+            {
+                "op": "register",
+                "worker": config.index,
+                "pid": os.getpid(),
+                "port": server.port,
+            }
+        )
+    )
+    await writer.drain()
+    await reader.readline()  # the supervisor's ack
+
+    control_task = asyncio.create_task(
+        _serve_control(reader, writer, server, config, request_stop)
+    )
+    fd_thread = None
+    if config.mode == "fdpass":
+        fd_thread = threading.Thread(
+            target=_receive_fds,
+            args=(config, server, loop, stop_serving),
+            name=f"gcx-worker-{config.index}-fds",
+            daemon=True,
+        )
+        fd_thread.start()
+
+    try:
+        await stop.wait()
+        # Graceful drain: stop accepting (the fd thread sees
+        # stop_serving and closes its channel; reuseport listeners
+        # close in drain()), let open conversations finish.
+        await server.drain(config.drain_timeout)
+    finally:
+        control_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await control_task
+        await server.shutdown()
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+def _worker_main(config: WorkerConfig) -> None:
+    """Entry point of one worker process (spawn target)."""
+    import asyncio
+
+    asyncio.run(_worker_amain(config))
+
+
+# ---------------------------------------------------------------------------
+# the supervisor
+# ---------------------------------------------------------------------------
+
+
+class _Link:
+    """The supervisor's end of one worker's persistent control link.
+
+    Strictly request/response and serialized by the lock, so a fleet
+    snapshot and a drain can never interleave on the wire.
+    """
+
+    def __init__(self, index: int, pid: int, conn, rfile):
+        self.index = index
+        self.pid = pid
+        self.conn = conn
+        self.rfile = rfile
+        self.lock = threading.Lock()
+
+    def request(self, message: dict, timeout: float) -> dict | None:
+        """One request/response round trip; ``None`` when the worker
+        is unreachable (died, or took longer than *timeout*)."""
+        with self.lock:
+            try:
+                self.conn.settimeout(timeout)
+                self.conn.sendall(_encode(message))
+                line = self.rfile.readline()
+            except (OSError, ValueError):
+                return None
+        if not line:
+            return None
+        try:
+            return json.loads(line)
+        except ValueError:
+            return None
+
+    def close(self) -> None:
+        with contextlib.suppress(OSError):
+            self.conn.close()
+
+
+class WorkerSupervisor:
+    """Own a worker fleet: spawn, watch, restart, drain, aggregate.
+
+    The blocking counterpart of :class:`~repro.server.service.ServerThread`
+    for pool mode — ``gcx serve --workers N``, the worker benchmarks
+    and the crash tests all drive this class::
+
+        with WorkerSupervisor(workers=4, max_sessions=64) as pool:
+            client = GCXClient(pool.host, pool.port)
+            ...
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        max_streams: int = DEFAULT_MAX_STREAMS,
+        mode: str = "auto",
+        restart: bool = True,
+        backoff_initial: float = 0.1,
+        backoff_max: float = 2.0,
+        drain_timeout: float = 30.0,
+        startup_timeout: float = 60.0,
+    ):
+        if mode not in ("auto", "reuseport", "fdpass"):
+            raise ValueError(f"unknown worker-pool mode {mode!r}")
+        if mode == "reuseport" and not reuseport_available():
+            raise ValueError("SO_REUSEPORT is not available on this platform")
+        if mode == "auto":
+            mode = "reuseport" if reuseport_available() else "fdpass"
+        self.mode = mode
+        self.host = host
+        self.port = port  # 0 = ephemeral; resolved on start()
+        self.workers = max(1, workers)
+        self.max_sessions = max(1, max_sessions)
+        self.max_streams = max_streams
+        self.restart = restart
+        self.drain_timeout = drain_timeout
+        self._backoff_initial = backoff_initial
+        self._backoff_max = backoff_max
+        self._startup_timeout = startup_timeout
+        self._per_worker_sessions = split_admission(self.max_sessions, self.workers)
+
+        self._lock = threading.Lock()
+        self._registered = threading.Condition(self._lock)
+        self._links: dict[int, _Link] = {}
+        self._fd_channels: dict[int, socket.socket] = {}
+        self._procs: list = [None] * self.workers
+        self._spawn_times = [0.0] * self.workers
+        self._fail_counts = [0] * self.workers
+        self._restarts = 0
+        self._stopping = False
+        self._started = False
+        self._control_dir: str | None = None
+        self.control_path: str | None = None
+        self._control_listener: socket.socket | None = None
+        self._placeholder: socket.socket | None = None
+        self._fd_listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "WorkerSupervisor":
+        self._control_dir = tempfile.mkdtemp(prefix="gcx-pool-")
+        self.control_path = os.path.join(self._control_dir, "control.sock")
+        self._control_listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._control_listener.bind(self.control_path)
+        self._control_listener.listen(64)
+        self._control_listener.settimeout(0.2)
+
+        if self.mode == "reuseport":
+            # Bound but never listening: resolves port=0 once and keeps
+            # the number reserved while workers come and go.
+            self._placeholder = _bind_socket(self.host, self.port, reuseport=True)
+            self.port = self._placeholder.getsockname()[1]
+        else:
+            self._fd_listener = _bind_socket(self.host, self.port, reuseport=False)
+            self._fd_listener.listen(128)
+            self._fd_listener.settimeout(0.2)
+            self.port = self._fd_listener.getsockname()[1]
+
+        self._start_thread(self._control_accept_loop, "gcx-pool-control")
+        if self.mode == "fdpass":
+            self._start_thread(self._acceptor_loop, "gcx-pool-accept")
+
+        for index in range(self.workers):
+            self._spawn(index)
+        # Wait for every worker to be *reachable*: registered, and in
+        # fdpass mode with its fd channel up — otherwise the first
+        # connections would all round-robin over a partial fleet.
+        deadline = time.monotonic() + self._startup_timeout
+        with self._registered:
+            while not self._fleet_ready():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._registered.wait(remaining):
+                    self.stop(graceful=False)
+                    raise RuntimeError(
+                        f"only {len(self._links)}/{self.workers} workers "
+                        f"registered within {self._startup_timeout}s"
+                    )
+        self._start_thread(self._monitor_loop, "gcx-pool-monitor")
+        self._started = True
+        return self
+
+    def _fleet_ready(self) -> bool:
+        """Caller holds the lock."""
+        if len(self._links) < self.workers:
+            return False
+        return self.mode != "fdpass" or len(self._fd_channels) >= self.workers
+
+    def _start_thread(self, target, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def _spawn(self, index: int) -> None:
+        config = WorkerConfig(
+            index=index,
+            host=self.host,
+            port=self.port,
+            mode=self.mode,
+            control_path=self.control_path,
+            max_sessions=self._per_worker_sessions[index],
+            max_streams=self.max_streams,
+            drain_timeout=self.drain_timeout,
+        )
+        proc = _MP.Process(
+            target=_worker_main,
+            args=(config,),
+            name=f"gcx-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        with self._lock:
+            self._procs[index] = proc
+            self._spawn_times[index] = time.monotonic()
+
+    def begin_drain(self) -> None:
+        """Graceful fleet drain: stop restarts and new connections,
+        ask every worker to finish its open conversations and exit."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            links = list(self._links.values())
+        if self._fd_listener is not None:
+            with contextlib.suppress(OSError):
+                self._fd_listener.close()
+        for link in links:
+            link.request({"op": "drain"}, timeout=5.0)
+
+    def stop(self, graceful: bool = True) -> None:
+        """Stop the fleet; *graceful* drains, otherwise workers are
+        killed outright."""
+        if graceful:
+            self.begin_drain()
+        else:
+            with self._lock:
+                self._stopping = True
+        with self._lock:
+            procs = [proc for proc in self._procs if proc is not None]
+        join_timeout = self.drain_timeout + 5.0 if graceful else 5.0
+        deadline = time.monotonic() + join_timeout
+        for proc in procs:
+            if graceful:
+                proc.join(max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(5.0)
+        with self._lock:
+            links = list(self._links.values())
+            channels = list(self._fd_channels.values())
+            self._links.clear()
+            self._fd_channels.clear()
+        for link in links:
+            link.close()
+        for channel in channels:
+            with contextlib.suppress(OSError):
+                channel.close()
+        for sock in (self._control_listener, self._placeholder, self._fd_listener):
+            if sock is not None:
+                with contextlib.suppress(OSError):
+                    sock.close()
+        if self._control_dir is not None:
+            shutil.rmtree(self._control_dir, ignore_errors=True)
+            self._control_dir = None
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def restarts(self) -> int:
+        with self._lock:
+            return self._restarts
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the currently registered workers, by worker index."""
+        with self._lock:
+            return [
+                self._links[index].pid for index in sorted(self._links)
+            ]
+
+    def fleet_snapshot(self) -> dict:
+        """Fleet-wide totals + per-worker breakdown (the STATS shape).
+
+        Polls every registered worker's persistent link for its local
+        snapshot; unreachable workers appear in ``per_worker`` with an
+        ``error`` marker and are left out of the totals.
+        """
+        with self._lock:
+            links = sorted(self._links.items())
+        per_worker: list[dict] = []
+        for index, link in links:
+            snapshot = link.request({"op": "snapshot"}, timeout=5.0)
+            if snapshot is None:
+                per_worker.append(
+                    {
+                        "worker": {"index": index, "pid": link.pid},
+                        "error": "unreachable",
+                    }
+                )
+                continue
+            per_worker.append(snapshot)
+        totals = aggregate_snapshots(
+            [
+                {key: value for key, value in snap.items() if key != "worker"}
+                for snap in per_worker
+                if "error" not in snap
+            ]
+        )
+        with self._lock:
+            fleet = {
+                "workers": self.workers,
+                "registered": len(self._links),
+                "mode": self.mode,
+                "restarts": self._restarts,
+                "supervisor_pid": os.getpid(),
+                "max_sessions": self.max_sessions,
+                "per_worker_max_sessions": list(self._per_worker_sessions),
+            }
+        return {"fleet": fleet, "totals": totals, "per_worker": per_worker}
+
+    # -- threads -------------------------------------------------------
+
+    def _control_accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._control_listener.accept()
+            except TimeoutError:
+                if self._stopping:
+                    return
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_control_conn,
+                args=(conn,),
+                name="gcx-pool-control-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_control_conn(self, conn) -> None:
+        rfile = conn.makefile("rb")
+        try:
+            conn.settimeout(10.0)
+            line = rfile.readline()
+            if not line:
+                conn.close()
+                return
+            message = json.loads(line)
+            op = message.get("op")
+            if op == "register":
+                conn.settimeout(None)
+                conn.sendall(_encode({"ok": True}))
+                link = _Link(message["worker"], message["pid"], conn, rfile)
+                with self._registered:
+                    old = self._links.get(link.index)
+                    self._links[link.index] = link
+                    self._registered.notify_all()
+                if old is not None:
+                    old.close()
+                return  # the link stays open; requests go through _Link
+            if op == "fleet":
+                conn.sendall(_encode(self.fleet_snapshot()))
+                conn.close()
+                return
+            if op == "fdchannel":
+                # Deliberately no reply: see _receive_fds — anything
+                # other than fd-bearing messages on this socket risks
+                # the kernel discarding in-flight SCM_RIGHTS fds.
+                conn.settimeout(None)
+                with self._registered:
+                    old_chan = self._fd_channels.get(message["worker"])
+                    self._fd_channels[message["worker"]] = conn
+                    self._registered.notify_all()
+                if old_chan is not None:
+                    with contextlib.suppress(OSError):
+                        old_chan.close()
+                return
+            conn.close()
+        except (OSError, ValueError, KeyError):
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    def _acceptor_loop(self) -> None:
+        """The ``fdpass`` acceptor: accept and hand off, round-robin
+        over the live fd channels; a dead channel is dropped and the
+        connection retried on the next sibling."""
+        rotation = 0
+        while True:
+            try:
+                conn, _addr = self._fd_listener.accept()
+            except TimeoutError:
+                if self._stopping:
+                    return
+                continue
+            except OSError:
+                return
+            with conn:
+                with self._lock:
+                    channels = sorted(self._fd_channels.items())
+                if channels:
+                    pivot = rotation % len(channels)
+                    rotation += 1
+                    ordered = channels[pivot:] + channels[:pivot]
+                    for index, channel in ordered:
+                        try:
+                            socket.send_fds(channel, [b"f"], [conn.fileno()])
+                            break
+                        except OSError:
+                            with self._lock:
+                                if self._fd_channels.get(index) is channel:
+                                    del self._fd_channels[index]
+                            with contextlib.suppress(OSError):
+                                channel.close()
+                # No live channel: the with-block closes the socket —
+                # the client sees a reset, exactly like total overload.
+
+    def _monitor_loop(self) -> None:
+        """Watch worker processes; restart the unexpectedly dead."""
+        while True:
+            if self._stopping:
+                return
+            time.sleep(0.1)
+            for index in range(self.workers):
+                with self._lock:
+                    proc = self._procs[index]
+                    stopping = self._stopping
+                if stopping:
+                    return
+                if proc is None or proc.is_alive():
+                    continue
+                proc.join()
+                with self._lock:
+                    self._procs[index] = None
+                    link = self._links.pop(index, None)
+                    channel = self._fd_channels.pop(index, None)
+                    lived = time.monotonic() - self._spawn_times[index]
+                if link is not None:
+                    link.close()
+                if channel is not None:
+                    with contextlib.suppress(OSError):
+                        channel.close()
+                if not self.restart:
+                    continue
+                if lived > _HEALTHY_SECONDS:
+                    self._fail_counts[index] = 0
+                self._fail_counts[index] += 1
+                delay = min(
+                    self._backoff_initial * (2 ** (self._fail_counts[index] - 1)),
+                    self._backoff_max,
+                )
+                with self._lock:
+                    self._restarts += 1
+                time.sleep(delay)
+                if self._stopping:
+                    return
+                self._spawn(index)

@@ -800,25 +800,40 @@ class XmlLexer:
                 return None
             if text[pos] != "<":
                 return self._scan_text()
-            # Markup.
+            # Markup.  Dispatch on the character after "<": start and
+            # end tags dominate every real document, and neither can be
+            # confused with the "<!"/"<?" constructs, so the common
+            # cases pay no prefix chain — and, crucially for chunked
+            # input, no could-this-become-a-comment guard (a start tag
+            # cut at the chunk boundary starves inside
+            # ``_scan_start_tag`` exactly as before).
+            nxt = text[pos + 1 : pos + 2]
+            if nxt == "/":
+                return self._scan_end_tag()
+            if nxt and nxt != "!" and nxt != "?":
+                return self._scan_start_tag()
+            if not nxt:
+                # Lone "<" at the end of the buffer: any construct
+                # could follow.
+                if not self._closed:
+                    raise self._starved(None)
+                return self._scan_start_tag()  # exact scan raises
             if text.startswith("<!--", pos):
                 self._skip_comment()
                 continue
             if text.startswith("<![CDATA[", pos):
                 return self._scan_cdata()
-            if text.startswith("<?", pos):
+            if nxt == "?":
                 self._skip_pi()
                 continue
             if text.startswith("<!DOCTYPE", pos):
                 self._skip_doctype()
                 continue
-            if text.startswith("</", pos):
-                return self._scan_end_tag()
             if not self._closed and len(text) - pos < _LONGEST_PREFIX:
                 rest = text[pos:]
                 if any(p.startswith(rest) for p in _MARKUP_PREFIXES):
-                    # Could still become a comment/CDATA/PI/DOCTYPE/end
-                    # tag once more input arrives.
+                    # Could still become a comment/CDATA/DOCTYPE once
+                    # more input arrives.
                     raise self._starved(None)
             return self._scan_start_tag()
 

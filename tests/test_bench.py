@@ -103,6 +103,8 @@ class TestThroughputGate:
         engine_q1_compiled_bytes=10.0,
         server_8queries_shared=24.0,
         server_8queries_independent=8.0,
+        server_q1_8clients=8.0,
+        server_q1_8clients_4workers={"mb_per_s": 24.0, "cpu_count": 4},
     )
 
     @staticmethod
@@ -124,7 +126,8 @@ class TestThroughputGate:
     def _entries(**mb_per_s):
         return {
             "entries": {
-                name: {"mb_per_s": value} for name, value in mb_per_s.items()
+                name: value if isinstance(value, dict) else {"mb_per_s": value}
+                for name, value in mb_per_s.items()
             }
         }
 
@@ -154,6 +157,58 @@ class TestThroughputGate:
             self._entries(**{**self.PASSING, "server_8queries_shared": 16.0}),
         )
         with pytest.raises(SystemExit, match="server_8queries_shared"):
+            gate.check(path)
+
+    def test_pool_pair_gates_on_multicore_hosts(self, tmp_path):
+        """On a >=4-core recording host the 4-worker pool must hold
+        its 2.5x floor: 3.0x passes (PASSING encodes it), 1.2x is a
+        pool that stopped sharding."""
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(
+                **{
+                    **self.PASSING,
+                    "server_q1_8clients_4workers": {
+                        "mb_per_s": 9.6,
+                        "cpu_count": 4,
+                    },
+                }
+            ),
+        )
+        with pytest.raises(SystemExit, match="stopped scaling"):
+            gate.check(path)
+
+    def test_pool_pair_not_enforced_on_few_cores(self, tmp_path):
+        """Recorded on 1 cpu, 4 workers cannot beat one process 3x —
+        the same 1.2x ratio passes with an honest 'not enforced'
+        note instead of a false regression."""
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(
+                **{
+                    **self.PASSING,
+                    "server_q1_8clients_4workers": {
+                        "mb_per_s": 9.6,
+                        "cpu_count": 1,
+                    },
+                }
+            ),
+        )
+        message = gate.check(path)
+        assert "not enforced" in message
+        assert "server_q1_8clients_4workers" in message
+
+    def test_fails_when_pool_entries_missing(self, tmp_path):
+        gate = self._gate()
+        payload = {
+            name: value
+            for name, value in self.PASSING.items()
+            if name != "server_q1_8clients_4workers"
+        }
+        path = self._write(tmp_path, self._entries(**payload))
+        with pytest.raises(SystemExit, match="server_q1_8clients_4workers"):
             gate.check(path)
 
     def test_fails_when_vm_regresses_below_interpreter(self, tmp_path):

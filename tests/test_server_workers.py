@@ -1,0 +1,385 @@
+"""The multi-process worker pool (DESIGN.md §14): shared-nothing
+serving must never change a result, and the supervisor must keep the
+fleet healthy through crashes and drains.
+
+The robustness legs deliberately use the ``fdpass`` mode: its
+round-robin placement is deterministic, so the tests can pin a session
+to a worker, kill exactly that worker, and assert (a) the in-flight
+client fails with a connection error — never a hang, (b) the
+supervisor restarts the worker, and (c) the survivors keep serving
+byte-identical results throughout.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import pathlib
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import GCXEngine
+from repro.server.client import GCXClient, ServerBusyError
+from repro.server.metrics import aggregate_snapshots
+from repro.server.scheduler import split_admission
+from repro.server.service import ServerThread
+from repro.server.workers import WorkerSupervisor, reuseport_available
+from repro.xmark.queries import ADAPTED_QUERIES
+
+
+@pytest.fixture(scope="module")
+def q1():
+    return ADAPTED_QUERIES["q1"].text
+
+
+@pytest.fixture(scope="module")
+def q1_expected(q1):
+    # one reference run per module; every pool output must match it
+    doc = _module_doc()
+    return GCXEngine(record_series=False).query(q1, doc).output
+
+
+_DOC_CACHE: dict = {}
+
+
+def _module_doc() -> str:
+    if "doc" not in _DOC_CACHE:
+        from repro.xmark.generator import generate_document
+
+        _DOC_CACHE["doc"] = generate_document(scale=0.5, seed=7)
+    return _DOC_CACHE["doc"]
+
+
+def _wait_until(predicate, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(message)
+
+
+# ---------------------------------------------------------------------------
+# units: admission split and metrics aggregation
+# ---------------------------------------------------------------------------
+
+
+def test_split_admission_preserves_global_cap():
+    assert split_admission(64, 4) == [16, 16, 16, 16]
+    assert split_admission(10, 4) == [3, 3, 2, 2]
+    assert sum(split_admission(10, 4)) == 10
+    assert split_admission(7, 1) == [7]
+    # degenerate pools: every worker keeps at least one slot, so an
+    # oversized pool degrades into extra capacity rather than dead
+    # workers (the only case where the global cap is exceeded)
+    assert split_admission(2, 4) == [1, 1, 1, 1]
+
+
+def test_aggregate_snapshots_sums_and_peaks():
+    merged = aggregate_snapshots(
+        [
+            {
+                "uptime_s": 10.0,
+                "sessions": {"opened": 3, "active": 1},
+                "peak_buffer_watermark": 7,
+                "latency_ms": {"count": 3, "p50": 2.0, "p99": 9.0},
+                "plan_cache": {"hits": 3, "misses": 1, "hit_rate": 0.75},
+            },
+            {
+                "uptime_s": 4.0,
+                "sessions": {"opened": 2, "active": 0},
+                "peak_buffer_watermark": 11,
+                "latency_ms": {"count": 1, "p50": 5.0, "p99": 5.0},
+                "plan_cache": {"hits": 0, "misses": 2, "hit_rate": 0.0},
+            },
+        ]
+    )
+    assert merged["sessions"] == {"opened": 5, "active": 1}
+    assert merged["latency_ms"]["count"] == 4
+    # peaks/percentiles/uptime merge as maxima, not sums
+    assert merged["peak_buffer_watermark"] == 11
+    assert merged["latency_ms"]["p99"] == 9.0
+    assert merged["uptime_s"] == 10.0
+    # derived ratios are recomputed from the summed counters
+    assert merged["plan_cache"]["hit_rate"] == 0.5
+
+
+# ---------------------------------------------------------------------------
+# serving correctness: byte identity and fleet STATS in both modes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "mode",
+    [
+        pytest.param(
+            "reuseport",
+            marks=pytest.mark.skipif(
+                not reuseport_available(), reason="no SO_REUSEPORT"
+            ),
+        ),
+        "fdpass",
+    ],
+)
+def test_pool_byte_identity_and_fleet_stats(mode, q1, q1_expected):
+    doc = _module_doc()
+    with WorkerSupervisor(workers=2, max_sessions=8, mode=mode) as pool:
+        assert len(pool.worker_pids()) == 2
+        outputs = []
+        for _ in range(4):
+            with GCXClient(pool.host, pool.port, chunk_size=8192) as client:
+                outputs.append(client.run_query(q1, doc).output)
+        assert all(output == q1_expected for output in outputs)
+
+        # a STATS frame answered by ANY worker reports the whole fleet
+        with GCXClient(pool.host, pool.port) as client:
+            stats = client.stats()
+    assert set(stats) == {"fleet", "totals", "per_worker"}
+    assert stats["fleet"]["workers"] == 2
+    assert stats["fleet"]["mode"] == mode
+    assert stats["fleet"]["per_worker_max_sessions"] == [4, 4]
+    assert stats["totals"]["sessions"]["completed"] == 4
+    assert len(stats["per_worker"]) == 2
+    assert sum(
+        snap["sessions"]["completed"] for snap in stats["per_worker"]
+    ) == 4
+    assert [snap["worker"]["index"] for snap in stats["per_worker"]] == [0, 1]
+
+
+def test_pool_admission_is_per_worker(q1):
+    """The global cap splits across workers; each worker refuses its
+    own overload with BUSY (refuse-don't-queue survives sharding)."""
+    with WorkerSupervisor(workers=2, max_sessions=2, mode="fdpass") as pool:
+        # round-robin: the two holders land on different workers, so
+        # both workers are at their single-slot cap
+        holders = [GCXClient(pool.host, pool.port) for _ in range(2)]
+        try:
+            for holder in holders:
+                holder.open(q1)
+            with GCXClient(pool.host, pool.port) as extra:
+                with pytest.raises(ServerBusyError):
+                    extra.open(q1)
+        finally:
+            for holder in holders:
+                holder.close()
+
+
+# ---------------------------------------------------------------------------
+# the client's bounded BUSY retry (off by default)
+# ---------------------------------------------------------------------------
+
+
+def test_busy_retry_defaults_off(q1):
+    with ServerThread(max_sessions=1) as handle:
+        with GCXClient(handle.host, handle.port) as holder:
+            holder.open(q1)
+            with GCXClient(handle.host, handle.port) as refused:
+                with pytest.raises(ServerBusyError):
+                    refused.open(q1)
+
+
+def test_busy_retry_succeeds_when_slot_frees(q1):
+    with ServerThread(max_sessions=1) as handle:
+        holder = GCXClient(handle.host, handle.port)
+        holder.open(q1)
+
+        opened = threading.Event()
+        errors: list[BaseException] = []
+
+        def retry_open() -> None:
+            try:
+                with GCXClient(
+                    handle.host,
+                    handle.port,
+                    busy_retries=8,
+                    busy_backoff=0.05,
+                ) as client:
+                    client.open(q1)
+                    opened.set()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=retry_open)
+        thread.start()
+        time.sleep(0.3)  # let at least one attempt hit BUSY
+        holder.finish()
+        holder.close()
+        thread.join(timeout=30)
+        assert not errors
+        assert opened.is_set(), "retrying client never got the freed slot"
+
+
+def test_busy_retry_bounded(q1):
+    """Retries are bounded: a persistently full server still ends in
+    ServerBusyError, after busy_retries + 1 attempts."""
+    with ServerThread(max_sessions=1) as handle:
+        with GCXClient(handle.host, handle.port) as holder:
+            holder.open(q1)
+            started = time.monotonic()
+            with GCXClient(
+                handle.host, handle.port, busy_retries=2, busy_backoff=0.01
+            ) as client:
+                with pytest.raises(ServerBusyError):
+                    client.open(q1)
+            # two backoffs happened (jittered 0.5x-1.5x of 10ms + 20ms)
+            assert time.monotonic() - started >= 0.01
+
+
+# ---------------------------------------------------------------------------
+# robustness: crash, restart, drain
+# ---------------------------------------------------------------------------
+
+
+def _worker_with_active_session(pool) -> int:
+    """PID of the worker holding the (single) active session, read
+    from the fleet snapshot."""
+    snapshot = pool.fleet_snapshot()
+    pids = [
+        snap["worker"]["pid"]
+        for snap in snapshot["per_worker"]
+        if snap.get("sessions", {}).get("active")
+    ]
+    assert len(pids) == 1, snapshot
+    return pids[0]
+
+
+def test_worker_crash_restarts_and_survivors_serve(q1, q1_expected):
+    doc = _module_doc()
+    with WorkerSupervisor(
+        workers=2, max_sessions=8, mode="fdpass", backoff_initial=0.05
+    ) as pool:
+        original_pids = set(pool.worker_pids())
+
+        # pin an in-flight session to a worker, then SIGKILL the worker
+        victim_client = GCXClient(pool.host, pool.port, timeout=30)
+        victim_client.open(q1)
+        victim_client.send_chunk(doc[:4096])
+        victim_pid = _worker_with_active_session(pool)
+        os.kill(victim_pid, signal.SIGKILL)
+
+        # the in-flight client fails with a connection error — never a
+        # hang (the 30s socket timeout above is the hang backstop)
+        with pytest.raises(OSError):
+            victim_client.finish()
+        victim_client.close()
+
+        # the survivor serves byte-identical results while the
+        # supervisor restarts the dead worker with backoff
+        with GCXClient(pool.host, pool.port, chunk_size=8192) as client:
+            assert client.run_query(q1, doc).output == q1_expected
+
+        _wait_until(
+            lambda: len(pool.worker_pids()) == 2
+            and victim_pid not in pool.worker_pids(),
+            timeout=15,
+            message="supervisor never restarted the killed worker",
+        )
+        assert pool.restarts >= 1
+        replacement = set(pool.worker_pids()) - original_pids
+        assert replacement, "restarted worker should have a fresh pid"
+
+        # the rebuilt fleet serves across both workers again
+        outputs = []
+        for _ in range(4):
+            with GCXClient(pool.host, pool.port, chunk_size=8192) as client:
+                outputs.append(client.run_query(q1, doc).output)
+        assert all(output == q1_expected for output in outputs)
+
+
+def test_worker_sigterm_drains_open_session_then_restarts(q1, q1_expected):
+    """SIGTERM to one worker is a graceful per-worker drain: its open
+    session runs to completion, then the supervisor replaces it."""
+    doc = _module_doc()
+    with WorkerSupervisor(
+        workers=2, max_sessions=8, mode="fdpass", backoff_initial=0.05
+    ) as pool:
+        client = GCXClient(pool.host, pool.port, timeout=60, chunk_size=8192)
+        client.open(q1)
+        client.send_chunk(doc[:4096])
+        victim_pid = _worker_with_active_session(pool)
+        os.kill(victim_pid, signal.SIGTERM)
+        time.sleep(0.2)  # let the drain begin before finishing input
+
+        for start in range(4096, len(doc), 8192):
+            client.send_chunk(doc[start : start + 8192])
+        outcome = client.finish()
+        client.close()
+        assert outcome.output == q1_expected
+
+        _wait_until(
+            lambda: len(pool.worker_pids()) == 2
+            and victim_pid not in pool.worker_pids(),
+            timeout=15,
+            message="supervisor never replaced the drained worker",
+        )
+
+
+def test_fleet_drain_finishes_open_sessions_refuses_new(q1, q1_expected):
+    doc = _module_doc()
+    pool = WorkerSupervisor(workers=2, max_sessions=8, mode="reuseport"
+                            if reuseport_available() else "fdpass")
+    pool.start()
+    try:
+        client = GCXClient(pool.host, pool.port, timeout=60, chunk_size=8192)
+        client.open(q1)
+        client.send_chunk(doc[:4096])
+
+        pool.begin_drain()
+
+        # new connections are refused once the listeners close...
+        def refused() -> bool:
+            try:
+                probe = socket.create_connection(
+                    (pool.host, pool.port), timeout=1
+                )
+            except OSError:
+                return True
+            probe.close()
+            return False
+
+        _wait_until(
+            refused, timeout=10, message="drained pool still accepting"
+        )
+
+        # ...but the open session runs to completion, byte-identical
+        for start in range(4096, len(doc), 8192):
+            client.send_chunk(doc[start : start + 8192])
+        outcome = client.finish()
+        client.close()
+        assert outcome.output == q1_expected
+    finally:
+        pool.stop()
+
+
+# ---------------------------------------------------------------------------
+# shared-nothing guard: the pool must never share engine state
+# ---------------------------------------------------------------------------
+
+
+def test_workers_module_imports_no_cross_process_state():
+    """workers.py supervises processes; it must never import the
+    multiplex or session layers (mutable per-process state) — each
+    worker builds its own engine stack.  CI greps for the same thing;
+    this test makes the guard locally runnable and AST-exact."""
+    source = (
+        pathlib.Path(__file__).parent.parent
+        / "src" / "repro" / "server" / "workers.py"
+    ).read_text(encoding="utf-8")
+    imported: set[str] = set()
+    for node in ast.walk(ast.parse(source)):
+        if isinstance(node, ast.Import):
+            imported.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            imported.add(node.module)
+    forbidden = [
+        name
+        for name in imported
+        if name.startswith(("repro.multiplex", "repro.core"))
+    ]
+    assert not forbidden, (
+        f"workers.py imports cross-process state: {forbidden}"
+    )
