@@ -106,6 +106,45 @@ def document(xmark_fig4):
     return xmark_fig4
 
 
+def _drain(source) -> int:
+    """Tokenize *source* to exhaustion through the event fast path."""
+    lexer = make_lexer(source)
+    sink: list = []
+    count = 0
+    while True:
+        got = lexer.tokens_into(sink)
+        if not got:
+            return count + len(sink)
+        count += len(sink)
+        sink.clear()
+
+
+def _drain_fused(data: bytes, live: dict) -> tuple[int, int]:
+    """Drain *data* through the fused batch scan (DESIGN.md §15):
+    ``project_into`` tokenizes until it commits a start tag outside
+    *live*, then ``skip_subtree`` consumes the dead subtree without
+    building events.  Returns ``(events, subtrees_skipped)``."""
+    lexer = make_lexer(data)
+    sink: list = []
+    count = 0
+    skipped = 0
+    while True:
+        got = lexer.project_into(sink, live)
+        if got == 0:
+            return count + len(sink), skipped
+        if got < 0:
+            lexer.skip_subtree()
+            skipped += 1
+        count += len(sink)
+        sink.clear()
+
+
+def _filled(unit: bytes, size: int) -> bytes:
+    """A well-formed document of roughly *size* bytes built from
+    repeating *unit* under one root."""
+    return b"<r>" + unit * max(1, (size - 7) // len(unit)) + b"</r>"
+
+
 def test_lexer_throughput(benchmark, document):
     def run():
         count = 0
@@ -188,6 +227,96 @@ def test_lexer_bytes_event_fast_path_throughput(benchmark, document):
         pass
     assert byte_sink == ref_sink
     _record_benchmark(benchmark, run, "lexer_bytes", len(data), 0)
+
+
+def test_lexer_bytes_fused_throughput(benchmark, document):
+    """The fused batch scan (DESIGN.md §15) at the lexer stage:
+    ``project_into`` with XMark Q1's live tag alphabet stops right
+    behind every start tag the plan's DFA could never match and
+    ``skip_subtree`` consumes the subtree without building one event
+    tuple.  XMark's dead forest is fine-grained (~780 subtrees of a
+    few hundred bytes each), so with the C scanner active each stop's
+    Python round trip costs about what the skipped bytes save and the
+    pair sits at parity; the pure-Python backend shows the fused win
+    directly (~1.1x), and the engine-level entries carry the tier's
+    real margin.  The CI gate holds the pair at a 0.85 floor while
+    the ``skipped`` assertion below pins that pruning actually
+    happened.  Both entries are recorded from one paired interleaved
+    loop (the same discipline as the codegen pairs), the plain side
+    replacing the sequentially-timed number of
+    ``test_lexer_bytes_event_fast_path_throughput``."""
+    data = document.encode("utf-8")
+    live = dict.fromkeys(("site", "people", "person", "name"))
+
+    def run_fused():
+        return _drain_fused(data, live)
+
+    def run_plain():
+        return _drain(data)
+
+    events, skipped = benchmark(run_fused)
+    assert events > 1_000
+    assert skipped > 100  # the alphabet must actually prune XMark
+    best_fused, best_plain = _paired_best(run_fused, run_plain)
+    _record("lexer_bytes_fused", best_fused, len(data), 0)
+    _record("lexer_bytes", best_plain, len(data), 0)
+
+
+def test_lexer_bytes_text_heavy(benchmark, document):
+    """Shape matrix, text-dominant feed: long entity-free character
+    runs between sparse tags — times the bulk text scan, where the
+    batch scanner's ``find``-to-the-next-``<`` jump shows most.
+    Recorded so scanner wins cannot overfit to XMark's markup mix."""
+    data = _filled(
+        b"<p>" + b"streaming xml projection pays for text scans " * 23 + b"</p>",
+        len(document),
+    )
+
+    def run():
+        return _drain(data)
+
+    events = benchmark(run)
+    assert events > 1_000
+    _record_benchmark(benchmark, run, "lexer_bytes_text_heavy", len(data), 0)
+
+
+def test_lexer_bytes_attr_heavy(benchmark, document):
+    """Shape matrix, attribute-dominant feed: most scanned bytes sit
+    inside quoted attribute values — times the quote-delimiter scan
+    and attribute assembly."""
+    data = _filled(
+        b'<e id="a0" cat="tools &amp; dies" href="http://example.com/x?a=1" '
+        b'rank="17" note="quoted values dominate this document shape"/>',
+        len(document),
+    )
+
+    def run():
+        return _drain(data)
+
+    events = benchmark(run)
+    assert events > 1_000
+    _record_benchmark(benchmark, run, "lexer_bytes_attr_heavy", len(data), 0)
+
+
+def test_lexer_bytes_deep_skip(benchmark, document):
+    """Shape matrix, skip-dominant feed: dead subtrees nested 24 deep
+    drained through the fused ``project_into``/``skip_subtree`` path —
+    times the depth-tracking skip scan, the routine XMark Q1 leans on
+    hardest."""
+    depth = 24
+    opens = b"".join(b"<d%d>" % i for i in range(depth))
+    closes = b"".join(b"</d%d>" % i for i in reversed(range(depth)))
+    unit = b"<live>x</live><dead>" + opens + b"deep data" + closes + b"</dead>"
+    data = _filled(unit, len(document))
+    live = dict.fromkeys(("r", "live"))
+
+    def run():
+        return _drain_fused(data, live)
+
+    events, skipped = benchmark(run)
+    assert events > 100
+    assert skipped >= (len(data) - 7) // len(unit)  # every <dead> skipped
+    _record_benchmark(benchmark, run, "lexer_bytes_deep_skip", len(data), 0)
 
 
 def test_projector_selective_path(benchmark, document):
@@ -356,10 +485,12 @@ def test_engine_q1_compiled_bytes_throughput(benchmark, document):
 
 
 def test_engine_q1_codegen_throughput(benchmark, document):
-    """The per-plan generated-code kernels (DESIGN.md §12): the same
-    bytes workload as ``engine_q1_compiled_bytes``, run through the
-    exec-compiled projector/evaluator specializations instead of the
-    table-driven interpreters they were generated from.  Byte-identical
+    """The per-plan generated-code kernels (DESIGN.md §12) at the
+    engine's default tier — which, for bytes input, now includes the
+    fused batch-scan lexer front-end of DESIGN.md §15: the same bytes
+    workload as ``engine_q1_compiled_bytes``, run through the
+    exec-compiled specializations instead of the table-driven
+    interpreters they were generated from.  Byte-identical
     output AND an identical buffering profile (watermark, token count)
     to the table tier — specialization must never change what is
     buffered, only how fast the loop dispatches.

@@ -17,10 +17,19 @@ consecutive rows approximate each layer's own cost:
 
 ``--kernel`` selects which kernel tier the projector/engine stages
 run: the table-driven interpreters (``tables``), the per-plan
-generated code of DESIGN.md §12 (``codegen``), or — the default —
-``both``, which emits one row per variant (``projector:tables`` next
-to ``projector:codegen``) so the generated kernels' margin is itself
-a per-stage attribution.
+generated code of DESIGN.md §12 with the per-event lexer pull
+(``codegen``), the fused batch-scan lexer front-end of DESIGN.md §15
+(``fused``), or — the default — ``both``, which emits one row per
+variant (``projector:tables`` next to ``projector:codegen`` and
+``projector:fused``) so each tier's margin is itself a per-stage
+attribution.
+
+A second table attributes the lexer's *own* cost per routine —
+markup dispatch, text scanning, entity resolution, and chunked-input
+refill — by draining same-size synthesized documents each dominated
+by exactly one routine, and reports which scanner backend ran
+(``repro.xmlio.cscan.status``: the compiled C batch scanner or the
+pure-Python fallback).
 
 Usage::
 
@@ -43,6 +52,7 @@ from repro.core.engine import GCXEngine
 from repro.core.projector import CompiledStreamProjector
 from repro.xmark.generator import generate_document
 from repro.xmark.queries import ADAPTED_QUERIES
+from repro.xmlio import cscan
 from repro.xmlio.lexer import make_lexer
 
 
@@ -58,6 +68,58 @@ def _drain_events(source):
         sink.clear()
 
 
+def _attribution_documents(size: int) -> list:
+    """Synthesized ~*size*-byte documents, each dominated by exactly
+    one lexer routine, so the routine's cost shows up as that row's
+    throughput (markup-heavy XMark sits between the extremes)."""
+
+    def fill(unit: bytes) -> bytes:
+        return b"<r>" + unit * max(1, (size - 7) // len(unit)) + b"</r>"
+
+    return [
+        # attr-less two-level elements with one-char text: nearly every
+        # scanned byte is a tag — times the markup dispatch
+        ("markup dispatch", fill(b"<a><b>x</b><c>y</c></a>")),
+        # long entity-free character runs: times the bulk text scan
+        (
+            "text scan",
+            fill(
+                b"<p>"
+                + b"streaming xml projection pays for text scans " * 23
+                + b"</p>"
+            ),
+        ),
+        # text dense with references: every run needs entity resolution
+        (
+            "entity resolution",
+            fill(b"<p>" + b"&amp;&lt;fish&gt;&#64;chips " * 37 + b"</p>"),
+        ),
+    ]
+
+
+def build_lexer_stages(size: int) -> list:
+    """Per-routine lexer rows: ``(name, document_bytes, callable)``.
+
+    The refill row drains the markup document through the chunked
+    (pull-mode) lexer; its delta against the whole-buffer markup row
+    is the per-refill bookkeeping the batch scanner must amortize.
+    """
+    stages = [
+        (name, doc, lambda doc=doc: _drain_events(doc))
+        for name, doc in _attribution_documents(size)
+    ]
+    markup = stages[0][1]
+    chunks = [markup[i : i + 4096] for i in range(0, len(markup), 4096)]
+    stages.append(
+        (
+            "refill (4 KiB chunks)",
+            markup,
+            lambda chunks=chunks: _drain_events(iter(chunks)),
+        )
+    )
+    return stages
+
+
 def build_stages(scale: float, query_key: str, kernel: str = "both"):
     """Return ``(document_bytes, [(stage, callable), ...])``.
 
@@ -67,14 +129,18 @@ def build_stages(scale: float, query_key: str, kernel: str = "both"):
     """
     document = generate_document(scale=scale, seed=42)
     data = document.encode("utf-8")
-    variants = ("tables", "codegen") if kernel == "both" else (kernel,)
+    variants = ("tables", "codegen", "fused") if kernel == "both" else (kernel,)
 
-    def projector_only(plan, use_codegen):
+    def projector_only(plan, variant):
         def run():
             buffer = Buffer()
             buffer.stats.record_series = False
             lexer = make_lexer(data)
-            if use_codegen:
+            if variant == "fused":
+                GeneratedStreamProjector(
+                    plan.kernels.lexer, lexer, plan.dfa, buffer
+                ).run_to_end()
+            elif variant == "codegen":
                 GeneratedStreamProjector(
                     plan.kernels.projector, lexer, plan.dfa, buffer
                 ).run_to_end()
@@ -92,17 +158,29 @@ def build_stages(scale: float, query_key: str, kernel: str = "both"):
         lambda name, _v: name
     )
     for variant in variants:
-        use_codegen = variant == "codegen"
-        engine = GCXEngine(record_series=False, codegen=use_codegen)
+        use_codegen = variant != "tables"
+        engine = GCXEngine(
+            record_series=False,
+            codegen=use_codegen,
+            fused_lexer=variant == "fused",
+        )
         plan = engine.compile(ADAPTED_QUERIES[query_key].text)
-        if use_codegen and (
+        if variant == "codegen" and (
             plan.kernels is None or plan.kernels.projector is None
         ):
             raise SystemExit(
                 f"query {query_key} has no generated projector kernel"
             )
+        if variant == "fused" and (
+            plan.kernels is None or plan.kernels.lexer is None
+        ):
+            if kernel == "fused":
+                raise SystemExit(
+                    f"query {query_key} has no fused lexer kernel"
+                )
+            continue  # plan declined fusion; skip the tier's rows
         stages.append(
-            (suffix("projector", variant), projector_only(plan, use_codegen))
+            (suffix("projector", variant), projector_only(plan, variant))
         )
         stages.append(
             (
@@ -135,9 +213,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--kernel",
         default="both",
-        choices=("tables", "codegen", "both"),
+        choices=("tables", "codegen", "fused", "both"),
         help="kernel tier for the projector/engine stages: the "
-        "table-driven interpreters, the generated per-plan code, or "
+        "table-driven interpreters, the generated per-plan code with "
+        "per-event lexing, the fused batch-scan lexer front-end, or "
         "one row per tier (default)",
     )
     parser.add_argument(
@@ -166,6 +245,23 @@ def main(argv=None) -> int:
             ["stage", "ms (best)", "MB/s", "delta ms vs previous"], rows
         )
     )
+
+    lexer_rows = []
+    for name, doc, fn in build_lexer_stages(len(data)):
+        seconds = time_stage(fn, args.repeat)
+        lexer_rows.append(
+            [
+                name,
+                f"{len(doc) / 1e6:.3f}",
+                f"{seconds * 1000:.1f}",
+                f"{len(doc) / 1e6 / seconds:.2f}",
+            ]
+        )
+    # cscan.status reflects what actually ran above: "active" for the
+    # compiled batch scanner, otherwise the reason the pure-Python
+    # fallback was used (no compiler, GCX_NO_CSCAN, self-test, ...)
+    print(f"\nlexer attribution (bytes scanner: {cscan.status}):")
+    print(format_table(["routine", "MB", "ms (best)", "MB/s"], lexer_rows))
 
     if args.cprofile:
         wanted = dict(stages)

@@ -32,6 +32,7 @@ class ProjectionOnlyEngine(GCXEngine):
         compiled: bool = True,
         compiled_eval: bool = True,
         codegen: bool = True,
+        fused_lexer: bool = True,
     ):
         super().__init__(
             gc_enabled=False,
@@ -41,4 +42,5 @@ class ProjectionOnlyEngine(GCXEngine):
             compiled=compiled,
             compiled_eval=compiled_eval,
             codegen=codegen,
+            fused_lexer=fused_lexer,
         )

@@ -4,7 +4,7 @@ profile buffer behaviour, generate workloads.
 Subcommands::
 
     gcx run QUERY.xq INPUT.xml [--engine gcx] [--stats] [--chunk-size N]
-            [--interpreted] [--no-codegen]
+            [--interpreted] [--no-codegen] [--no-fused-lexer]
     gcx multiplex INPUT.xml -q Q1.xq -q Q2.xq ... [--stats]
     gcx explain QUERY.xq
     gcx profile QUERY.xq INPUT.xml [--width 72] [--height 16]
@@ -79,19 +79,26 @@ _CLI_ERRORS = (
 )
 
 
-def _make_engine(name: str, interpreted: bool = False, codegen: bool = True):
+def _make_engine(
+    name: str,
+    interpreted: bool = False,
+    codegen: bool = True,
+    fused_lexer: bool = True,
+):
     """Build the chosen engine; *interpreted* selects the oracle pair
     ``compiled=False, compiled_eval=False`` (interpreting NFA projector
     + interpreting pull evaluator) on the GCX-family engines for A/B
     runs against the compiled kernels — it bypasses the generated-code
     kernels with them.  *codegen* = False keeps the compiled table
-    kernels but disables the per-plan generated code (DESIGN.md §12).
-    The DOM baseline has none of these tiers, so the flags are no-ops
-    there."""
+    kernels but disables the per-plan generated code (DESIGN.md §12);
+    *fused_lexer* = False keeps the generated kernels but feeds them
+    per-event instead of through the fused batch lexer front-end
+    (DESIGN.md §15).  The DOM baseline has none of these tiers, so the
+    flags are no-ops there."""
     toggles = (
         {"compiled": False, "compiled_eval": False}
         if interpreted
-        else {"codegen": codegen}
+        else {"codegen": codegen, "fused_lexer": fused_lexer}
     )
     if name == "gcx":
         return GCXEngine(**toggles)
@@ -131,7 +138,10 @@ def _evaluate(engine, query_text, input_path, chunk_size, output_stream=None):
 
 def _cmd_run(args) -> int:
     engine = _make_engine(
-        args.engine, interpreted=args.interpreted, codegen=args.codegen
+        args.engine,
+        interpreted=args.interpreted,
+        codegen=args.codegen,
+        fused_lexer=args.fused_lexer,
     )
     # GCX-family sessions emit results incrementally to stdout; the
     # DOM baseline has no streaming output, so its result is printed
@@ -370,6 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the compiled table kernels but disable the per-plan "
         "generated-code kernels, for A/B runs; output is byte-identical "
         "(--interpreted bypasses codegen implicitly)",
+    )
+    run.add_argument(
+        "--no-fused-lexer",
+        dest="fused_lexer",
+        action="store_false",
+        help="keep the generated kernels but feed the projector "
+        "per-event instead of through the fused batch lexer front-end, "
+        "for A/B runs; output is byte-identical",
     )
     run.add_argument(
         "--chunk-size",

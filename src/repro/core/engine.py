@@ -65,6 +65,12 @@ Ablation switches:
   sets it; ``--interpreted`` bypasses codegen implicitly (generated
   kernels specialize the *compiled* table kernels, so disabling those
   disables codegen with them).
+* ``fused_lexer=False`` — keep the per-event lexer pull under the
+  generated projector instead of the fused batch front-end (Kernel C,
+  DESIGN.md §15).  Byte-identical; ``gcx run --no-fused-lexer`` sets
+  it.  Only consulted where ``compiled`` and ``codegen`` already
+  selected the generated tier, and only effective for bytes sources
+  (the str lexer has no batch projection surface).
 """
 
 from __future__ import annotations
@@ -156,6 +162,7 @@ class GCXEngine:
         compiled: bool = True,
         compiled_eval: bool = True,
         codegen: bool = True,
+        fused_lexer: bool = True,
     ):
         self.gc_enabled = gc_enabled
         self.first_witness = first_witness
@@ -172,6 +179,12 @@ class GCXEngine:
         #: oracles).  Only consulted where ``compiled`` resp.
         #: ``compiled_eval`` already selected the compiled tier.
         self.codegen = codegen
+        #: feed the projector from the generated fused lexer front-end
+        #: (Kernel C) where the plan has one and the lexer supports
+        #: batch projection; False falls back to the per-event pull.
+        #: Only consulted where ``compiled`` and ``codegen`` already
+        #: selected the generated tier.
+        self.fused_lexer = fused_lexer
         #: LRU of compiled plans; pass a shared :class:`PlanCache` to
         #: let several engines reuse each other's compilations.
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
@@ -274,7 +287,19 @@ class GCXEngine:
         # concurrent runs share them.
         kernels = compiled.kernels if self.codegen else None
         if self.compiled and compiled.dfa is not None:
-            if kernels is not None and kernels.projector is not None:
+            if (
+                kernels is not None
+                and self.fused_lexer
+                and kernels.lexer is not None
+                and hasattr(lexer, "project_into")
+            ):
+                # deepest tier (bytes sources only: make_lexer returns
+                # the str lexer for str input, which has no batch
+                # projection surface)
+                projector = GeneratedStreamProjector(
+                    kernels.lexer, lexer, compiled.dfa, buffer, stats
+                )
+            elif kernels is not None and kernels.projector is not None:
                 projector = GeneratedStreamProjector(
                     kernels.projector, lexer, compiled.dfa, buffer, stats
                 )
@@ -360,6 +385,7 @@ class GCXEngine:
             compiled=self.compiled,
             compiled_eval=self.compiled_eval,
             codegen=self.codegen,
+            fused_lexer=self.fused_lexer,
             binary_output=binary_output,
             **kwargs,
         )

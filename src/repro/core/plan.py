@@ -356,6 +356,7 @@ class PlanCache:
             "plans": 0,
             "projector_kernels": 0,
             "evaluator_kernels": 0,
+            "lexer_kernels": 0,
             "source_chars": 0,
             "fallbacks": 0,
         }
@@ -367,6 +368,9 @@ class PlanCache:
             snapshot["plans"] += 1
             snapshot["projector_kernels"] += kernels.projector is not None
             snapshot["evaluator_kernels"] += kernels.evaluator is not None
+            snapshot["lexer_kernels"] += (
+                getattr(kernels, "lexer", None) is not None
+            )
             snapshot["source_chars"] += kernels.source_chars
         return snapshot
 

@@ -306,6 +306,7 @@ class StreamSession:
         compiled: bool = True,
         compiled_eval: bool = True,
         codegen: bool = True,
+        fused_lexer: bool = True,
         binary_output: bool = False,
     ):
         self.plan = plan
@@ -330,7 +331,19 @@ class StreamSession:
         # session discovering a tag makes it a dict lookup for all.
         kernels = plan.kernels if codegen else None
         if compiled and plan.dfa is not None:
-            if kernels is not None and kernels.projector is not None:
+            if (
+                kernels is not None
+                and fused_lexer
+                and kernels.lexer is not None
+            ):
+                # deepest tier: the fused lexer front-end batch-feeds
+                # the generated dispatch, bulk-skipping dead subtrees
+                # before they are ever tokenized
+                self._projector = GeneratedStreamProjector(
+                    kernels.lexer, self._lexer, plan.dfa,
+                    self._buffer, self._stats,
+                )
+            elif kernels is not None and kernels.projector is not None:
                 self._projector = GeneratedStreamProjector(
                     kernels.projector, self._lexer, plan.dfa,
                     self._buffer, self._stats,

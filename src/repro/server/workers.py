@@ -21,9 +21,15 @@ Two ways to share one listen port:
   across worker restarts.
 * ``fdpass`` (the fallback): the supervisor owns the only listening
   socket, accepts in a small thread, and hands each accepted
-  connection to a worker round-robin over that worker's Unix-domain
-  *fd channel* (``socket.send_fds`` / ``recv_fds``).  Round-robin
-  placement is deterministic, which the crash tests exploit.
+  connection over the Unix-domain *fd channel* (``socket.send_fds`` /
+  ``recv_fds``) of the **least-loaded** worker — the one with the
+  fewest adopted connections still open, ties broken by the lowest
+  worker index.  Workers report each closed adopted connection with
+  one byte back on their fd channel, which the acceptor drains before
+  every placement, so a worker stuck with long-running sessions stops
+  attracting new ones (the ROADMAP pool-placement note).  With no
+  closes in flight the order is exactly round-robin, so placement
+  stays deterministic, which the crash tests exploit.
 
 The **control channel** is one Unix socket the supervisor listens on;
 line-delimited JSON messages, three conversation kinds:
@@ -191,7 +197,7 @@ def _receive_fds(config: WorkerConfig, server, loop, stop_serving) -> None:
                 future = None
                 with contextlib.suppress(RuntimeError):  # loop closing
                     future = loop.call_soon_threadsafe(
-                        _adopt_in_loop, server, conn
+                        _adopt_in_loop, server, conn, channel
                     )
                 if future is None:
                     conn.close()
@@ -199,11 +205,22 @@ def _receive_fds(config: WorkerConfig, server, loop, stop_serving) -> None:
         channel.close()
 
 
-def _adopt_in_loop(server, conn) -> None:
+def _adopt_in_loop(server, conn, channel=None) -> None:
     import asyncio
 
     task = asyncio.ensure_future(server.adopt_connection(conn))
-    task.add_done_callback(_consume_task_error)
+
+    def finished(task) -> None:
+        _consume_task_error(task)
+        if channel is not None:
+            # one byte per closed connection: the supervisor's
+            # least-loaded acceptor decrements this worker's load
+            # count (channel gone on drain — the pool is stopping and
+            # nobody is counting anymore)
+            with contextlib.suppress(OSError):
+                channel.send(b"c")
+
+    task.add_done_callback(finished)
 
 
 async def _serve_control(reader, writer, server, config, request_stop) -> None:
@@ -414,6 +431,10 @@ class WorkerSupervisor:
         self._registered = threading.Condition(self._lock)
         self._links: dict[int, _Link] = {}
         self._fd_channels: dict[int, socket.socket] = {}
+        #: fdpass mode: adopted connections still open per worker
+        #: index — incremented on every fd handed off, decremented by
+        #: the close notes the worker sends back on its fd channel
+        self._adopted: dict[int, int] = {}
         self._procs: list = [None] * self.workers
         self._spawn_times = [0.0] * self.workers
         self._fail_counts = [0] * self.workers
@@ -666,6 +687,9 @@ class WorkerSupervisor:
                 with self._registered:
                     old_chan = self._fd_channels.get(message["worker"])
                     self._fd_channels[message["worker"]] = conn
+                    # a fresh channel means a fresh worker process:
+                    # whatever it had adopted died with its predecessor
+                    self._adopted[message["worker"]] = 0
                     self._registered.notify_all()
                 if old_chan is not None:
                     with contextlib.suppress(OSError):
@@ -676,11 +700,40 @@ class WorkerSupervisor:
             with contextlib.suppress(OSError):
                 conn.close()
 
+    def _drain_close_notes(self) -> None:
+        """Caller holds the lock.  Consume the workers' one-byte
+        connection-closed notes so the load counts reflect connections
+        still *open*, not connections ever assigned."""
+        for index, channel in list(self._fd_channels.items()):
+            while True:
+                try:
+                    notes = channel.recv(4096, socket.MSG_DONTWAIT)
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError:
+                    break  # dying channel; the send path reaps it
+                if not notes:
+                    break  # EOF: likewise the send path's problem
+                self._adopted[index] = max(
+                    0, self._adopted.get(index, 0) - len(notes)
+                )
+
+    def adopted_counts(self) -> dict[int, int]:
+        """fdpass mode: open adopted connections per worker index, as
+        the least-loaded acceptor sees them (close notes drained)."""
+        with self._lock:
+            self._drain_close_notes()
+            return {
+                index: self._adopted.get(index, 0)
+                for index in self._fd_channels
+            }
+
     def _acceptor_loop(self) -> None:
-        """The ``fdpass`` acceptor: accept and hand off, round-robin
-        over the live fd channels; a dead channel is dropped and the
-        connection retried on the next sibling."""
-        rotation = 0
+        """The ``fdpass`` acceptor: accept and hand off to the live fd
+        channel with the fewest adopted connections still open (ties
+        broken by lowest worker index, so placement is deterministic);
+        a dead channel is dropped and the connection retried on the
+        next least-loaded sibling."""
         while True:
             try:
                 conn, _addr = self._fd_listener.accept()
@@ -692,21 +745,27 @@ class WorkerSupervisor:
                 return
             with conn:
                 with self._lock:
-                    channels = sorted(self._fd_channels.items())
-                if channels:
-                    pivot = rotation % len(channels)
-                    rotation += 1
-                    ordered = channels[pivot:] + channels[:pivot]
-                    for index, channel in ordered:
-                        try:
-                            socket.send_fds(channel, [b"f"], [conn.fileno()])
-                            break
-                        except OSError:
-                            with self._lock:
-                                if self._fd_channels.get(index) is channel:
-                                    del self._fd_channels[index]
-                            with contextlib.suppress(OSError):
-                                channel.close()
+                    self._drain_close_notes()
+                    ordered = sorted(
+                        self._fd_channels.items(),
+                        key=lambda item: (
+                            self._adopted.get(item[0], 0),
+                            item[0],
+                        ),
+                    )
+                for index, channel in ordered:
+                    try:
+                        socket.send_fds(channel, [b"f"], [conn.fileno()])
+                    except OSError:
+                        with self._lock:
+                            if self._fd_channels.get(index) is channel:
+                                del self._fd_channels[index]
+                        with contextlib.suppress(OSError):
+                            channel.close()
+                        continue
+                    with self._lock:
+                        self._adopted[index] = self._adopted.get(index, 0) + 1
+                    break
                 # No live channel: the with-block closes the socket —
                 # the client sees a reset, exactly like total overload.
 
@@ -729,6 +788,7 @@ class WorkerSupervisor:
                     self._procs[index] = None
                     link = self._links.pop(index, None)
                     channel = self._fd_channels.pop(index, None)
+                    self._adopted.pop(index, None)
                     lived = time.monotonic() - self._spawn_times[index]
                 if link is not None:
                     link.close()

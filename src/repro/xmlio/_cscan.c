@@ -1,0 +1,713 @@
+/* _cscan.c — optional C batch scanner behind the bytes-domain lexer.
+ *
+ * Compiled on first use by repro.xmlio.cscan (plain `cc -O2 -shared`,
+ * no build system, no new dependency); every environment without a C
+ * toolchain silently keeps the pure-Python batch loops.
+ *
+ * Contract (DESIGN.md section 15): each function is a drop-in
+ * replacement for the batch *middle loop* of ByteXmlLexer.tokens_into
+ * / skip_subtree.  It consumes as many common constructs as possible —
+ * start/end/self-closing tags with already-interned names, with or
+ * without attributes, and classifiable text runs — and returns
+ * (pos, count) the moment it meets anything rare: entity references,
+ * comments / CDATA / PI / DOCTYPE, Unicode or exotic-ASCII
+ * whitespace, a first-sight name, a whitespace-bearing or mismatched
+ * end tag, duplicate attributes, the event limit, or a construct cut
+ * off by the end of the buffer.  The Python caller then advances by
+ * exactly one construct through the oracle-exact careful machinery
+ * (next_event / _skip_once or the regex fast path) and re-enters.
+ * The scanner therefore never commits a construct the pure-Python
+ * loops would not commit, never partially commits anything (every
+ * bail check runs before the first append/push), and never touches
+ * the restart state — chunk-split safety and error fidelity live
+ * entirely on the Python side.
+ *
+ * Shared state: the caller passes the lexer's own decode-once caches
+ * (raw name bytes -> interned str / event tuples).  A dict miss is a
+ * bail, so the Python side stays the only place names are validated,
+ * decoded and interned; the C side only ever *reuses* what it was
+ * handed, keeping cached event tuples identical (by identity, not
+ * just equality) to what the Python loops emit.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <string.h>
+
+/* ASCII name tables mirroring lexer.py's _NAME_RE_SRC:
+ * start = [A-Za-z_:], continuation adds [0-9.-].  Anything outside
+ * bails to Python, so a stricter table can only cost speed, never
+ * correctness. */
+static unsigned char name_start_tbl[256];
+static unsigned char name_char_tbl[256];
+
+static PyObject *start_kind; /* int 0 == EVENT_START */
+static PyObject *text_kind;  /* int 2 == EVENT_TEXT  */
+
+#define IS_XML_WS(t) ((t) == ' ' || (t) == '\t' || (t) == '\r' || (t) == '\n')
+
+static void
+init_tables(void)
+{
+    int i;
+    memset(name_start_tbl, 0, sizeof(name_start_tbl));
+    memset(name_char_tbl, 0, sizeof(name_char_tbl));
+    for (i = 'A'; i <= 'Z'; i++)
+        name_start_tbl[i] = name_char_tbl[i] = 1;
+    for (i = 'a'; i <= 'z'; i++)
+        name_start_tbl[i] = name_char_tbl[i] = 1;
+    name_start_tbl['_'] = name_char_tbl['_'] = 1;
+    name_start_tbl[':'] = name_char_tbl[':'] = 1;
+    for (i = '0'; i <= '9'; i++)
+        name_char_tbl[i] = 1;
+    name_char_tbl['.'] = 1;
+    name_char_tbl['-'] = 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* attribute-list structural parse                                     */
+/* ------------------------------------------------------------------ */
+
+#define MAX_CATTRS 8
+
+typedef struct {
+    Py_ssize_t name_off;
+    Py_ssize_t name_len;
+    Py_ssize_t val_off;
+    Py_ssize_t val_len;
+} attr_span;
+
+/* Parse `(ws+ name ws* = ws* quoted-value)* ws* /? >` starting at *q*
+ * (the first byte after the tag name) — the exact grammar of
+ * START_TAG_SRC.  On success returns the position just past the
+ * closing '>' and fills spans/nattrs/selfclosing; returns -1 to bail
+ * (malformed, truncated, duplicate attribute names, or more than
+ * MAX_CATTRS attributes), leaving classification and error reporting
+ * to Python. */
+static Py_ssize_t
+parse_attrs(const unsigned char *b, Py_ssize_t q, Py_ssize_t size,
+            attr_span *spans, int *nattrs, int *selfclosing)
+{
+    int n = 0;
+    int i, j;
+    for (;;) {
+        Py_ssize_t ws = q;
+        while (q < size && IS_XML_WS(b[q]))
+            q++;
+        if (q >= size)
+            return -1; /* truncated: starve */
+        if (b[q] == '>') {
+            *selfclosing = 0;
+            break;
+        }
+        if (b[q] == '/') {
+            if (q + 1 >= size || b[q + 1] != '>')
+                return -1;
+            *selfclosing = 1;
+            q++;
+            break;
+        }
+        if (q == ws || n >= MAX_CATTRS || !name_start_tbl[b[q]])
+            return -1;
+        spans[n].name_off = q;
+        q++;
+        while (q < size && name_char_tbl[b[q]])
+            q++;
+        spans[n].name_len = q - spans[n].name_off;
+        while (q < size && IS_XML_WS(b[q]))
+            q++;
+        if (q >= size || b[q] != '=')
+            return -1;
+        q++;
+        while (q < size && IS_XML_WS(b[q]))
+            q++;
+        if (q >= size)
+            return -1;
+        {
+            unsigned char quote = b[q];
+            const unsigned char *close;
+            if (quote != '"' && quote != '\'')
+                return -1;
+            q++;
+            close = memchr(b + q, quote, (size_t)(size - q));
+            if (close == NULL)
+                return -1; /* unterminated value: starve */
+            spans[n].val_off = q;
+            spans[n].val_len = (close - b) - q;
+            q = (close - b) + 1;
+            n++;
+        }
+    }
+    /* duplicate attribute names raise in Python with the exact
+     * message — a structural byte compare is enough to detect them */
+    for (i = 1; i < n; i++)
+        for (j = 0; j < i; j++)
+            if (spans[i].name_len == spans[j].name_len
+                && memcmp(b + spans[i].name_off, b + spans[j].name_off,
+                          (size_t)spans[i].name_len) == 0)
+                return -1;
+    *nattrs = n;
+    return q + 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* tokens(buf, pos, sink, count, limit, names, start_events,
+ *        name_bytes, end_events, tags, keep_ws, sig_table[, live])
+ *     -> (pos, count)
+ *
+ * The batch middle loop of tokens_into.  Preconditions enforced by
+ * the caller: pending_end is None, resume == 0, tags is non-empty.
+ *
+ * The optional 13th argument *live* (a dict or None) is the fused
+ * projection alphabet (project_into): when a committed start event is
+ * non-self-closing and its name is not a key of *live*, the scan
+ * stops right behind that start tag so the caller can bulk-skip the
+ * subtree.  The dead start IS committed first — the Python wrapper
+ * detects it as the last appended event.
+ */
+static PyObject *
+cscan_tokens(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 12 && nargs != 13) {
+        PyErr_SetString(PyExc_TypeError,
+                        "tokens() expects 12 or 13 arguments");
+        return NULL;
+    }
+    PyObject *live = (nargs == 13) ? args[12] : Py_None;
+    if (live != Py_None && !PyDict_Check(live)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "tokens(): live must be a dict or None");
+        return NULL;
+    }
+    PyObject *bufobj = args[0];
+    PyObject *sink = args[2];
+    PyObject *names = args[5];
+    PyObject *start_events = args[6];
+    PyObject *name_bytes = args[7];
+    PyObject *end_events = args[8];
+    PyObject *tags = args[9];
+    PyObject *sigobj = args[11];
+    if (!PyBytes_Check(bufobj) || !PyList_Check(sink)
+        || !PyDict_Check(names) || !PyDict_Check(start_events)
+        || !PyDict_Check(name_bytes) || !PyDict_Check(end_events)
+        || !PyList_Check(tags) || !PyBytes_Check(sigobj)
+        || PyBytes_GET_SIZE(sigobj) < 128) {
+        PyErr_SetString(PyExc_TypeError, "tokens(): bad argument types");
+        return NULL;
+    }
+    Py_ssize_t pos = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t count = PyLong_AsSsize_t(args[3]);
+    Py_ssize_t limit = PyLong_AsSsize_t(args[4]);
+    int keep_ws = PyObject_IsTrue(args[10]);
+    if (keep_ws < 0 || (pos == -1 && PyErr_Occurred()))
+        return NULL;
+
+    const unsigned char *b = (const unsigned char *)PyBytes_AS_STRING(bufobj);
+    Py_ssize_t size = PyBytes_GET_SIZE(bufobj);
+    const unsigned char *sig = (const unsigned char *)PyBytes_AS_STRING(sigobj);
+
+    while (count < limit && pos < size) {
+        unsigned char c = b[pos];
+        if (c != '<') {
+            /* text run up to the next markup */
+            const unsigned char *hit =
+                memchr(b + pos, '<', (size_t)(size - pos));
+            if (hit == NULL)
+                break; /* runs to buffer end: starve/EOF bookkeeping */
+            Py_ssize_t end = hit - b;
+            /* first byte that is not XML whitespace */
+            Py_ssize_t i = pos;
+            while (i < end && IS_XML_WS(b[i]))
+                i++;
+            if (i == end && !keep_ws) { /* insignificant: drop */
+                pos = end;
+                continue;
+            }
+            if (i < end) {
+                unsigned char fb = b[i];
+                if (fb >= 0x80 || !sig[fb])
+                    break; /* Unicode/exotic-ws significance: oracle */
+                if (memchr(b + pos, '&', (size_t)(end - pos)) != NULL)
+                    break; /* entity resolution: oracle */
+            }
+            {
+                PyObject *txt = PyUnicode_DecodeUTF8(
+                    (const char *)(b + pos), end - pos, NULL);
+                if (txt == NULL) {
+                    /* oracle reproduces the exact decode error */
+                    PyErr_Clear();
+                    break;
+                }
+                PyObject *ev =
+                    PyTuple_Pack(4, text_kind, Py_None, Py_None, txt);
+                Py_DECREF(txt);
+                if (ev == NULL)
+                    return NULL;
+                int rc = PyList_Append(sink, ev);
+                Py_DECREF(ev);
+                if (rc < 0)
+                    return NULL;
+                count++;
+            }
+            pos = end;
+            continue;
+        }
+        if (pos + 1 >= size)
+            break; /* lone "<" at buffer end */
+        unsigned char c1 = b[pos + 1];
+        if (c1 == '/') {
+            /* end tag: exactly "</" + the bytes of the tag that must
+             * close + ">" — one str-keyed dict hit and a memcmp, like
+             * the Python fast path; whitespace variants, mismatches
+             * and raw-bytes stack entries bail */
+            Py_ssize_t ntags = PyList_GET_SIZE(tags);
+            PyObject *top = PyList_GET_ITEM(tags, ntags - 1);
+            PyObject *eb;
+            Py_ssize_t expn;
+            if (!PyUnicode_Check(top))
+                break;
+            eb = PyDict_GetItemWithError(name_bytes, top);
+            if (eb == NULL) {
+                if (PyErr_Occurred())
+                    return NULL;
+                break;
+            }
+            expn = PyBytes_GET_SIZE(eb);
+            if (pos + 2 + expn >= size)
+                break; /* truncated: starve */
+            if (memcmp(b + pos + 2, PyBytes_AS_STRING(eb), (size_t)expn)
+                    != 0
+                || b[pos + 2 + expn] != '>')
+                break; /* ws variant or mismatch: Python decides */
+            {
+                PyObject *event =
+                    PyDict_GetItemWithError(end_events, top);
+                if (event == NULL) {
+                    if (PyErr_Occurred())
+                        return NULL;
+                    break;
+                }
+                if (PyList_SetSlice(tags, ntags - 1, ntags, NULL) < 0)
+                    return NULL;
+                if (PyList_Append(sink, event) < 0)
+                    return NULL;
+            }
+            count++;
+            pos = pos + 3 + expn;
+            if (PyList_GET_SIZE(tags) == 0)
+                break; /* root closed: EOF/trailing bookkeeping */
+            continue;
+        }
+        if (!name_start_tbl[c1])
+            break; /* comment/CDATA/PI/DOCTYPE/malformed: oracle */
+        {
+            Py_ssize_t q = pos + 2;
+            while (q < size && name_char_tbl[b[q]])
+                q++;
+            if (q >= size)
+                break; /* truncated tag: starve */
+            if (b[q] == '>') {
+                /* attribute-less start tag */
+                PyObject *key = PyBytes_FromStringAndSize(
+                    (const char *)(b + pos + 1), q - pos - 1);
+                if (key == NULL)
+                    return NULL;
+                PyObject *event =
+                    PyDict_GetItemWithError(start_events, key);
+                Py_DECREF(key);
+                if (event == NULL) {
+                    if (PyErr_Occurred())
+                        return NULL;
+                    break; /* first sight */
+                }
+                if (PyList_Append(sink, event) < 0)
+                    return NULL;
+                count++;
+                if (PyList_Append(tags, PyTuple_GET_ITEM(event, 1)) < 0)
+                    return NULL;
+                pos = q + 1;
+                if (live != Py_None) {
+                    int in_live = PyDict_Contains(
+                        live, PyTuple_GET_ITEM(event, 1));
+                    if (in_live < 0)
+                        return NULL;
+                    if (!in_live)
+                        break; /* dead start: caller bulk-skips */
+                }
+                continue;
+            }
+            if (b[q] == '/' && q + 1 < size && b[q + 1] == '>') {
+                /* attribute-less self-closing tag: committed only when
+                 * both events fit under the limit, so the pending-end
+                 * split stays a Python-side concern */
+                if (count + 2 > limit)
+                    break;
+                PyObject *key = PyBytes_FromStringAndSize(
+                    (const char *)(b + pos + 1), q - pos - 1);
+                if (key == NULL)
+                    return NULL;
+                PyObject *event =
+                    PyDict_GetItemWithError(start_events, key);
+                Py_DECREF(key);
+                if (event == NULL) {
+                    if (PyErr_Occurred())
+                        return NULL;
+                    break;
+                }
+                PyObject *eev = PyDict_GetItemWithError(
+                    end_events, PyTuple_GET_ITEM(event, 1));
+                if (eev == NULL) {
+                    if (PyErr_Occurred())
+                        return NULL;
+                    break;
+                }
+                if (PyList_Append(sink, event) < 0)
+                    return NULL;
+                if (PyList_Append(sink, eev) < 0)
+                    return NULL;
+                count += 2;
+                pos = q + 2;
+                continue;
+            }
+            if (IS_XML_WS(b[q])) {
+                /* start tag with attributes: structural parse, then
+                 * every bail check (known tag and attr names, no
+                 * entities, clean value decode, limit room) runs
+                 * before the first append — no partial commits */
+                attr_span spans[MAX_CATTRS];
+                int na = 0, sc = 0, ai = 0, bail = 0, bi;
+                PyObject *pairs[MAX_CATTRS];
+                PyObject *sev, *name, *eev = NULL, *ev;
+                Py_ssize_t tend =
+                    parse_attrs(b, q, size, spans, &na, &sc);
+                if (tend < 0)
+                    break;
+                if (sc && count + 2 > limit)
+                    break;
+                {
+                    PyObject *key = PyBytes_FromStringAndSize(
+                        (const char *)(b + pos + 1), q - pos - 1);
+                    if (key == NULL)
+                        return NULL;
+                    sev = PyDict_GetItemWithError(start_events, key);
+                    Py_DECREF(key);
+                }
+                if (sev == NULL) {
+                    if (PyErr_Occurred())
+                        return NULL;
+                    break; /* first sight: Python interns */
+                }
+                name = PyTuple_GET_ITEM(sev, 1);
+                if (sc) {
+                    eev = PyDict_GetItemWithError(end_events, name);
+                    if (eev == NULL) {
+                        if (PyErr_Occurred())
+                            return NULL;
+                        break;
+                    }
+                }
+                for (ai = 0; ai < na; ai++) {
+                    PyObject *akey, *aname, *aval;
+                    if (memchr(b + spans[ai].val_off, '&',
+                               (size_t)spans[ai].val_len) != NULL) {
+                        bail = 1; /* entity in value: oracle resolves */
+                        break;
+                    }
+                    akey = PyBytes_FromStringAndSize(
+                        (const char *)(b + spans[ai].name_off),
+                        spans[ai].name_len);
+                    if (akey == NULL)
+                        goto attr_fail;
+                    aname = PyDict_GetItemWithError(names, akey);
+                    Py_DECREF(akey);
+                    if (aname == NULL) {
+                        if (PyErr_Occurred())
+                            goto attr_fail;
+                        bail = 1; /* first-sight attr name */
+                        break;
+                    }
+                    aval = PyUnicode_DecodeUTF8(
+                        (const char *)(b + spans[ai].val_off),
+                        spans[ai].val_len, NULL);
+                    if (aval == NULL) {
+                        if (!PyErr_ExceptionMatches(
+                                PyExc_UnicodeDecodeError))
+                            goto attr_fail;
+                        PyErr_Clear();
+                        bail = 1; /* oracle reports the byte position */
+                        break;
+                    }
+                    pairs[ai] = PyTuple_Pack(2, aname, aval);
+                    Py_DECREF(aval);
+                    if (pairs[ai] == NULL)
+                        goto attr_fail;
+                }
+                if (bail) {
+                    for (bi = 0; bi < ai; bi++)
+                        Py_DECREF(pairs[bi]);
+                    break; /* whole tag handed to Python */
+                }
+                if (na == 0) {
+                    /* "<name >" — attrs is None; the cached per-name
+                     * event tuple is exactly that event */
+                    ev = sev;
+                    Py_INCREF(ev);
+                } else {
+                    PyObject *attrs = PyTuple_New(na);
+                    if (attrs == NULL)
+                        goto attr_fail;
+                    for (bi = 0; bi < na; bi++)
+                        PyTuple_SET_ITEM(attrs, bi, pairs[bi]);
+                    ev = PyTuple_Pack(4, start_kind, name, attrs,
+                                      Py_None);
+                    Py_DECREF(attrs);
+                    if (ev == NULL)
+                        return NULL;
+                }
+                {
+                    int rc = PyList_Append(sink, ev);
+                    Py_DECREF(ev);
+                    if (rc < 0)
+                        return NULL;
+                }
+                count++;
+                if (sc) {
+                    if (PyList_Append(sink, eev) < 0)
+                        return NULL;
+                    count++;
+                } else {
+                    if (PyList_Append(tags, name) < 0)
+                        return NULL;
+                }
+                pos = tend;
+                if (!sc && live != Py_None) {
+                    int in_live = PyDict_Contains(live, name);
+                    if (in_live < 0)
+                        return NULL;
+                    if (!in_live)
+                        break; /* dead start: caller bulk-skips */
+                }
+                continue;
+            attr_fail:
+                for (bi = 0; bi < ai; bi++)
+                    Py_DECREF(pairs[bi]);
+                return NULL;
+            }
+            break; /* malformed tag tail: oracle */
+        }
+    }
+    return Py_BuildValue("(nn)", pos, count);
+}
+
+/* ------------------------------------------------------------------ */
+/* skip(buf, pos, names, name_bytes, tags, target, keep_ws, sig_table)
+ *     -> (pos, count)
+ *
+ * The batch middle loop of skip_subtree: fast-forward through known
+ * constructs, counting significant tokens, popping/pushing tags until
+ * the stack is back at *target* depth.  Pushes the interned str names
+ * (the dict values), so no normalization pass is needed afterwards.
+ * Attribute lists are validated structurally (quoting, duplicates,
+ * entity-freedom) but values are never decoded — exactly the skip
+ * path's documented contract.
+ */
+static PyObject *
+cscan_skip(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 8) {
+        PyErr_SetString(PyExc_TypeError, "skip() expects 8 arguments");
+        return NULL;
+    }
+    PyObject *bufobj = args[0];
+    PyObject *names = args[2];
+    PyObject *name_bytes = args[3];
+    PyObject *tags = args[4];
+    PyObject *sigobj = args[7];
+    if (!PyBytes_Check(bufobj) || !PyDict_Check(names)
+        || !PyDict_Check(name_bytes) || !PyList_Check(tags)
+        || !PyBytes_Check(sigobj) || PyBytes_GET_SIZE(sigobj) < 128) {
+        PyErr_SetString(PyExc_TypeError, "skip(): bad argument types");
+        return NULL;
+    }
+    Py_ssize_t pos = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t target = PyLong_AsSsize_t(args[5]);
+    int keep_ws = PyObject_IsTrue(args[6]);
+    if (keep_ws < 0 || (pos == -1 && PyErr_Occurred()))
+        return NULL;
+
+    const unsigned char *b = (const unsigned char *)PyBytes_AS_STRING(bufobj);
+    Py_ssize_t size = PyBytes_GET_SIZE(bufobj);
+    const unsigned char *sig = (const unsigned char *)PyBytes_AS_STRING(sigobj);
+    Py_ssize_t count = 0;
+
+    while (PyList_GET_SIZE(tags) > target && pos < size) {
+        unsigned char c = b[pos];
+        if (c != '<') {
+            const unsigned char *hit =
+                memchr(b + pos, '<', (size_t)(size - pos));
+            if (hit == NULL)
+                break; /* starve/EOF: Python decides */
+            Py_ssize_t end = hit - b;
+            Py_ssize_t i = pos;
+            while (i < end && IS_XML_WS(b[i]))
+                i++;
+            if (i == end) { /* pure XML whitespace */
+                if (keep_ws)
+                    count++;
+                pos = end;
+                continue;
+            }
+            {
+                unsigned char fb = b[i];
+                if (fb >= 0x80 || !sig[fb])
+                    break; /* oracle classifies significance */
+                if (memchr(b + pos, '&', (size_t)(end - pos)) != NULL)
+                    break; /* entities validated by the oracle */
+            }
+            count++; /* significant without decode, like the fast path */
+            pos = end;
+            continue;
+        }
+        if (pos + 1 >= size)
+            break;
+        {
+            unsigned char c1 = b[pos + 1];
+            if (c1 == '/') {
+                /* compare the span against the tag that must close;
+                 * stack entries are interned str (or raw bytes pushed
+                 * by the pure-Python fallback loop) */
+                PyObject *expected =
+                    PyList_GET_ITEM(tags, PyList_GET_SIZE(tags) - 1);
+                const char *expb;
+                Py_ssize_t expn;
+                Py_ssize_t ntags;
+                if (PyBytes_Check(expected)) {
+                    expb = PyBytes_AS_STRING(expected);
+                    expn = PyBytes_GET_SIZE(expected);
+                } else {
+                    PyObject *eb =
+                        PyDict_GetItemWithError(name_bytes, expected);
+                    if (eb == NULL) {
+                        if (PyErr_Occurred())
+                            return NULL;
+                        break; /* unknown stack entry: oracle */
+                    }
+                    expb = PyBytes_AS_STRING(eb);
+                    expn = PyBytes_GET_SIZE(eb);
+                }
+                if (pos + 2 + expn >= size)
+                    break; /* truncated: starve */
+                if (memcmp(b + pos + 2, expb, (size_t)expn) != 0
+                    || b[pos + 2 + expn] != '>')
+                    break; /* ws variant or mismatch: Python decides */
+                ntags = PyList_GET_SIZE(tags);
+                if (PyList_SetSlice(tags, ntags - 1, ntags, NULL) < 0)
+                    return NULL;
+                count++;
+                pos = pos + 3 + expn;
+                continue;
+            }
+            if (!name_start_tbl[c1])
+                break;
+        }
+        {
+            Py_ssize_t q = pos + 2;
+            while (q < size && name_char_tbl[b[q]])
+                q++;
+            if (q >= size)
+                break;
+            if (b[q] == '>'
+                || (b[q] == '/' && q + 1 < size && b[q + 1] == '>')) {
+                /* attribute-less start / self-closing tag */
+                int sc = (b[q] != '>');
+                PyObject *key = PyBytes_FromStringAndSize(
+                    (const char *)(b + pos + 1), q - pos - 1);
+                if (key == NULL)
+                    return NULL;
+                PyObject *name = PyDict_GetItemWithError(names, key);
+                Py_DECREF(key);
+                if (name == NULL) {
+                    if (PyErr_Occurred())
+                        return NULL;
+                    break; /* first sight: Python interns */
+                }
+                if (sc) {
+                    count += 2;
+                    pos = q + 2;
+                } else {
+                    if (PyList_Append(tags, name) < 0)
+                        return NULL;
+                    count++;
+                    pos = q + 1;
+                }
+                continue;
+            }
+            if (IS_XML_WS(b[q])) {
+                attr_span spans[MAX_CATTRS];
+                int na = 0, sc = 0, ai;
+                Py_ssize_t tend =
+                    parse_attrs(b, q, size, spans, &na, &sc);
+                if (tend < 0)
+                    break;
+                for (ai = 0; ai < na; ai++)
+                    if (memchr(b + spans[ai].val_off, '&',
+                               (size_t)spans[ai].val_len) != NULL)
+                        break;
+                if (ai < na)
+                    break; /* entity in a value: oracle validates */
+                {
+                    PyObject *key = PyBytes_FromStringAndSize(
+                        (const char *)(b + pos + 1), q - pos - 1);
+                    if (key == NULL)
+                        return NULL;
+                    PyObject *name =
+                        PyDict_GetItemWithError(names, key);
+                    Py_DECREF(key);
+                    if (name == NULL) {
+                        if (PyErr_Occurred())
+                            return NULL;
+                        break; /* first sight: Python interns */
+                    }
+                    if (sc) {
+                        count += 2;
+                    } else {
+                        if (PyList_Append(tags, name) < 0)
+                            return NULL;
+                        count++;
+                    }
+                }
+                pos = tend;
+                continue;
+            }
+            break; /* malformed tag tail: oracle */
+        }
+    }
+    return Py_BuildValue("(nn)", pos, count);
+}
+
+static PyMethodDef cscan_methods[] = {
+    {"tokens", (PyCFunction)(void (*)(void))cscan_tokens, METH_FASTCALL,
+     "Batch middle loop of ByteXmlLexer.tokens_into."},
+    {"skip", (PyCFunction)(void (*)(void))cscan_skip, METH_FASTCALL,
+     "Batch middle loop of ByteXmlLexer.skip_subtree."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef cscan_module = {
+    PyModuleDef_HEAD_INIT,
+    "_gcx_cscan",
+    "C batch scanner for the bytes-domain XML lexer (DESIGN.md section 15).",
+    -1,
+    cscan_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__gcx_cscan(void)
+{
+    init_tables();
+    start_kind = PyLong_FromLong(0);
+    text_kind = PyLong_FromLong(2);
+    if (start_kind == NULL || text_kind == NULL)
+        return NULL;
+    return PyModule_Create(&cscan_module);
+}

@@ -1,0 +1,282 @@
+"""Build-on-first-use loader for the optional C batch scanner.
+
+``_cscan.c`` (same directory) holds drop-in C replacements for the
+batch middle loops of :class:`~repro.xmlio.lexer_bytes.ByteXmlLexer`.
+This module turns it into an importable extension **without adding a
+dependency**: when a C compiler and the CPython headers are present,
+the source is compiled once (``cc -O2 -shared -fPIC``) into a cache
+directory keyed by source hash + interpreter tag and loaded; when
+anything in that chain is missing or fails — no compiler, no headers,
+compile error, load error, or a failed self-test — :data:`scanner`
+is ``None`` and the lexer silently keeps its pure-Python batch loops.
+Every differential guarantee is carried by the Python side either way;
+the suites run with the scanner both enabled and disabled
+(``GCX_NO_CSCAN=1``).
+
+Environment:
+
+* ``GCX_NO_CSCAN`` — any non-empty value disables the scanner.
+* ``GCX_CSCAN_CACHE`` — overrides the build cache directory
+  (default ``~/.cache/gcx-cscan``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.machinery
+import importlib.util
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+from types import ModuleType
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_cscan.c")
+
+#: why :data:`scanner` is (or is not) available — surfaced by STATS
+#: and ``profile_stages.py`` so a silently-degraded environment is
+#: visible instead of just slow.
+status: str = "not attempted"
+
+#: the loaded extension module exposing ``tokens`` / ``skip``, or
+#: ``None`` when the pure-Python batch loops must be used.
+scanner: ModuleType | None = None
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("GCX_CSCAN_CACHE")
+    if override:
+        return override
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "gcx-cscan"
+    )
+
+
+def _build(source_text: bytes) -> str | None:
+    """Compile ``_cscan.c`` into the cache, returning the .so path."""
+    global status
+    compiler = (
+        os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    )
+    if compiler is None:
+        status = "no C compiler on PATH"
+        return None
+    include = sysconfig.get_path("include")
+    if not include or not os.path.exists(
+        os.path.join(include, "Python.h")
+    ):
+        status = "Python.h not found"
+        return None
+    tag = hashlib.sha256(
+        source_text
+        + sys.implementation.cache_tag.encode()
+        + sys.platform.encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = os.path.join(cache, f"_gcx_cscan-{tag}.so")
+    if os.path.exists(so_path):
+        return so_path
+    try:
+        os.makedirs(cache, exist_ok=True)
+        tmp_path = so_path + f".tmp.{os.getpid()}"
+        proc = subprocess.run(  # noqa: S603 — fixed argv, our own source
+            [
+                compiler,
+                "-O2",
+                "-shared",
+                "-fPIC",
+                "-fno-strict-aliasing",
+                f"-I{include}",
+                _SOURCE,
+                "-o",
+                tmp_path,
+            ],
+            capture_output=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            err = proc.stderr.decode("utf-8", "replace").strip()
+            detail = ": " + err.splitlines()[-1] if err else ""
+            status = "compile failed" + detail
+            return None
+        # atomic publish so concurrent builders (e.g. pytest-xdist,
+        # worker pools) race benignly
+        os.replace(tmp_path, so_path)
+        return so_path
+    except (OSError, subprocess.SubprocessError) as exc:
+        status = f"build error: {exc}"
+        return None
+
+
+def _load(so_path: str) -> ModuleType | None:
+    global status
+    try:
+        loader = importlib.machinery.ExtensionFileLoader(
+            "_gcx_cscan", so_path
+        )
+        spec = importlib.util.spec_from_loader(
+            "_gcx_cscan", loader, origin=so_path
+        )
+        if spec is None:
+            status = "load failed: no spec"
+            return None
+        module = importlib.util.module_from_spec(spec)
+        loader.exec_module(module)
+        return module
+    except (ImportError, OSError) as exc:
+        status = f"load failed: {exc}"
+        return None
+
+
+def _self_test(mod: ModuleType) -> bool:
+    """Differential smoke test against hand-computed expectations; a
+    miscompiled or ABI-skewed extension is rejected, not trusted."""
+    global status
+    sig = bytes(0 if chr(b).isspace() else 1 for b in range(128))
+    try:
+        start_a = (0, "a", None, None)
+        end_a = (1, "a", None, None)
+        names = {b"a": "a", b"b": "b", b"r": "r", b"id": "id"}
+        name_bytes = {"a": b"a", "b": b"b", "r": b"r", "id": b"id"}
+        start_events = {b"a": start_a, b"r": (0, "r", None, None)}
+        end_events = {"a": end_a, "r": (1, "r", None, None)}
+        sink: list = []
+        tags: list = ["r"]
+        pos, count = mod.tokens(
+            b'<a>x</a><a id="7">y</a>',
+            0,
+            sink,
+            0,
+            16,
+            names,
+            start_events,
+            name_bytes,
+            end_events,
+            tags,
+            False,
+            sig,
+        )
+        if (
+            pos != 23
+            or count != 6
+            or tags != ["r"]
+            or sink
+            != [
+                start_a,
+                (2, None, None, "x"),
+                end_a,
+                (0, "a", (("id", "7"),), None),
+                (2, None, None, "y"),
+                end_a,
+            ]
+        ):
+            status = f"self-test failed: tokens -> {pos}, {count}, {sink}"
+            return False
+        # entity in a value and duplicate attributes must bail untouched
+        for doc in (b'<a id="x&amp;y">', b'<a id="1" id="2">'):
+            sink = []
+            pos, count = mod.tokens(
+                doc,
+                0,
+                sink,
+                0,
+                16,
+                names,
+                start_events,
+                name_bytes,
+                end_events,
+                ["r"],
+                False,
+                sig,
+            )
+            if pos != 0 or count != 0 or sink:
+                status = f"self-test failed: {doc!r} did not bail"
+                return False
+        # fused projection (13th arg): a committed non-self-closing
+        # start whose name is not live stops the batch right behind
+        # the start tag; live names batch straight through
+        sink = []
+        tags = ["r"]
+        pos, count = mod.tokens(
+            b"<a>x</a>",
+            0,
+            sink,
+            0,
+            16,
+            names,
+            start_events,
+            name_bytes,
+            end_events,
+            tags,
+            False,
+            sig,
+            {},
+        )
+        if pos != 3 or count != 1 or sink != [start_a] or tags != ["r", "a"]:
+            status = f"self-test failed: live stop -> {pos}, {count}, {sink}"
+            return False
+        sink = []
+        tags = ["r"]
+        pos, count = mod.tokens(
+            b"<a>x</a>",
+            0,
+            sink,
+            0,
+            16,
+            names,
+            start_events,
+            name_bytes,
+            end_events,
+            tags,
+            False,
+            sig,
+            {"a": True},
+        )
+        if pos != 8 or count != 3 or tags != ["r"]:
+            status = f"self-test failed: live pass -> {pos}, {count}, {sink}"
+            return False
+        tags = ["r"]
+        pos, count = mod.skip(
+            b'<a id="1">x</a><b/></r>',
+            0,
+            names,
+            name_bytes,
+            tags,
+            0,
+            False,
+            sig,
+        )
+        if pos != 23 or count != 6 or tags != []:
+            status = f"self-test failed: skip -> {pos}, {count}, {tags}"
+            return False
+        return True
+    except Exception as exc:  # pragma: no cover - defensive
+        status = f"self-test failed: {exc!r}"
+        return False
+
+
+def _bootstrap() -> ModuleType | None:
+    global status
+    if os.environ.get("GCX_NO_CSCAN"):
+        status = "disabled (GCX_NO_CSCAN)"
+        return None
+    try:
+        with open(_SOURCE, "rb") as handle:
+            source_text = handle.read()
+    except OSError:
+        status = "_cscan.c not found"
+        return None
+    so_path = _build(source_text)
+    if so_path is None:
+        return None
+    module = _load(so_path)
+    if module is None:
+        return None
+    if not _self_test(module):
+        return None
+    status = "active"
+    return module
+
+
+scanner = _bootstrap()

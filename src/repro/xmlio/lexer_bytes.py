@@ -97,6 +97,21 @@ _ASCII_NAME_CHAR = tuple(
 #: text run from its first non-XML-whitespace byte without decoding.
 _ASCII_SIGNIFICANT = tuple(not chr(b).isspace() for b in range(128))
 
+#: the same table as packed bytes, handed to the optional C scanner so
+#: both sides classify significance from one source of truth.
+_SIG_TABLE = bytes(_ASCII_SIGNIFICANT)
+
+# Optional C batch scanner (DESIGN.md §15): compiled on first use from
+# _cscan.c when a toolchain is present, else None — the pure-Python
+# batch loops below are the complete implementation either way, and the
+# C loops only ever consume constructs those loops would consume.
+try:
+    from repro.xmlio import cscan as _cscan_mod
+
+    _CSCAN = _cscan_mod.scanner
+except Exception:  # pragma: no cover - loader is best-effort by design
+    _CSCAN = None
+
 _intern = sys.intern
 
 _BYTES_LIKE = (bytes, bytearray, memoryview)
@@ -320,18 +335,48 @@ class ByteXmlLexer:
         bails out to :meth:`next_event`, whose classification this
         loop reproduces exactly.
         """
+        return self._batch_into(sink, limit, None)
+
+    def project_into(self, sink: list, live: dict, limit: int = 4096) -> int:
+        """:meth:`tokens_into` with a plan's tag alphabet fused in —
+        the input surface of the generated lexer front-end
+        (DESIGN.md §15).
+
+        Appends events to *sink* exactly like :meth:`tokens_into`, but
+        stops the batch right after committing a non-self-closing
+        start event whose name is not in *live* — the cursor is then
+        positioned directly behind that start tag, so the caller's
+        next :meth:`skip_subtree` consumes exactly the subtree it
+        decided not to tokenize.  Returns the number of events
+        appended, **negated** when the batch stopped at such a dead
+        start (self-closing dead tags are not worth a stop: their
+        "subtree" is the already-appended synthetic end event, except
+        on the careful path, where the pending synthetic end is left
+        for :meth:`skip_subtree` to consume).
+
+        One further contract difference: this method never blocks for
+        more input while at least one event is already appended — a
+        fused projector drains what exists before the stream starves,
+        keeping event delivery as incremental as the per-event path.
+        """
+        return self._batch_into(sink, limit, live)
+
+    def _batch_into(self, sink: list, limit: int, live: dict | None) -> int:
         count = 0
         append = sink.append
-        next_event = self.next_event
+        scan_event = self._scan_event
         keep_ws = self._keep_whitespace
-        names_get = self._names.get
+        names = self._names
+        names_get = names.get
         name_bytes = self._name_bytes
-        start_events_get = self._start_events.get
+        start_events = self._start_events
+        start_events_get = start_events.get
         end_events = self._end_events
         start_match = _START_TAG_RE_B.match
         non_ws_search = _NON_WS_RE_B.search
         resolve = resolve_entities_text
         tags = self._open_tags
+        c_tokens = _CSCAN.tokens if _CSCAN is not None else None
         while count < limit:
             if self._pending_end is None and not self._resume and tags:
                 buf = self._buf
@@ -339,6 +384,40 @@ class ByteXmlLexer:
                 pos = self._pos
                 base = self._base
                 while count < limit and pos < size:
+                    if c_tokens is not None:
+                        # C batch scan: consumes known attribute-less
+                        # tags and plain text runs, then returns at the
+                        # first construct it must not commit — which the
+                        # dispatch below (or the careful path) handles,
+                        # after which the loop re-enters the C scan.
+                        pos, count = c_tokens(
+                            buf,
+                            pos,
+                            sink,
+                            count,
+                            limit,
+                            names,
+                            start_events,
+                            name_bytes,
+                            end_events,
+                            tags,
+                            keep_ws,
+                            _SIG_TABLE,
+                            live,
+                        )
+                        if (
+                            live is not None
+                            and count
+                            and sink[-1][0] == 0
+                            and sink[-1][1] not in live
+                        ):
+                            # the C scan committed a dead start and
+                            # stopped right behind it (only non-self-
+                            # closing starts stop the C batch)
+                            self._pos = pos
+                            return -count
+                        if count >= limit or pos >= size or not tags:
+                            break
                     b = buf[pos]
                     if b != 0x3C:  # text run
                         end = buf.find(b"<", pos)
@@ -414,6 +493,9 @@ class ByteXmlLexer:
                             count += 1
                             tags.append(event[1])
                             pos = gt + 1
+                            if live is not None and event[1] not in live:
+                                self._pos = pos
+                                return -count
                             continue
                     match = start_match(buf, pos)
                     if match is None:
@@ -426,6 +508,11 @@ class ByteXmlLexer:
                         append(self._event_from_start_match(match))
                         count += 1
                         pos = self._pos
+                        if live is not None and sink[-1][1] not in live:
+                            # dead start: stop here (a pending synthetic
+                            # end for the self-closing form is consumed
+                            # by the caller's skip_subtree)
+                            return -count
                         if self._pending_end is not None:
                             break  # synthetic end via the careful path
                         continue
@@ -443,15 +530,29 @@ class ByteXmlLexer:
                             tags.pop()
                         else:
                             self._pending_end = (name, base + pos)
+                    elif live is not None and name not in live:
+                        self._pos = match.end()
+                        return -count
                     pos = match.end()
                 self._pos = pos
                 if count >= limit:
                     return count
-            event = next_event()
+            # careful path: one event through the single-event scanner
+            # (the only rung that can block on more input — which a
+            # projecting batch must not do while it holds events)
+            try:
+                event = scan_event()
+            except _Starved:
+                if live is not None and count:
+                    return count
+                self._handle_starvation()
+                continue
             if event is None:
                 return count
             append(event)
             count += 1
+            if live is not None and event[0] == 0 and event[1] not in live:
+                return -count
         return count
 
     def skip_subtree(self) -> int:
@@ -481,6 +582,7 @@ class ByteXmlLexer:
         ascii_sig = _ASCII_SIGNIFICANT
         keep_ws = self._keep_whitespace
         match_start = _START_TAG_RE_B.match
+        c_skip = _CSCAN.skip if _CSCAN is not None else None
         while len(tags) > target:
             text = self._buf
             size = len(text)
@@ -495,6 +597,26 @@ class ByteXmlLexer:
                         pos = self._pos
                         depth = len(tags) - target
                         continue
+                    if c_skip is not None and not self._resume:
+                        # C batch scan: fast-forwards through known
+                        # tags and classifiable text, pushing interned
+                        # str names, and returns at the first construct
+                        # it must not commit — handled by the dispatch
+                        # below before the loop re-enters the C scan.
+                        pos, got = c_skip(
+                            text,
+                            pos,
+                            names,
+                            name_bytes,
+                            tags,
+                            target,
+                            keep_ws,
+                            _SIG_TABLE,
+                        )
+                        count += got
+                        depth = len(tags) - target
+                        if not depth or pos >= size:
+                            continue
                     if text[pos] != 0x3C:  # "<"
                         end = text.find(b"<", pos + self._resume)
                         if end == -1:

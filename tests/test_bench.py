@@ -96,6 +96,7 @@ class TestThroughputGate:
         evaluator_vm=12.0,
         evaluator_interp=9.0,
         lexer_bytes=15.0,
+        lexer_bytes_fused=14.0,
         lexer_events=10.0,
         projector_q1_codegen=11.0,
         projector_q1_tables=10.0,
@@ -225,6 +226,37 @@ class TestThroughputGate:
             tmp_path, self._entries(**{**self.PASSING, "lexer_bytes": 9.0})
         )
         with pytest.raises(SystemExit, match="lexer_bytes"):
+            gate.check(path)
+
+    def test_fused_scan_pair_gates_at_its_documented_floor(self, tmp_path):
+        """The fused/unfused scan pair carries a 0.85 parity floor
+        (DESIGN.md §15): 14.0 vs 15.0 passes (PASSING encodes it),
+        11.0 vs 15.0 is a fused path that lost its batch machinery."""
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(**{**self.PASSING, "lexer_bytes_fused": 11.0}),
+        )
+        with pytest.raises(SystemExit, match="lexer_bytes_fused"):
+            gate.check(path)
+
+    def test_tokenizer_absolute_floor(self, tmp_path):
+        """``lexer_bytes`` also carries an absolute MB/s floor: a
+        tokenizer that lost batch scanning entirely fails even if it
+        still beats the str event path's ratio."""
+        gate = self._gate()
+        path = self._write(
+            tmp_path,
+            self._entries(
+                **{
+                    **self.PASSING,
+                    "lexer_bytes": 7.0,
+                    "lexer_events": 4.0,
+                    "lexer_bytes_fused": 7.0,
+                }
+            ),
+        )
+        with pytest.raises(SystemExit, match="absolute"):
             gate.check(path)
 
     def test_fails_when_generated_projector_loses_to_tables(self, tmp_path):

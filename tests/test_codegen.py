@@ -23,13 +23,17 @@ from repro.core.codegen import (
     CodegenError,
     CodegenEvaluator,
     GeneratedStreamProjector,
+    _certify_live_alphabet,
     generate_evaluator_kernel,
+    generate_lexer_kernel,
     generate_plan_kernels,
     generate_projector_kernel,
 )
 from repro.core.engine import GCXEngine
+from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.program import OP_FOR_INIT, OP_JUMP
 from repro.xmark import ADAPTED_QUERIES
+from repro.xpath.parser import parse_path
 
 from test_differential import QUERIES, random_document
 
@@ -81,10 +85,15 @@ class TestKernelGeneration:
             assert plan.kernels is not None, adapted.key
             assert plan.kernels.projector is not None, adapted.key
             assert plan.kernels.evaluator is not None, adapted.key
-            assert plan.kernels.kernel_count == 2
+            # every adapted XMark plan also admits the fused lexer
+            # front-end (Kernel C): a named tag alphabet with a
+            # fusible root state
+            assert plan.kernels.lexer is not None, adapted.key
+            assert plan.kernels.kernel_count == 3
             assert plan.kernels.source_chars == (
                 len(plan.kernels.projector.source)
                 + len(plan.kernels.evaluator.source)
+                + len(plan.kernels.lexer.source)
             )
 
     def test_differential_query_pool_generates(self):
@@ -144,6 +153,81 @@ class TestKernelGeneration:
             CodegenEvaluator(
                 p1.kernels.evaluator, p2.program, None, None, None
             )
+
+
+class TestLexerKernel:
+    """Kernel C (DESIGN.md §15): the fused batch-scan lexer front-end."""
+
+    def test_q1_is_certified_with_a_closed_alphabet(self):
+        plan = GCXEngine().compile(ADAPTED_QUERIES["q1"].text)
+        kernel = plan.kernels.lexer
+        assert kernel is not None
+        # fully named child-axis plan: the probe proves every reachable
+        # state treats unknown tags as dead
+        assert kernel.certified
+        assert kernel.live_tags == ("name", "people", "person", "site")
+        assert kernel.probed_states >= 2
+        compile(kernel.source, "<lexer>", "exec")
+
+    def test_subtree_copy_plans_fuse_uncertified(self):
+        """A trailing ``descendant-or-self::node()`` copy role keeps
+        unknown tags live *inside* the copied subtree, so the baked
+        fast-tail skip is unsound there.  The kernel is still
+        generated — every out-of-alphabet start simply dispatches
+        through the shared DFA, which decides dead vs live per state.
+        """
+        for key in ("q8", "q13", "q20"):
+            plan = GCXEngine().compile(ADAPTED_QUERIES[key].text)
+            kernel = plan.kernels.lexer
+            assert kernel is not None, key
+            assert not kernel.certified, key
+            # the baked fast-tail branch must not appear uncertified
+            assert "tail_dead and qi == qlen" not in kernel.source, key
+        certified = GCXEngine().compile(ADAPTED_QUERIES["q1"].text)
+        assert "tail_dead and qi == qlen" in certified.kernels.lexer.source
+
+    def test_descendant_at_root_declines(self):
+        """When unknown tags stay live in the start state the fused
+        scan could never skip anything — generation declines and the
+        plan keeps the per-event Kernel A front-end."""
+        dfa = PathDFA(
+            PathMatcher([("r1", parse_path("/descendant-or-self::node()/b"))])
+        )
+        with pytest.raises(CodegenError, match="root"):
+            _certify_live_alphabet(dfa, ["b"])
+
+    def test_lexer_kernel_requires_dfa(self):
+        with pytest.raises(CodegenError):
+            generate_lexer_kernel(None, None)
+
+    def test_fused_tier_falls_back_without_lexer_kernel(self):
+        """Stripping only the lexer kernel drops the plan to the
+        per-event generated tier with identical results."""
+        engine = GCXEngine()
+        plan = engine.compile(ADAPTED_QUERIES["q1"].text)
+        no_lexer = dataclasses.replace(
+            plan, kernels=dataclasses.replace(plan.kernels, lexer=None)
+        )
+        data = (
+            b"<site><people><person id='p0'><name>n0</name></person>"
+            b"<dead><deep><deeper/></deep></dead></people></site>"
+        )
+        assert _fingerprint(engine.run(no_lexer, data)) == _fingerprint(
+            engine.run(plan, data)
+        )
+
+    def test_no_fused_lexer_engine_toggle(self):
+        """``fused_lexer=False`` disables the tier engine-wide; the
+        output is unchanged."""
+        plain = GCXEngine(fused_lexer=False)
+        fused = GCXEngine()
+        data = (
+            b"<site><people><person id='p0'><name>n0</name></person>"
+            b"</people><junk>skipped</junk></site>"
+        )
+        a = _fingerprint(plain.run(plain.compile(ADAPTED_QUERIES["q1"].text), data))
+        b = _fingerprint(fused.run(fused.compile(ADAPTED_QUERIES["q1"].text), data))
+        assert a == b
 
 
 # ---------------------------------------------------------------------------
@@ -300,6 +384,7 @@ class TestCodegenStats:
         assert snap["plans"] == 2
         assert snap["projector_kernels"] == 2
         assert snap["evaluator_kernels"] == 2
+        assert snap["lexer_kernels"] == 2
         assert snap["source_chars"] > 0
         assert snap["fallbacks"] == 0
 

@@ -186,6 +186,61 @@ class TestEveryByteSplit:
             assert events_of(lexer) == expected_tail, offset
 
 
+# Constructs the bulk scanner matches with multi-byte needles —
+# ``]]>``, ``-->``, quote characters, and UTF-8 sequences — arranged
+# so the needle itself straddles chunk refills.  All are well-formed:
+# a bare ``]]>`` in character data and ``--`` inside comments are
+# illegal XML, so the ``]]>`` text content is assembled from CDATA
+# sections instead.
+BATCH_EDGE_DOCS = [
+    # "]]>" in text, legally split across two CDATA sections
+    "<a><![CDATA[]]]]><![CDATA[>]]>x</a>",
+    # "]" run hugging the CDATA terminator: content is "x]"
+    "<a><![CDATA[x]]]></a>",
+    # longer "]" run, then a second section starting with ">"
+    "<a><![CDATA[]]]]]]><![CDATA[>x]]></a>",
+    # dash runs inside comments, stopping short of "--"
+    "<a><!-- - - - --><!----></a>",
+    # ">" and quote characters inside quoted attribute values
+    "<a k=\"x>y\" l='a\"b' m=\"c&amp;'d\"/>",
+    # multi-byte UTF-8 (2-, 3- and 4-byte) hugging markup boundaries
+    '<a é="中">𝄞<b>é</b>中</a>',
+]
+
+
+class TestBatchScanEdges:
+    """Every-byte-split parity on the needles the batch scanner jumps
+    between (DESIGN.md §15): terminators and quotes that arrive split
+    across refills must scan exactly like the per-byte oracle."""
+
+    @pytest.mark.parametrize("doc", BATCH_EDGE_DOCS)
+    def test_events_identical_at_every_byte_split(self, doc):
+        data = doc.encode("utf-8")
+        expected = events_of(make_lexer(doc))
+        for offset in range(len(data) + 1):
+            got = events_of(make_lexer(iter([data[:offset], data[offset:]])))
+            assert got == expected, offset
+
+    @pytest.mark.parametrize("doc", BATCH_EDGE_DOCS)
+    def test_tokens_identical_at_one_byte_chunks(self, doc):
+        data = doc.encode("utf-8")
+        expected = token_views(list(tokenize(doc)), False)
+        got = token_views(list(tokenize(bytes([b]) for b in data)), False)
+        assert got == expected
+
+    @pytest.mark.parametrize("doc", BATCH_EDGE_DOCS)
+    def test_skip_subtree_at_every_split(self, doc):
+        data = doc.encode("utf-8")
+        oracle = XmlLexer(doc)
+        oracle.next_event()
+        expected = (oracle.skip_subtree(), events_of(oracle))
+        for offset in range(len(data) + 1):
+            lexer = ByteXmlLexer(iter([data[:offset], data[offset:]]))
+            lexer.next_event()
+            got = (lexer.skip_subtree(), events_of(lexer))
+            assert got == expected, offset
+
+
 class TestErrorParity:
     @pytest.mark.parametrize("doc", MALFORMED)
     def test_same_error_identity_and_offset(self, doc):
@@ -486,6 +541,121 @@ class TestHypothesisDifferential:
         assert result.output == baseline.output
         assert result.stats.watermark == baseline.stats.watermark
         assert result.stats.series == baseline.stats.series
+
+
+# ----------------------------------------------------------------------
+# fused lexer kernel (DESIGN.md §15): fused ≡ table ≡ str oracle
+# ----------------------------------------------------------------------
+
+# Child-axis plans over the documents() alphabet; each admits the
+# fused batch-scan front-end, with live tags that hit, miss, and
+# include multi-byte names.
+_PLAN_QUERIES = (
+    "<out>{ for $b in /a/b return $b }</out>",
+    "<out>{ for $d in /a/c/d return $d }</out>",
+    "<out>{ for $r in /a/réé return $r }</out>",
+)
+
+_FUSED_ENGINE = GCXEngine()
+_TABLE_ENGINE = GCXEngine(codegen=False)
+
+
+def _result_fingerprint(result):
+    stats = result.stats
+    return (
+        result.output,
+        stats.tokens,
+        stats.watermark,
+        stats.series,
+        stats.subtrees_skipped,
+    )
+
+
+def outcome_with_offset(fn):
+    try:
+        return ("ok", fn())
+    except XmlSyntaxError as exc:
+        return ("error", type(exc).__name__, exc.message, exc.offset)
+
+
+class TestFusedKernelDifferential:
+    """The acceptance property for the fused tier: for every document,
+    plan and byte-level chunking, the fused batch-scan front-end is
+    indistinguishable from the table tier and the str-lexer oracle —
+    output, stats and error identity (type, message, byte offset)."""
+
+    def test_plans_admit_the_fused_kernel(self):
+        for query in _PLAN_QUERIES:
+            plan = _FUSED_ENGINE.compile(query)
+            assert plan.kernels is not None, query
+            assert plan.kernels.lexer is not None, query
+
+    @given(
+        doc=documents(),
+        cuts=st.lists(st.integers(min_value=0), max_size=5),
+        query=st.sampled_from(_PLAN_QUERIES),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pull_run_identical_at_random_byte_cuts(self, doc, cuts, query):
+        fused_plan = _FUSED_ENGINE.compile(query)
+        table_plan = _TABLE_ENGINE.compile(query)
+        chunks = byte_chunks(doc.encode("utf-8"), cuts)
+        oracle = _result_fingerprint(_TABLE_ENGINE.run(table_plan, doc))
+        fused = _result_fingerprint(_FUSED_ENGINE.run(fused_plan, iter(chunks)))
+        table = _result_fingerprint(_TABLE_ENGINE.run(table_plan, iter(chunks)))
+        assert fused == table == oracle
+
+    @given(
+        doc=documents(),
+        cuts=st.lists(st.integers(min_value=0), max_size=5),
+        query=st.sampled_from(_PLAN_QUERIES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_push_session_identical_at_random_byte_cuts(self, doc, cuts, query):
+        fused_plan = _FUSED_ENGINE.compile(query)
+        oracle = _result_fingerprint(_FUSED_ENGINE.run(fused_plan, doc))
+        session = _FUSED_ENGINE.session(fused_plan)
+        for chunk in byte_chunks(doc.encode("utf-8"), cuts):
+            session.feed(chunk)
+        assert _result_fingerprint(session.finish()) == oracle
+
+    def test_tricky_document_every_byte_split(self):
+        """The full construct zoo through the fused tier at every
+        two-way byte split — CDATA, comments, entities, multi-byte
+        names, dead subtrees — must match the whole-buffer run."""
+        plan = _FUSED_ENGINE.compile(_PLAN_QUERIES[0])
+        data = TRICKY.encode("utf-8")
+        expected = _result_fingerprint(_FUSED_ENGINE.run(plan, TRICKY))
+        for offset in range(len(data) + 1):
+            result = _FUSED_ENGINE.run(
+                plan, iter([data[:offset], data[offset:]])
+            )
+            assert _result_fingerprint(result) == expected, offset
+
+    @pytest.mark.parametrize("doc", MALFORMED)
+    def test_malformed_error_identity_at_every_split(self, doc):
+        """Error parity through the fused session: same exception
+        type, message and byte offset as the str-oracle run *at the
+        same split* (a restart after starvation may legitimately move
+        the reported offset, so the oracle must be chunked alike) —
+        the fused batch scan must not report errors early, late, or at
+        a shifted position."""
+        plan = _FUSED_ENGINE.compile(_PLAN_QUERIES[0])
+        data = doc.encode("utf-8")
+        for offset in range(len(data) + 1):
+
+            def str_run(offset=offset):
+                chunks = iter([doc[:offset], doc[offset:]])
+                return _FUSED_ENGINE.run(plan, chunks).output
+
+            def fused_run(offset=offset):
+                session = _FUSED_ENGINE.session(plan)
+                session.feed(data[:offset])
+                session.feed(data[offset:])
+                return session.finish().output
+
+            expected = outcome_with_offset(str_run)
+            assert outcome_with_offset(fused_run) == expected, offset
 
 
 class TestOutputChannelBinary:

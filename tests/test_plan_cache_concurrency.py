@@ -415,7 +415,8 @@ class TestCodegenArtifactLifecycle:
         engine = GCXEngine(plan_cache=PlanCache(capacity=1))
         plan_a = engine.compile(self.QUERY_A)
         assert plan_a.kernels is not None
-        assert plan_a.kernels.kernel_count == 2
+        # projector + evaluator + fused lexer front-end (DESIGN.md §15)
+        assert plan_a.kernels.kernel_count == 3
         assert len(calls) == 1
         chars_a = plan_a.kernels.source_chars
 

@@ -3,11 +3,13 @@ serving must never change a result, and the supervisor must keep the
 fleet healthy through crashes and drains.
 
 The robustness legs deliberately use the ``fdpass`` mode: its
-round-robin placement is deterministic, so the tests can pin a session
-to a worker, kill exactly that worker, and assert (a) the in-flight
-client fails with a connection error — never a hang, (b) the
-supervisor restarts the worker, and (c) the survivors keep serving
-byte-identical results throughout.
+least-loaded placement is deterministic (ties break to the lowest
+worker index, so with no closes in flight it behaves like
+round-robin), so the tests can pin a session to a worker, kill
+exactly that worker, and assert (a) the in-flight client fails with a
+connection error — never a hang, (b) the supervisor restarts the
+worker, and (c) the survivors keep serving byte-identical results
+throughout.
 """
 
 from __future__ import annotations
@@ -154,8 +156,8 @@ def test_pool_admission_is_per_worker(q1):
     """The global cap splits across workers; each worker refuses its
     own overload with BUSY (refuse-don't-queue survives sharding)."""
     with WorkerSupervisor(workers=2, max_sessions=2, mode="fdpass") as pool:
-        # round-robin: the two holders land on different workers, so
-        # both workers are at their single-slot cap
+        # least-loaded placement: the two holders land on different
+        # workers, so both workers are at their single-slot cap
         holders = [GCXClient(pool.host, pool.port) for _ in range(2)]
         try:
             for holder in holders:
@@ -166,6 +168,56 @@ def test_pool_admission_is_per_worker(q1):
         finally:
             for holder in holders:
                 holder.close()
+
+
+def test_fdpass_least_loaded_placement(q1):
+    """fdpass placement is least-loaded, not blind rotation: once a
+    worker's adopted connection closes, the *next* connection goes
+    back to the worker with the fewest open connections — a worker
+    stuck holding long-running sessions stops attracting new ones.
+    A round-robin acceptor fails this test: after conn1→w0, conn2→w1,
+    close(conn2), its rotation hands conn3 to w0 (two actives on w0);
+    least-loaded hands it to the now-idle w1."""
+    with WorkerSupervisor(workers=2, max_sessions=8, mode="fdpass") as pool:
+        holder_a = GCXClient(pool.host, pool.port)
+        holder_b = GCXClient(pool.host, pool.port)
+        try:
+            holder_a.open(q1)
+            holder_b.open(q1)
+            _wait_until(
+                lambda: pool.adopted_counts() == {0: 1, 1: 1},
+                timeout=10,
+                message="holders did not spread over both workers",
+            )
+            # free worker 1's connection; the close note must drain
+            # before it can attract the next placement
+            holder_b.close()
+            _wait_until(
+                lambda: pool.adopted_counts() == {0: 1, 1: 0},
+                timeout=10,
+                message="worker 1's close note never reached the acceptor",
+            )
+            holder_b = GCXClient(pool.host, pool.port)
+            holder_b.open(q1)
+            _wait_until(
+                lambda: pool.adopted_counts() == {0: 1, 1: 1},
+                timeout=10,
+                message="new connection was not placed least-loaded",
+            )
+            # implementation-independent ground truth: one active
+            # session per worker — blind rotation would stack both
+            # live sessions on worker 0
+            _wait_until(
+                lambda: [
+                    snap.get("sessions", {}).get("active", 0)
+                    for snap in pool.fleet_snapshot()["per_worker"]
+                ] == [1, 1],
+                timeout=10,
+                message="sessions not balanced one per worker",
+            )
+        finally:
+            holder_a.close()
+            holder_b.close()
 
 
 # ---------------------------------------------------------------------------
