@@ -1,0 +1,102 @@
+"""Checkpoint cost: snapshot/restore latency and blob size (§16).
+
+The operational premise of DESIGN.md §16 is that active garbage
+collection keeps a session's live state — and therefore its snapshot —
+*small*: blob size should track ``peak_buffer_nodes``, not document
+size.  This module measures, for the XMark queries with the three
+distinct buffer profiles (Q1 near-empty, Q8 join state, Q20 aggregate
+state), the latency of ``snapshot()`` (freeze → encode → thaw) and of
+``restore()`` mid-document on the Figure 4 document, plus the blob
+size, and records them into ``BENCH_throughput.json`` next to the
+throughput entries so the size↔watermark correlation stays diffable
+across pull requests.  No gate here yet — the unbounded-stream gate
+(ROADMAP) will assert flat snapshot size over an infinite stream.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.bench.reporting import merge_bench_json
+from repro.core.engine import GCXEngine
+from repro.xmark.queries import ADAPTED_QUERIES
+
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_throughput.json",
+)
+_CHUNK = 64 * 1024
+_ROUNDS = 7
+
+_entries: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_bench_json():
+    yield
+    if _entries:
+        merge_bench_json(_BENCH_JSON, _entries)
+
+
+@pytest.fixture(scope="module")
+def document(xmark_fig4):
+    return xmark_fig4.encode()
+
+
+def _best(fn, rounds: int = _ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.mark.parametrize("key", ["q1", "q8", "q20"])
+def test_snapshot_restore_cost(key, document):
+    engine = GCXEngine(record_series=False)
+    plan = engine.compile(ADAPTED_QUERIES[key].text)
+    reference = engine.run(plan, document.decode())
+
+    # park one session mid-document and measure the frozen encode —
+    # snapshot() on a frozen session is encode-only, so freeze cost
+    # and encode cost can be separated with the same session
+    session = engine.session(plan, checkpointable=True)
+    half = len(document) // 2
+    for start in range(0, half, _CHUNK):
+        session.feed(document[start : min(start + _CHUNK, half)])
+
+    full_s = _best(session.snapshot)  # freeze → encode → thaw, each round
+    session.freeze()
+    encode_s = _best(session.snapshot)  # already frozen: encode in place
+    blob = session.snapshot()
+    session.thaw()
+
+    restore_s = _best(lambda: engine.restore_session(blob).abort())
+
+    # correctness anchor: the session this was measured on still
+    # finishes byte-identically, and so does a restored twin
+    restored = engine.restore_session(blob)
+    for start in range(half, len(document), _CHUNK):
+        restored.feed(document[start : start + _CHUNK])
+    resumed = restored.finish()
+    assert resumed.output == reference.output
+
+    for start in range(half, len(document), _CHUNK):
+        session.feed(document[start : start + _CHUNK])
+    result = session.finish()
+    assert result.output == reference.output
+
+    _entries[f"checkpoint_{key}"] = {
+        "snapshot_ms": round(full_s * 1e3, 3),
+        "encode_ms": round(encode_s * 1e3, 3),
+        "restore_ms": round(restore_s * 1e3, 3),
+        "snapshot_bytes": len(blob),
+        "input_bytes": half,
+        "peak_buffer_nodes": result.stats.watermark,
+    }
+    # the §16 premise: snapshots cost like the buffer, not the document
+    assert len(blob) < len(document)

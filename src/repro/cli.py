@@ -11,6 +11,7 @@ Subcommands::
     gcx xmark --scale 1.0 [--seed 42]
     gcx serve [--host H] [--port P] [--max-sessions N] [--max-streams N]
               [--workers N] [--pool-mode auto|reuseport|fdpass]
+              [--checkpoint-interval N] [--fault-plan SPEC]
     gcx stats [--host H] [--port P] [--json]
 
 ``multiplex`` evaluates several queries over one document in a single
@@ -216,12 +217,20 @@ def _cmd_serve(args) -> int:
 
     from repro.server.service import GCXServer
 
+    fault_plan = None
+    if args.fault_plan:
+        from repro.testing.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.fault_plan)
+
     async def _main() -> None:
         server = GCXServer(
             host=args.host,
             port=args.port,
             max_sessions=args.max_sessions,
             max_streams=args.max_streams,
+            checkpoint_interval=args.checkpoint_interval,
+            fault_plan=fault_plan,
         )
         await server.start()
         print(
@@ -262,6 +271,8 @@ def _serve_pool(args) -> int:
         max_sessions=args.max_sessions,
         max_streams=args.max_streams,
         mode=args.pool_mode,
+        checkpoint_interval=args.checkpoint_interval,
+        fault_plan=args.fault_plan,
     )
     supervisor.start()
     try:
@@ -494,6 +505,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="how pool workers share the port: kernel SO_REUSEPORT "
         "load balancing or the supervisor's fd-passing acceptor "
         "(default: reuseport where available)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=0,
+        help="push an unsolicited SNAPSHOT frame to the client every "
+        "N input bytes per session (0 = only on client CHECKPOINT "
+        "frames); sessions are then opened checkpointable "
+        "(default %(default)s)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        default=None,
+        help="deterministic fault injection, e.g. "
+        "'seed=42,kill_at=100000' — SIGKILL the worker when its fed "
+        "input crosses the offset; see repro.testing.faults for the "
+        "full key set (testing only)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -347,6 +347,7 @@ class GCXEngine:
         on_output=None,
         max_pending_output: int | None = None,
         binary_output: bool = False,
+        checkpointable: bool = False,
     ) -> StreamSession:
         """Open a push-based streaming session (see
         :class:`~repro.core.session.StreamSession`).
@@ -369,6 +370,9 @@ class GCXEngine:
                 ``bytes`` (encoded once as produced);
                 ``drain_output()`` / ``next_output()`` then return
                 ``bytes`` ready for the wire.
+            checkpointable: allow ``snapshot()``/``freeze()`` on this
+                session (DESIGN.md §16).  Pins the table-driven
+                kernel tier, whose state is fully serializable.
         """
         plan = query if isinstance(query, QueryPlan) else self.compile(query)
         kwargs = {}
@@ -387,6 +391,38 @@ class GCXEngine:
             codegen=self.codegen,
             fused_lexer=self.fused_lexer,
             binary_output=binary_output,
+            checkpointable=checkpointable,
+            **kwargs,
+        )
+
+    def restore_session(
+        self,
+        blob: bytes,
+        output_stream=None,
+        max_pending_chunks: int | None = None,
+        on_output=None,
+        max_pending_output: int | None = None,
+    ) -> StreamSession:
+        """Rebuild a checkpointed session from a ``snapshot()`` blob.
+
+        The plan is recompiled (through the plan cache) from the
+        canonical query text carried in the snapshot header, then the
+        blob is verified against it — a snapshot from a different
+        format version or a different plan/role analysis is refused.
+        Feeding resumes at byte offset ``bytes_fed``.
+        """
+        from repro.core.snapshot import peek_plan_text
+
+        plan = self.compile(peek_plan_text(blob))
+        kwargs = {}
+        if max_pending_chunks is not None:
+            kwargs["max_pending_chunks"] = max_pending_chunks
+        return StreamSession.restore(
+            plan,
+            blob,
+            output_stream=output_stream,
+            on_output=on_output,
+            max_pending_output=max_pending_output,
             **kwargs,
         )
 

@@ -282,6 +282,32 @@ class PathDFA:
             self._ids[key] = state
         return state
 
+    def intern_state(self, key) -> int:
+        """Public interning hook for snapshot restore: the id of the
+        canonical multiset *key* in this process (takes the memo lock).
+
+        The key is validated against the matcher before it may touch
+        the shared memo — a snapshot that slipped past the plan-digest
+        check must not seed states the plan's NFA cannot produce.
+        """
+        steps = self.matcher._steps
+        key = tuple(tuple(entry) for entry in key)
+        for entry in key:
+            if len(entry) != 3:
+                raise ValueError(f"malformed DFA state entry {entry!r}")
+            role, index, count = entry
+            if not (0 <= role < len(steps) and 0 <= index <= len(steps[role])):
+                raise ValueError(
+                    f"DFA state entry {entry!r} is outside this plan's "
+                    f"role table"
+                )
+            if count <= 0:
+                raise ValueError(f"non-positive multiplicity in {entry!r}")
+        if list(key) != sorted(key):
+            raise ValueError("DFA state key is not canonically sorted")
+        with self._lock:
+            return self._intern(key)
+
     def _instances(self, state: int) -> list[_StateInst]:
         """Materialize the state's multiset as fresh NFA instances."""
         return [

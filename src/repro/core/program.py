@@ -50,6 +50,7 @@ from repro.core.evaluator import (
     compute_aggregate,
     format_number,
 )
+from repro.xmlio.errors import FreezeSignal
 from repro.xmlio.writer import escape_attribute, escape_text
 from repro.xpath.ast import Axis, NodeTest, Path
 from repro.xquery import ast as q
@@ -544,6 +545,12 @@ class CompiledEvaluator:
         self._writer = writer
         self._gc_enabled = gc_enabled
         self._slots: list = [None] * program.n_slots
+        # Dispatch state lives on the instance so a freeze can unwind
+        # run() and a later run() call (or a restored twin) re-enters
+        # at the same op.  Frames are mutated in place, so the local
+        # alias inside run() needs no write-back; the pc does.
+        self._frames: list = []
+        self._pc = 0
 
     # ------------------------------------------------------------------
     # blocking primitives (the buffer-manager protocol)
@@ -574,58 +581,205 @@ class CompiledEvaluator:
     # ------------------------------------------------------------------
 
     def run(self) -> None:
-        """Execute the program to completion."""
+        """Execute the program to completion.
+
+        A :class:`FreezeSignal` raised by a blocking primitive unwinds
+        the loop after committing the current ``pc``; calling ``run()``
+        again re-executes that op from its start.  Every op blocks
+        before it writes (probe-then-advance), so re-execution is
+        byte-identical.
+        """
         ops = self._program.ops
         n = len(ops)
         slots = self._slots
         writer = self._writer
-        frames: list = []
-        pc = 0
-        while pc < n:
-            op = ops[pc]
-            code = op[0]
-            if code == OP_FOR_NEXT:
-                node = self._for_next(frames[-1])
-                if node is None:
-                    frames.pop()
-                    pc = op[2]
+        frames = self._frames
+        pc = self._pc
+        try:
+            while pc < n:
+                op = ops[pc]
+                code = op[0]
+                if code == OP_FOR_NEXT:
+                    node = self._for_next(frames[-1])
+                    if node is None:
+                        frames.pop()
+                        pc = op[2]
+                        continue
+                    slots[op[1]] = node
+                elif code == OP_IF:
+                    if not self._cond(op[1]):
+                        pc = op[2]
+                        continue
+                elif code == OP_EMIT_RAW:
+                    writer.raw(op[1])
+                elif code == OP_JUMP:
+                    pc = op[1]
                     continue
-                slots[op[1]] = node
-            elif code == OP_IF:
-                if not self._cond(op[1]):
-                    pc = op[2]
-                    continue
-            elif code == OP_EMIT_RAW:
-                writer.raw(op[1])
-            elif code == OP_JUMP:
-                pc = op[1]
-                continue
-            elif code == OP_FOR_INIT:
-                frames.append(self._new_frame(op[1]))
-            elif code == OP_OUTPUT_PATH:
-                self._output_path(op[1], op[2], op[3])
-            elif code == OP_SIGNOFF:
-                self._signoff(op[1], op[2], op[3])
-            elif code == OP_CONSTRUCT:
-                writer.start_element(op[1], self._resolve_attributes(op[2]))
-            elif code == OP_EMIT_SCALAR:
-                value = slots[op[1]]
-                if isinstance(value, str):
-                    writer.text(value)
-                else:
-                    writer.text(format_number(value))
-            elif code == OP_EMIT_AGG:
-                writer.text(format_number(self._aggregate(op[1])))
-            elif code == OP_LET:
-                kind, payload = op[2]
-                slots[op[1]] = (
-                    self._aggregate(payload) if kind == "agg" else payload
+                elif code == OP_FOR_INIT:
+                    frames.append(self._new_frame(op[1]))
+                elif code == OP_OUTPUT_PATH:
+                    self._output_path(op[1], op[2], op[3])
+                elif code == OP_SIGNOFF:
+                    self._signoff(op[1], op[2], op[3])
+                elif code == OP_CONSTRUCT:
+                    writer.start_element(op[1], self._resolve_attributes(op[2]))
+                elif code == OP_EMIT_SCALAR:
+                    value = slots[op[1]]
+                    if isinstance(value, str):
+                        writer.text(value)
+                    else:
+                        writer.text(format_number(value))
+                elif code == OP_EMIT_AGG:
+                    writer.text(format_number(self._aggregate(op[1])))
+                elif code == OP_LET:
+                    kind, payload = op[2]
+                    slots[op[1]] = (
+                        self._aggregate(payload) if kind == "agg" else payload
+                    )
+                elif code == OP_RAISE:
+                    raise EvaluationError(op[1])
+                else:  # pragma: no cover - compiler emits only known ops
+                    raise EvaluationError(f"unknown opcode {code}")
+                pc += 1
+        except FreezeSignal:
+            self._pc = pc
+            raise
+        self._pc = pc
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Capture the dispatch state for serialization.
+
+        Only meaningful while the evaluator is frozen (unwound by a
+        :class:`FreezeSignal`) or before/after a run.  Frames are
+        rendered codec-neutral: each becomes a dict carrying the pc of
+        the ``OP_FOR_INIT`` that created it plus the per-kind loop
+        fields, so the spec tuple itself never needs serializing.
+        """
+        ops = self._program.ops
+        frames = []
+        for frame in self._frames:
+            spec = frame[0]
+            init_pc = next(
+                i
+                for i, op in enumerate(ops)
+                if op[0] == OP_FOR_INIT and op[1] is spec
+            )
+            kind = spec[0]
+            if kind == ITER_CHILD:
+                frames.append(
+                    {
+                        "init_pc": init_pc,
+                        "kind": "child",
+                        "context": frame[1],
+                        "last_seq": frame[2],
+                        "matched": frame[3],
+                        "done": frame[4],
+                    }
                 )
-            elif code == OP_RAISE:
-                raise EvaluationError(op[1])
-            else:  # pragma: no cover - compiler emits only known ops
-                raise EvaluationError(f"unknown opcode {code}")
-            pc += 1
+            elif kind == ITER_DESC:
+                stack = frame[1]
+                frames.append(
+                    {
+                        "init_pc": init_pc,
+                        "kind": "desc",
+                        "stack": (
+                            None
+                            if stack is None
+                            else [(entry[0], entry[1]) for entry in stack]
+                        ),
+                        "matched": frame[2],
+                        "done": frame[3],
+                        "pending": frame[4],
+                        "started": frame[5],
+                    }
+                )
+            else:  # ITER_SELF
+                frames.append(
+                    {
+                        "init_pc": init_pc,
+                        "kind": "self",
+                        "context": frame[1],
+                        "done": frame[2],
+                    }
+                )
+        return {"pc": self._pc, "slots": list(self._slots), "frames": frames}
+
+    def restore_state(self, state: dict, resolve) -> None:
+        """Rebuild dispatch state from :meth:`snapshot_state` output.
+
+        ``resolve`` maps serialized integer node references back to
+        live :class:`BufferNode` objects.  Slot values arrive with
+        ``("node", ref)`` markers (a slot can also hold a plain int);
+        frame node fields arrive as bare refs or ``None``.
+        """
+        ops = self._program.ops
+
+        def _value(value):
+            if isinstance(value, tuple) and len(value) == 2 and value[0] == "node":
+                return resolve(value[1])
+            return value
+
+        def _node(ref):
+            return None if ref is None else resolve(ref)
+
+        self._pc = state["pc"]
+        slots = [_value(value) for value in state["slots"]]
+        if len(slots) != self._program.n_slots:
+            raise ValueError(
+                f"snapshot has {len(slots)} slots, plan expects "
+                f"{self._program.n_slots}"
+            )
+        self._slots = slots
+        frames: list = []
+        for entry in state["frames"]:
+            init_pc = entry["init_pc"]
+            if not (0 <= init_pc < len(ops)) or ops[init_pc][0] != OP_FOR_INIT:
+                raise ValueError(
+                    f"frame init pc {init_pc} does not point at OP_FOR_INIT"
+                )
+            spec = ops[init_pc][1]
+            kind = entry["kind"]
+            if kind == "child":
+                if spec[0] != ITER_CHILD:
+                    raise ValueError("frame kind mismatch for child iterator")
+                frames.append(
+                    [
+                        spec,
+                        _node(entry["context"]),
+                        entry["last_seq"],
+                        entry["matched"],
+                        entry["done"],
+                    ]
+                )
+            elif kind == "desc":
+                if spec[0] != ITER_DESC:
+                    raise ValueError("frame kind mismatch for desc iterator")
+                stack = entry["stack"]
+                frames.append(
+                    [
+                        spec,
+                        (
+                            None
+                            if stack is None
+                            else [
+                                [_node(node), seq] for node, seq in stack
+                            ]
+                        ),
+                        entry["matched"],
+                        entry["done"],
+                        _node(entry["pending"]),
+                        entry["started"],
+                    ]
+                )
+            else:
+                if spec[0] != ITER_SELF:
+                    raise ValueError("frame kind mismatch for self iterator")
+                frames.append([spec, _node(entry["context"]), entry["done"]])
+        self._frames = frames
 
     # ------------------------------------------------------------------
     # for-loop frames

@@ -39,6 +39,7 @@ from __future__ import annotations
 from repro.core.buffer import Buffer, BufferNode
 from repro.core.matcher import PathDFA, PathMatcher
 from repro.core.stats import BufferStats
+from repro.xmlio.errors import FreezeSignal
 from repro.xmlio.lexer import XmlLexer
 from repro.xmlio.tokens import TokenKind
 
@@ -206,6 +207,7 @@ class CompiledStreamProjector:
         "_attrs",
         "_states",
         "_nodes",
+        "_pending_skip",
         "exhausted",
     )
 
@@ -230,6 +232,10 @@ class CompiledStreamProjector:
         self._attrs: list = [None]
         self._states: list[int] = [dfa.start]
         self._nodes: list[BufferNode | None] = [buffer.root]
+        #: a subtree skip a freeze interrupted: ``(node,)`` where
+        #: *node* is the element being closed by the skip (or None for
+        #: a fully irrelevant subtree).  The lexer parks its own half.
+        self._pending_skip: tuple[BufferNode | None] | None = None
         if dfa.start_roles:
             buffer.add_roles(buffer.root, dfa.start_roles)
         self.exhausted = False
@@ -240,6 +246,17 @@ class CompiledStreamProjector:
         """Process the next input token; False when input is exhausted."""
         if self.exhausted:
             return False
+        if self._pending_skip is not None:
+            # finish the subtree skip a freeze interrupted — the tail
+            # of the very advance() call that was unwound, so its bulk
+            # token record lands before any other buffer activity
+            (node,) = self._pending_skip
+            count = self._lexer.skip_subtree()
+            self._pending_skip = None
+            self._stats.record_tokens(count, self._buffer.live_count)
+            if node is not None:
+                self._buffer.close(node)
+            return True
         event = self._next_event()
         if event is None:
             self.exhausted = True
@@ -337,7 +354,50 @@ class CompiledStreamProjector:
             # Only fully irrelevant subtrees count as "skipped"; a
             # buffered leaf whose content cannot match is routine.
             self._stats.subtrees_skipped += 1
-        count = self._lexer.skip_subtree()
+        try:
+            count = self._lexer.skip_subtree()
+        except FreezeSignal:
+            # already counted in subtrees_skipped; park the node being
+            # closed so the resumed advance() must not re-count it
+            self._pending_skip = (node,)
+            raise
         self._stats.record_tokens(count, self._buffer.live_count)
         if node is not None:
             self._buffer.close(node)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Match state as a dict of primitives plus BufferNode refs.
+
+        DFA state *ids* are process-local (lazily interned); the
+        snapshot stores each stack level's canonical NFA-instance
+        multiset — ``((role, step, count), ...)`` — which is stable
+        across processes and re-interned on restore.
+        """
+        dfa_states = self._dfa._states
+        return {
+            "tags": list(self._tags),
+            "attrs": [
+                None if attrs is None else tuple(dict(attrs).items())
+                for attrs in self._attrs
+            ],
+            "states": [dfa_states[state] for state in self._states],
+            "nodes": list(self._nodes),
+            "exhausted": self.exhausted,
+            "pending_skip": self._pending_skip,
+        }
+
+    def restore_state(self, state: dict, resolve) -> None:
+        """Adopt a :meth:`snapshot_state` dict; *resolve* maps decoded
+        node references back to buffer nodes."""
+        self._tags = list(state["tags"])
+        self._attrs = list(state["attrs"])
+        intern_state = self._dfa.intern_state
+        self._states = [intern_state(key) for key in state["states"]]
+        self._nodes = [resolve(ref) for ref in state["nodes"]]
+        self.exhausted = state["exhausted"]
+        pending = state["pending_skip"]
+        self._pending_skip = None if pending is None else (resolve(pending[0]),)

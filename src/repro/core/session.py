@@ -71,7 +71,14 @@ from repro.core.evaluator import PullEvaluator
 from repro.core.plan import QueryPlan
 from repro.core.program import CompiledEvaluator
 from repro.core.projector import CompiledStreamProjector, StreamProjector
+from repro.core.snapshot import (
+    decode_session,
+    encode_session,
+    plan_digest,
+    verify_plan,
+)
 from repro.core.stats import BufferStats
+from repro.xmlio.errors import FreezeSignal
 from repro.xmlio.lexer_bytes import ByteXmlLexer
 from repro.xmlio.writer import XmlWriter
 
@@ -79,6 +86,11 @@ from repro.xmlio.writer import XmlWriter
 #: worker.  A small bound gives backpressure: a producer cannot race
 #: megabytes ahead of evaluation, so input memory stays O(chunks).
 DEFAULT_MAX_PENDING_CHUNKS = 8
+
+#: Sentinel a :class:`_ChunkChannel` hands to the consumer instead of a
+#: chunk when the session wants the pull chain to unwind for a
+#: checkpoint.  Distinct from ``None`` (end of input).
+_FREEZE = object()
 
 
 class SessionStateError(RuntimeError):
@@ -99,6 +111,7 @@ class _ChunkChannel:
         self._capacity = max(1, capacity)
         self._closed = False
         self._abandoned = False
+        self._interrupt = False
         self._cond = threading.Condition()
 
     def put(self, chunk: bytes) -> bool:
@@ -127,11 +140,42 @@ class _ChunkChannel:
             self._chunks.clear()
             self._cond.notify_all()
 
-    def get(self) -> bytes | None:
-        """Next chunk; blocks while empty.  ``None`` at end of input."""
+    def interrupt(self) -> None:
+        """Make the consumer's next ``get()`` return the ``_FREEZE``
+        sentinel instead of a chunk.  Queued chunks stay queued — they
+        become the snapshot's input backlog."""
         with self._cond:
-            while not self._chunks and not self._closed and not self._abandoned:
+            self._interrupt = True
+            self._cond.notify_all()
+
+    def backlog(self) -> list[bytes]:
+        """Chunks queued but not yet consumed (snapshot input side)."""
+        with self._cond:
+            return list(self._chunks)
+
+    def preload(self, chunks) -> None:
+        """Re-queue a restored snapshot's input backlog (may exceed the
+        capacity bound transiently; the worker drains it first)."""
+        with self._cond:
+            self._chunks.extend(chunks)
+            self._cond.notify_all()
+
+    def get(self):
+        """Next chunk; blocks while empty.  ``None`` at end of input,
+        ``_FREEZE`` when interrupted for a checkpoint."""
+        with self._cond:
+            while not (
+                self._chunks
+                or self._closed
+                or self._abandoned
+                or self._interrupt
+            ):
                 self._cond.wait()
+            if self._interrupt:
+                # freeze outranks queued input: the chunks serialize
+                # as backlog and are consumed after restore instead
+                self._interrupt = False
+                return _FREEZE
             if self._chunks:
                 chunk = self._chunks.popleft()
                 self._cond.notify_all()
@@ -176,6 +220,7 @@ class _OutputChannel:
         self._empty = b"" if binary else ""
         self._closed = False
         self._abandoned = False
+        self._frozen = False
         self._cond = threading.Condition()
         #: ``time.perf_counter()`` of the first fragment, or ``None``
         self.first_output_at: float | None = None
@@ -209,6 +254,33 @@ class _OutputChannel:
         """Worker side: no more fragments will be produced."""
         with self._cond:
             self._closed = True
+            self._cond.notify_all()
+
+    def freeze(self) -> None:
+        """Worker side, checkpoint: stop producing *for now*.  Blocked
+        consumers wake, drain what remains and then see ``None`` — the
+        same termination signal as ``close()`` — but ``unfreeze()``
+        reopens the channel when the session thaws."""
+        with self._cond:
+            self._frozen = True
+            self._cond.notify_all()
+
+    def unfreeze(self) -> None:
+        with self._cond:
+            self._frozen = False
+            self._cond.notify_all()
+
+    def backlog(self) -> list:
+        """Produced-but-undrained fragments (snapshot output side)."""
+        with self._cond:
+            return list(self._parts)
+
+    def preload(self, parts) -> None:
+        """Re-queue a restored snapshot's output backlog."""
+        with self._cond:
+            for part in parts:
+                self._parts.append(part)
+                self._pending += len(part)
             self._cond.notify_all()
 
     # -- consumer side -----------------------------------------------------
@@ -260,7 +332,7 @@ class _OutputChannel:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while not self._parts:
-                if self._closed or self._abandoned:
+                if self._closed or self._abandoned or self._frozen:
                     return None
                 if deadline is None:
                     self._cond.wait()
@@ -308,8 +380,29 @@ class StreamSession:
         codegen: bool = True,
         fused_lexer: bool = True,
         binary_output: bool = False,
+        checkpointable: bool = False,
     ):
+        if checkpointable:
+            if not (compiled and plan.dfa is not None):
+                raise SessionStateError(
+                    "checkpointable sessions require the compiled "
+                    "projector tier (plan.dfa)"
+                )
+            if not (compiled_eval and plan.program is not None):
+                raise SessionStateError(
+                    "checkpointable sessions require the compiled "
+                    "evaluator tier (plan.program)"
+                )
+            # The generated kernels keep their dispatch state in
+            # exec-compiled locals that cannot be captured mid-loop;
+            # pin the table-driven tier, whose state is all on the
+            # instance (DESIGN.md §16).
+            codegen = False
+            fused_lexer = False
         self.plan = plan
+        self._checkpointable = checkpointable
+        self._gc_enabled = gc_enabled
+        self._frozen = False
         self._drain = drain
         self._binary_output = binary_output
         self._channel = _ChunkChannel(max_pending_chunks)
@@ -324,7 +417,7 @@ class StreamSession:
         # The input side is bytes end to end: chunks cross the channel
         # as raw UTF-8 and the bytes-domain lexer scans them directly
         # (text decoded lazily; skipped subtrees never decoded).
-        self._lexer = ByteXmlLexer(refill=self._channel.get)
+        self._lexer = ByteXmlLexer(refill=self._pull_chunk)
         # The plan's matcher/dfa are shared by all sessions: per-stream
         # match state lives on the projector's stack, and the dfa's
         # transition memo only ever gains deterministic entries — one
@@ -387,18 +480,39 @@ class StreamSession:
     # worker side (the pull chain)
     # ------------------------------------------------------------------
 
+    def _pull_chunk(self):
+        """Refill callable handed to the lexer: converts the channel's
+        freeze sentinel into the :class:`FreezeSignal` that unwinds the
+        pull chain with every component checkpoint-consistent."""
+        chunk = self._channel.get()
+        if chunk is _FREEZE:
+            raise FreezeSignal()
+        return chunk
+
     def _run(self) -> None:
+        frozen = False
         try:
             self._evaluator.run()
             if self._drain:
                 self._projector.run_to_end()
+        except FreezeSignal:
+            frozen = True
+            self._frozen = True
         except BaseException as exc:  # noqa: BLE001 - reraised on the caller side
             self._error = exc
         finally:
-            # Unblock any producer; late input is irrelevant now.  The
-            # output channel closes so blocked consumers wake up too.
-            self._channel.abandon()
-            self._output.close()
+            if frozen:
+                # Keep input queued (it is the snapshot's backlog) and
+                # only *freeze* the output: consumers drain what is
+                # left and see the termination signal; ``thaw()``
+                # reopens the channel and restarts the worker.
+                self._output.freeze()
+            else:
+                # Unblock any producer; late input is irrelevant now.
+                # The output channel closes so blocked consumers wake
+                # up too.
+                self._channel.abandon()
+                self._output.close()
 
     # ------------------------------------------------------------------
     # caller side (the push interface)
@@ -486,6 +600,202 @@ class StreamSession:
         self._output.abandon()
         self._worker.join()
         self._output.close()
+
+    # ------------------------------------------------------------------
+    # checkpointing (DESIGN.md §16)
+    # ------------------------------------------------------------------
+
+    @property
+    def checkpointable(self) -> bool:
+        return self._checkpointable
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Unwind the pull chain and park the session, checkpoint-ready.
+
+        Interrupts the input channel so the worker's next refill raises
+        :class:`FreezeSignal`; every stateful stage parks its in-flight
+        work (lexer skip locals, projector pending skip, evaluator pc)
+        on the way out, and the worker thread exits with the whole
+        chain quiescent.  The output channel is frozen, not closed:
+        blocked consumers drain what remains and see the termination
+        signal, and ``thaw()`` reopens it.
+
+        Raises :class:`SessionStateError` for non-checkpointable or
+        finished sessions, and when the worker completes before the
+        interrupt lands (possible with ``drain=False`` once all input
+        was consumed — there is nothing left to checkpoint).  Like
+        ``finish()``, freezing a session whose *bounded* output channel
+        is full requires a concurrent consumer, otherwise the worker
+        never reaches a refill.
+        """
+        if not self._checkpointable:
+            raise SessionStateError(
+                "session was not opened with checkpointable=True"
+            )
+        if self._result is not None:
+            raise SessionStateError("session already finished")
+        if self._frozen:
+            return
+        self._raise_pending()
+        self._channel.interrupt()
+        self._worker.join()
+        self._raise_pending()
+        if not self._frozen:
+            raise SessionStateError(
+                "session completed before it could freeze; "
+                "collect the result with finish() instead"
+            )
+
+    def thaw(self) -> None:
+        """Restart a frozen session's worker; evaluation resumes at the
+        exact op the freeze unwound."""
+        if not self._frozen:
+            raise SessionStateError("session is not frozen")
+        self._frozen = False
+        self._output.unfreeze()
+        self._worker = threading.Thread(
+            target=self._run, name="gcx-stream-session", daemon=True
+        )
+        self._worker.start()
+
+    def snapshot(self) -> bytes:
+        """Serialize the session into a versioned, self-contained blob.
+
+        Freezes first when necessary; an already-frozen session (the
+        server checkpoints that way, between freeze and thaw, after its
+        RESULT pump drained) is encoded in place and stays frozen.
+        The blob restores with :meth:`restore` — in this process or any
+        other holding an equivalent plan — and the restored session
+        continues byte-identically.
+        """
+        if self._frozen:
+            return self._encode_frozen()
+        self.freeze()
+        try:
+            return self._encode_frozen()
+        finally:
+            self.thaw()
+
+    def _encode_frozen(self) -> bytes:
+        first = self._output.first_output_at
+        return encode_session(
+            {
+                "plan_text": self.plan.canonical_text(),
+                "roles_digest": plan_digest(self.plan),
+                "gc_enabled": self._gc_enabled,
+                "drain": self._drain,
+                "binary_output": self._binary_output,
+                "bytes_fed": self._bytes_fed,
+                "elapsed": time.perf_counter() - self._started,
+                "first_output_delta": (
+                    None if first is None else first - self._started
+                ),
+                "stats": self._stats,
+                "buffer": self._buffer,
+                "lexer": self._lexer.snapshot_state(),
+                "projector": self._projector.snapshot_state(),
+                "chars_written": self._writer.chars_written,
+                "evaluator": self._evaluator.snapshot_state(),
+                "output_parts": self._output.backlog(),
+                "input_chunks": self._channel.backlog(),
+            }
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        plan: QueryPlan,
+        blob: bytes,
+        *,
+        output_stream=None,
+        on_output=None,
+        max_pending_output: int | None = None,
+        max_pending_chunks: int = DEFAULT_MAX_PENDING_CHUNKS,
+    ) -> "StreamSession":
+        """Rebuild a session from a :meth:`snapshot` blob.
+
+        *plan* must be equivalent to the one the snapshot was taken
+        against — same canonical query text *and* same role analysis —
+        otherwise :class:`~repro.core.snapshot.SnapshotPlanMismatch` is
+        raised; a blob from a different format version is refused with
+        :class:`~repro.core.snapshot.SnapshotFormatError`.  The caller
+        resumes feeding at byte offset ``bytes_fed`` and the combined
+        output (already-delivered prefix + what this session produces)
+        is byte-identical to an uninterrupted run.
+        """
+        snap = decode_session(blob)
+        verify_plan(snap, plan)
+        if plan.dfa is None or plan.program is None:
+            raise SessionStateError(
+                "restore requires the compiled projector and evaluator "
+                "tiers (plan.dfa and plan.program)"
+            )
+        self = cls.__new__(cls)
+        self.plan = plan
+        self._checkpointable = True
+        self._gc_enabled = snap.gc_enabled
+        self._frozen = False
+        self._drain = snap.drain
+        self._binary_output = snap.binary_output
+        self._channel = _ChunkChannel(max_pending_chunks)
+        self._channel.preload(snap.input_chunks)
+        self._output = _OutputChannel(
+            limit=max_pending_output,
+            callback=on_output,
+            passthrough=output_stream,
+            binary=snap.binary_output,
+        )
+        self._output.preload(snap.output_parts)
+        # Build the chain exactly as __init__ does (construction side
+        # effects — start roles on the fresh root — land on objects
+        # whose state the snapshot overwrites next).
+        self._stats = BufferStats(record_series=snap.stats["record_series"])
+        self._buffer = Buffer(self._stats)
+        self._lexer = ByteXmlLexer(refill=self._pull_chunk)
+        self._projector = CompiledStreamProjector(
+            self._lexer, plan.dfa, self._buffer, self._stats
+        )
+        self._writer = XmlWriter(stream=self._output)
+        self._evaluator = CompiledEvaluator(
+            plan.program, self._projector, self._buffer, self._writer,
+            snap.gc_enabled,
+        )
+        stats = self._stats
+        st = snap.stats
+        stats.series = st["series"]
+        stats.watermark = st["watermark"]
+        stats.tokens = st["tokens"]
+        stats.nodes_buffered = st["nodes_buffered"]
+        stats.nodes_purged = st["nodes_purged"]
+        stats.roles_assigned = st["roles_assigned"]
+        stats.roles_removed = st["roles_removed"]
+        stats.subtrees_skipped = st["subtrees_skipped"]
+        stats.output_chars = st["output_chars"]
+        stats.final_buffered = st["final_buffered"]
+        self._buffer._seq = snap.seq_counter
+        self._buffer.live_count = snap.live_count
+        self._buffer.root = snap.root
+        self._lexer.restore_state(snap.lexer)
+        self._projector.restore_state(snap.projector, snap.resolve)
+        self._writer.chars_written = snap.chars_written
+        self._evaluator.restore_state(snap.evaluator, snap.resolve)
+        self._error = None
+        self._result = None
+        self._bytes_fed = snap.bytes_fed
+        self._started = time.perf_counter() - snap.elapsed
+        if snap.first_output_delta is not None:
+            self._output.first_output_at = (
+                self._started + snap.first_output_delta
+            )
+        self._worker = threading.Thread(
+            target=self._run, name="gcx-stream-session", daemon=True
+        )
+        self._worker.start()
+        return self
 
     @property
     def bytes_fed(self) -> int:

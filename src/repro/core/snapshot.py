@@ -1,0 +1,764 @@
+"""Versioned binary session snapshots (explicit format, no pickle).
+
+The paper's bounded-buffer claim has an operational consequence: the
+*entire* live state of a streaming session — lexer restart state,
+projector stacks, VM loop frames, buffered nodes, undrained output —
+is small at any chunk boundary, so it can be serialized cheaply and a
+long-running session can survive a server restart or migrate between
+workers.  This module is the single place that knows the byte layout;
+components expose plain-dict ``snapshot_state()`` / ``restore_state()``
+surfaces and stay ignorant of encodings.
+
+Blob layout (DESIGN.md §16 has the full field table)::
+
+    MAGIC "GCXS" | u16 format version | header | stats | buffer tree |
+    lexer | projector | writer | evaluator | output backlog |
+    input backlog | purged-node table
+
+Every field is written explicitly with four primitives — unsigned
+LEB128 varints (zigzag for signed), length-prefixed UTF-8 text,
+length-prefixed raw bytes, and big-endian float64 — so there is no
+object graph, no code execution on decode, and a truncated or
+corrupted blob fails loudly.  A snapshot is *keyed*: the header
+carries the canonical plan text plus a digest over the plan's role
+table, and restore refuses — never misreads — a blob whose format
+version or plan key does not match.
+
+Buffer nodes are serialized by ``seq`` (globally unique arrival
+numbers); the decoder rebuilds the live tree and a ``seq → node`` map,
+and projector/evaluator node references resolve through it.  Evaluator
+frames may legitimately reference *purged* nodes (a loop context the
+GC reclaimed mid-iteration); those are recorded in a small side table
+and rebuilt as detached purged nodes with their identity intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections import Counter
+
+from repro.core.buffer import BufferNode
+from repro.xmlio.errors import FreezeSignal  # noqa: F401 - core-side re-export
+
+MAGIC = b"GCXS"
+
+#: Bump whenever the blob layout *or* the meaning of any serialized
+#: field changes (including operator-program or DFA key semantics —
+#: frame pcs and DFA multiset keys are only stable within one format
+#: generation).  Old blobs are then refused with a clear error.
+FORMAT_VERSION = 1
+
+_F64 = struct.Struct(">d")
+_U16 = struct.Struct(">H")
+
+# slot / reference value tags
+_TAG_NONE = 0
+_TAG_NODE = 1
+_TAG_STR = 2
+_TAG_INT = 3
+_TAG_FLOAT = 4
+
+# frame kinds (format-local, independent of program.py constants)
+_FRAME_CHILD = 0
+_FRAME_DESC = 1
+_FRAME_SELF = 2
+
+_FRAME_KINDS = {"child": _FRAME_CHILD, "desc": _FRAME_DESC, "self": _FRAME_SELF}
+_FRAME_NAMES = {v: k for k, v in _FRAME_KINDS.items()}
+
+
+class SnapshotError(ValueError):
+    """Base class for snapshot encode/decode failures."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """The blob is not a snapshot this build can read — wrong magic,
+    stale/unknown format version, or truncated/corrupt payload."""
+
+
+class SnapshotPlanMismatch(SnapshotError):
+    """The blob is a valid snapshot of a *different* plan (canonical
+    text or role-table digest differs) and was refused."""
+
+
+def plan_digest(plan) -> str:
+    """Identity key of a compiled plan for snapshot keying.
+
+    Canonical text alone is not enough: the same normalized query
+    compiled with different analysis settings (e.g. ``first_witness``)
+    yields different role tables, and restoring across that boundary
+    would silently mis-assign roles.  Digest both.
+    """
+    h = hashlib.sha256()
+    h.update(plan.canonical_text().encode("utf-8"))
+    h.update(b"\x00")
+    h.update(plan.analysis.describe_roles().encode("utf-8"))
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# primitives
+# ---------------------------------------------------------------------------
+
+
+class BlobWriter:
+    """Append-only encoder over the four primitive encodings."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def raw(self, data: bytes) -> None:
+        self._parts.append(data)
+
+    def varint(self, value: int) -> None:
+        if value < 0:
+            raise SnapshotError(f"varint cannot encode negative {value}")
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self._parts.append(bytes(out))
+
+    def svarint(self, value: int) -> None:
+        """Zigzag-encoded signed varint."""
+        self.varint((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+    def bool_(self, value: bool) -> None:
+        self._parts.append(b"\x01" if value else b"\x00")
+
+    def f64(self, value: float) -> None:
+        self._parts.append(_F64.pack(value))
+
+    def blob(self, data: bytes) -> None:
+        self.varint(len(data))
+        self._parts.append(bytes(data))
+
+    def text(self, value: str) -> None:
+        self.blob(value.encode("utf-8"))
+
+    def opt_text(self, value: str | None) -> None:
+        self.bool_(value is not None)
+        if value is not None:
+            self.text(value)
+
+    def opt_blob(self, value: bytes | None) -> None:
+        self.bool_(value is not None)
+        if value is not None:
+            self.blob(value)
+
+    def pairs(self, items) -> None:
+        """A length-prefixed sequence of (str, str) pairs."""
+        items = list(items)
+        self.varint(len(items))
+        for name, value in items:
+            self.text(name)
+            self.text(value)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class BlobReader:
+    """Strict decoder; any overrun raises :class:`SnapshotFormatError`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def raw(self, size: int) -> bytes:
+        end = self._pos + size
+        if end > len(self._data):
+            raise SnapshotFormatError("truncated snapshot blob")
+        piece = self._data[self._pos : end]
+        self._pos = end
+        return piece
+
+    def varint(self) -> int:
+        value = 0
+        shift = 0
+        data = self._data
+        pos = self._pos
+        size = len(data)
+        while True:
+            if pos >= size:
+                raise SnapshotFormatError("truncated snapshot blob (varint)")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 63:
+                raise SnapshotFormatError("varint overflow in snapshot blob")
+        self._pos = pos
+        return value
+
+    def svarint(self) -> int:
+        raw = self.varint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def bool_(self) -> bool:
+        return self.raw(1) == b"\x01"
+
+    def f64(self) -> float:
+        return _F64.unpack(self.raw(8))[0]
+
+    def blob(self) -> bytes:
+        return self.raw(self.varint())
+
+    def text(self) -> str:
+        return self.blob().decode("utf-8")
+
+    def opt_text(self) -> str | None:
+        return self.text() if self.bool_() else None
+
+    def opt_blob(self) -> bytes | None:
+        return self.blob() if self.bool_() else None
+
+    def pairs(self) -> list[tuple[str, str]]:
+        return [(self.text(), self.text()) for _ in range(self.varint())]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)
+
+
+# ---------------------------------------------------------------------------
+# node references
+# ---------------------------------------------------------------------------
+
+
+def _write_noderef(w: BlobWriter, node, purged: dict) -> None:
+    """A buffer-node reference: 0 for ``None``, else ``seq + 1``.
+    Purged referents are collected for the side table."""
+    if node is None:
+        w.varint(0)
+        return
+    w.varint(node.seq + 1)
+    if node.purged:
+        purged[node.seq] = node
+
+
+def _read_noderef(r: BlobReader) -> int | None:
+    ref = r.varint()
+    return None if ref == 0 else ref - 1
+
+
+class _Resolver:
+    """Maps decoded integer refs back to live/purged BufferNodes."""
+
+    def __init__(self, seq_map: dict, purged: dict):
+        self._seq_map = seq_map
+        self._purged_specs = purged
+        self._purged_nodes: dict[int, BufferNode] = {}
+
+    def __call__(self, ref: int | None):
+        if ref is None:
+            return None
+        node = self._seq_map.get(ref)
+        if node is not None:
+            return node
+        node = self._purged_nodes.get(ref)
+        if node is None:
+            spec = self._purged_specs.get(ref)
+            if spec is None:
+                raise SnapshotFormatError(
+                    f"snapshot references unknown buffer node seq {ref}"
+                )
+            tag, text, attrs = spec
+            node = BufferNode(tag, None, ref, text=text, attributes=dict(attrs))
+            node.closed = True
+            node.purged = True
+            self._purged_nodes[ref] = node
+        return node
+
+
+# ---------------------------------------------------------------------------
+# sections
+# ---------------------------------------------------------------------------
+
+
+def _encode_stats(w: BlobWriter, stats) -> None:
+    w.bool_(stats.record_series)
+    w.varint(len(stats.series))
+    for value in stats.series:
+        w.varint(value)
+    w.varint(stats.watermark)
+    w.varint(stats.tokens)
+    w.varint(stats.nodes_buffered)
+    w.varint(stats.nodes_purged)
+    w.varint(stats.roles_assigned)
+    w.varint(stats.roles_removed)
+    w.varint(stats.subtrees_skipped)
+    w.varint(stats.output_chars)
+    w.varint(stats.final_buffered)
+
+
+def _decode_stats(r: BlobReader) -> dict:
+    record_series = r.bool_()
+    series = [r.varint() for _ in range(r.varint())]
+    return {
+        "record_series": record_series,
+        "series": series,
+        "watermark": r.varint(),
+        "tokens": r.varint(),
+        "nodes_buffered": r.varint(),
+        "nodes_purged": r.varint(),
+        "roles_assigned": r.varint(),
+        "roles_removed": r.varint(),
+        "subtrees_skipped": r.varint(),
+        "output_chars": r.varint(),
+        "final_buffered": r.varint(),
+    }
+
+
+_NODE_ELEMENT = 0
+_NODE_TEXT = 1
+
+
+def _encode_buffer(w: BlobWriter, buffer) -> None:
+    w.varint(buffer._seq)
+    w.varint(buffer.live_count)
+    # preorder, each record followed by its child count then children
+    stack = [buffer.root]
+    while stack:
+        node = stack.pop()
+        if node.tag is None:
+            w.raw(b"\x01")  # _NODE_TEXT
+            w.varint(node.seq)
+            w.text(node.text or "")
+        else:
+            w.raw(b"\x00")  # _NODE_ELEMENT
+            w.varint(node.seq)
+            w.text(node.tag)
+            w.pairs(node.attributes.items())
+        w.bool_(node.closed)
+        roles = node.roles
+        w.varint(len(roles))
+        for name, count in roles.items():
+            w.text(name)
+            w.varint(count)
+        w.varint(node.subtree_roles)
+        w.varint(len(node.children))
+        stack.extend(reversed(node.children))
+
+
+def _decode_buffer(r: BlobReader) -> tuple[int, int, BufferNode, dict]:
+    """Returns ``(seq_counter, live_count, root, seq→node map)``."""
+    seq_counter = r.varint()
+    live_count = r.varint()
+    seq_map: dict[int, BufferNode] = {}
+
+    def read_node(parent: BufferNode | None) -> tuple[BufferNode, int]:
+        kind = r.raw(1)[0]
+        seq = r.varint()
+        if kind == _NODE_TEXT:
+            node = BufferNode(None, parent, seq, text=r.text())
+        elif kind == _NODE_ELEMENT:
+            node = BufferNode(r.text(), parent, seq, attributes=dict(r.pairs()))
+        else:
+            raise SnapshotFormatError(f"unknown buffer node kind {kind}")
+        node.closed = r.bool_()
+        roles = Counter()
+        for _ in range(r.varint()):
+            name = r.text()
+            roles[name] = r.varint()
+        node.roles = roles
+        node.subtree_roles = r.varint()
+        seq_map[seq] = node
+        return node, r.varint()
+
+    root, n_children = read_node(None)
+    # iterative preorder rebuild: (parent, children still to read)
+    stack: list[list] = [[root, n_children]]
+    while stack:
+        top = stack[-1]
+        if top[1] == 0:
+            stack.pop()
+            continue
+        top[1] -= 1
+        child, n_grandchildren = read_node(top[0])
+        top[0].children.append(child)
+        top[0].child_seqs.append(child.seq)
+        stack.append([child, n_grandchildren])
+    return seq_counter, live_count, root, seq_map
+
+
+def _encode_lexer(w: BlobWriter, state: dict) -> None:
+    w.blob(state["buf"])
+    w.varint(state["base"])
+    w.bool_(state["keep_whitespace"])
+    w.bool_(state["started"])
+    w.bool_(state["closed"])
+    tags = state["open_tags"]
+    w.varint(len(tags))
+    for tag in tags:
+        w.text(tag)
+    pending_end = state["pending_end"]
+    w.bool_(pending_end is not None)
+    if pending_end is not None:
+        w.text(pending_end[0])
+        w.varint(pending_end[1])
+    w.varint(state["resume"])
+    w.opt_blob(state["need"])
+    chunks = state["pending_chunks"]
+    w.varint(len(chunks))
+    for chunk in chunks:
+        w.blob(chunk)
+    w.blob(state["joint"])
+    w.opt_text(state["internal_subset"])
+    names = state["names"]
+    w.varint(len(names))
+    for raw in names:
+        w.blob(raw)
+    parked = state["skip_parked"]
+    w.bool_(parked is not None)
+    if parked is not None:
+        w.varint(parked[0])
+        w.varint(parked[1])
+
+
+def _decode_lexer(r: BlobReader) -> dict:
+    state = {
+        "buf": r.blob(),
+        "base": r.varint(),
+        "keep_whitespace": r.bool_(),
+        "started": r.bool_(),
+        "closed": r.bool_(),
+        "open_tags": [r.text() for _ in range(r.varint())],
+    }
+    state["pending_end"] = (r.text(), r.varint()) if r.bool_() else None
+    state["resume"] = r.varint()
+    state["need"] = r.opt_blob()
+    state["pending_chunks"] = [r.blob() for _ in range(r.varint())]
+    state["joint"] = r.blob()
+    state["internal_subset"] = r.opt_text()
+    state["names"] = [r.blob() for _ in range(r.varint())]
+    state["skip_parked"] = (r.varint(), r.varint()) if r.bool_() else None
+    return state
+
+
+def _encode_projector(w: BlobWriter, state: dict, purged: dict) -> None:
+    depth = len(state["states"])
+    w.varint(depth)
+    for level in range(depth):
+        tag = state["tags"][level]
+        w.opt_text(tag)
+        attrs = state["attrs"][level]
+        w.bool_(attrs is not None)
+        if attrs is not None:
+            w.pairs(dict(attrs).items())
+        key = state["states"][level]  # canonical DFA multiset
+        w.varint(len(key))
+        for role, index, count in key:
+            w.varint(role)
+            w.varint(index)
+            w.varint(count)
+        _write_noderef(w, state["nodes"][level], purged)
+    w.bool_(state["exhausted"])
+    pending = state["pending_skip"]
+    w.bool_(pending is not None)
+    if pending is not None:
+        _write_noderef(w, pending[0], purged)
+
+
+def _decode_projector(r: BlobReader) -> dict:
+    depth = r.varint()
+    tags: list = []
+    attrs: list = []
+    states: list = []
+    nodes: list = []
+    for _ in range(depth):
+        tags.append(r.opt_text())
+        attrs.append(tuple(r.pairs()) if r.bool_() else None)
+        states.append(
+            tuple((r.varint(), r.varint(), r.varint()) for _ in range(r.varint()))
+        )
+        nodes.append(_read_noderef(r))
+    state = {
+        "tags": tags,
+        "attrs": attrs,
+        "states": states,
+        "nodes": nodes,
+        "exhausted": r.bool_(),
+    }
+    state["pending_skip"] = (_read_noderef(r),) if r.bool_() else None
+    return state
+
+
+def _encode_value(w: BlobWriter, value, purged: dict) -> None:
+    if value is None:
+        w.raw(bytes((_TAG_NONE,)))
+    elif isinstance(value, BufferNode):
+        w.raw(bytes((_TAG_NODE,)))
+        _write_noderef(w, value, purged)
+    elif isinstance(value, str):
+        w.raw(bytes((_TAG_STR,)))
+        w.text(value)
+    elif isinstance(value, bool):
+        raise SnapshotError(f"unexpected bool slot value {value!r}")
+    elif isinstance(value, int):
+        w.raw(bytes((_TAG_INT,)))
+        w.svarint(value)
+    elif isinstance(value, float):
+        w.raw(bytes((_TAG_FLOAT,)))
+        w.f64(value)
+    else:
+        raise SnapshotError(f"cannot serialize slot value {value!r}")
+
+
+def _decode_value(r: BlobReader):
+    """Returns the value, with node refs as ``("node", ref)`` markers."""
+    tag = r.raw(1)[0]
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_NODE:
+        return ("node", _read_noderef(r))
+    if tag == _TAG_STR:
+        return r.text()
+    if tag == _TAG_INT:
+        return r.svarint()
+    if tag == _TAG_FLOAT:
+        return r.f64()
+    raise SnapshotFormatError(f"unknown slot value tag {tag}")
+
+
+def _encode_evaluator(w: BlobWriter, state: dict, purged: dict) -> None:
+    w.varint(state["pc"])
+    slots = state["slots"]
+    w.varint(len(slots))
+    for value in slots:
+        _encode_value(w, value, purged)
+    frames = state["frames"]
+    w.varint(len(frames))
+    for frame in frames:
+        w.varint(frame["init_pc"])
+        kind = _FRAME_KINDS[frame["kind"]]
+        w.raw(bytes((kind,)))
+        if kind == _FRAME_CHILD:
+            _write_noderef(w, frame["context"], purged)
+            w.varint(frame["last_seq"])
+            w.varint(frame["matched"])
+            w.bool_(frame["done"])
+        elif kind == _FRAME_DESC:
+            stack = frame["stack"]
+            w.bool_(stack is not None)
+            if stack is not None:
+                w.varint(len(stack))
+                for node, seq in stack:
+                    _write_noderef(w, node, purged)
+                    w.varint(seq)
+            w.varint(frame["matched"])
+            w.bool_(frame["done"])
+            _write_noderef(w, frame["pending"], purged)
+            w.bool_(frame["started"])
+        else:  # _FRAME_SELF
+            _write_noderef(w, frame["context"], purged)
+            w.bool_(frame["done"])
+
+
+def _decode_evaluator(r: BlobReader) -> dict:
+    state = {
+        "pc": r.varint(),
+        "slots": [_decode_value(r) for _ in range(r.varint())],
+    }
+    frames = []
+    for _ in range(r.varint()):
+        init_pc = r.varint()
+        kind = r.raw(1)[0]
+        if kind == _FRAME_CHILD:
+            frames.append(
+                {
+                    "init_pc": init_pc,
+                    "kind": "child",
+                    "context": _read_noderef(r),
+                    "last_seq": r.varint(),
+                    "matched": r.varint(),
+                    "done": r.bool_(),
+                }
+            )
+        elif kind == _FRAME_DESC:
+            stack = None
+            if r.bool_():
+                stack = [
+                    (_read_noderef(r), r.varint()) for _ in range(r.varint())
+                ]
+            frames.append(
+                {
+                    "init_pc": init_pc,
+                    "kind": "desc",
+                    "stack": stack,
+                    "matched": r.varint(),
+                    "done": r.bool_(),
+                    "pending": _read_noderef(r),
+                    "started": r.bool_(),
+                }
+            )
+        elif kind == _FRAME_SELF:
+            frames.append(
+                {
+                    "init_pc": init_pc,
+                    "kind": "self",
+                    "context": _read_noderef(r),
+                    "done": r.bool_(),
+                }
+            )
+        else:
+            raise SnapshotFormatError(f"unknown frame kind {kind}")
+    state["frames"] = frames
+    return state
+
+
+# ---------------------------------------------------------------------------
+# whole-session encode / decode
+# ---------------------------------------------------------------------------
+
+
+class SessionSnapshot:
+    """Decoded snapshot: plain data plus integer node references.
+
+    ``resolve`` (a :class:`_Resolver`) is attached by
+    :func:`decode_session`; :meth:`repro.core.session.StreamSession.restore`
+    threads it through the component ``restore_state`` calls.
+    """
+
+    __slots__ = (
+        "plan_text",
+        "roles_digest",
+        "gc_enabled",
+        "drain",
+        "binary_output",
+        "bytes_fed",
+        "elapsed",
+        "first_output_delta",
+        "stats",
+        "seq_counter",
+        "live_count",
+        "root",
+        "seq_map",
+        "lexer",
+        "projector",
+        "chars_written",
+        "evaluator",
+        "output_parts",
+        "input_chunks",
+        "resolve",
+    )
+
+
+def encode_session(state: dict) -> bytes:
+    """Serialize one frozen session's assembled state dict."""
+    w = BlobWriter()
+    w.raw(MAGIC)
+    w.raw(_U16.pack(FORMAT_VERSION))
+    w.text(state["plan_text"])
+    w.text(state["roles_digest"])
+    w.bool_(state["gc_enabled"])
+    w.bool_(state["drain"])
+    w.bool_(state["binary_output"])
+    w.varint(state["bytes_fed"])
+    w.f64(state["elapsed"])
+    first = state["first_output_delta"]
+    w.bool_(first is not None)
+    if first is not None:
+        w.f64(first)
+    purged: dict = {}
+    _encode_stats(w, state["stats"])
+    _encode_buffer(w, state["buffer"])
+    _encode_lexer(w, state["lexer"])
+    _encode_projector(w, state["projector"], purged)
+    w.varint(state["chars_written"])
+    _encode_evaluator(w, state["evaluator"], purged)
+    parts = state["output_parts"]
+    binary = state["binary_output"]
+    w.varint(len(parts))
+    for part in parts:
+        w.blob(part if binary else part.encode("utf-8"))
+    chunks = state["input_chunks"]
+    w.varint(len(chunks))
+    for chunk in chunks:
+        w.blob(chunk)
+    # purged-node side table, discovered while encoding the refs above
+    w.varint(len(purged))
+    for seq in sorted(purged):
+        node = purged[seq]
+        w.varint(seq)
+        w.opt_text(node.tag)
+        w.opt_text(node.text)
+        w.pairs(node.attributes.items())
+    return w.getvalue()
+
+
+def read_header(blob: bytes) -> tuple[BlobReader, str, str]:
+    """Validate magic + version; returns (reader, plan_text, digest)."""
+    r = BlobReader(blob)
+    if r.raw(4) != MAGIC:
+        raise SnapshotFormatError("not a GCX session snapshot (bad magic)")
+    version = _U16.unpack(r.raw(2))[0]
+    if version != FORMAT_VERSION:
+        raise SnapshotFormatError(
+            f"snapshot format v{version} is not supported by this build "
+            f"(expected v{FORMAT_VERSION}); refusing to restore"
+        )
+    return r, r.text(), r.text()
+
+
+def peek_plan_text(blob: bytes) -> str:
+    """The canonical plan text a snapshot was taken against (header
+    only; the body is not decoded)."""
+    _, plan_text, _ = read_header(blob)
+    return plan_text
+
+
+def decode_session(blob: bytes) -> SessionSnapshot:
+    r, plan_text, roles_digest = read_header(blob)
+    snap = SessionSnapshot()
+    snap.plan_text = plan_text
+    snap.roles_digest = roles_digest
+    snap.gc_enabled = r.bool_()
+    snap.drain = r.bool_()
+    snap.binary_output = r.bool_()
+    snap.bytes_fed = r.varint()
+    snap.elapsed = r.f64()
+    snap.first_output_delta = r.f64() if r.bool_() else None
+    snap.stats = _decode_stats(r)
+    snap.seq_counter, snap.live_count, snap.root, snap.seq_map = _decode_buffer(r)
+    snap.lexer = _decode_lexer(r)
+    snap.projector = _decode_projector(r)
+    snap.chars_written = r.varint()
+    snap.evaluator = _decode_evaluator(r)
+    raw_parts = [r.blob() for _ in range(r.varint())]
+    snap.output_parts = (
+        raw_parts
+        if snap.binary_output
+        else [part.decode("utf-8") for part in raw_parts]
+    )
+    snap.input_chunks = [r.blob() for _ in range(r.varint())]
+    purged: dict = {}
+    for _ in range(r.varint()):
+        seq = r.varint()
+        purged[seq] = (r.opt_text(), r.opt_text(), r.pairs())
+    snap.resolve = _Resolver(snap.seq_map, purged)
+    return snap
+
+
+def verify_plan(snap: SessionSnapshot, plan) -> None:
+    """Refuse a snapshot taken against a different plan."""
+    if snap.plan_text != plan.canonical_text():
+        raise SnapshotPlanMismatch(
+            "snapshot was taken against a different plan "
+            "(canonical query text differs); refusing to restore"
+        )
+    digest = plan_digest(plan)
+    if snap.roles_digest != digest:
+        raise SnapshotPlanMismatch(
+            "snapshot was taken against a different role table "
+            "(same query text, different analysis settings); "
+            "refusing to restore"
+        )

@@ -35,6 +35,7 @@ from typing import Iterable
 
 from repro.server.protocol import (
     DEFAULT_PORT,
+    SNAPSHOT_OFFSETS,
     Frame,
     FrameDecoder,
     FrameType,
@@ -99,6 +100,12 @@ class GCXClient:
         #: send loop drained off the socket), oldest first
         self._frames: deque[Frame] = deque()
         self._decoder = FrameDecoder()
+        #: the most recent checkpoint seen on this client — requested
+        #: via :meth:`checkpoint` or pushed unsolicited by the server
+        #: (interval cadence, drain-to-checkpoint) — as ``(input
+        #: offset, output offset, blob)``; what :meth:`resume` and the
+        #: resume-aware retry of :meth:`run_query_resilient` replay from
+        self.last_snapshot: tuple[int, int, bytes] | None = None
 
     # ------------------------------------------------------------------
     # frame plumbing
@@ -138,10 +145,21 @@ class GCXClient:
         return self._frames.popleft()
 
     def _recv(self) -> Frame:
-        frame = self._read_frame()
-        if frame.type is FrameType.ERROR:
-            raise ServerError(frame.text)
-        return frame
+        while True:
+            frame = self._read_frame()
+            if frame.type is FrameType.SNAPSHOT:
+                # Unsolicited server-driven checkpoint: record it and
+                # keep reading — callers never see SNAPSHOT frames.
+                self.last_snapshot = self._parse_snapshot(frame.payload)
+                continue
+            if frame.type is FrameType.ERROR:
+                raise ServerError(frame.text)
+            return frame
+
+    @staticmethod
+    def _parse_snapshot(payload: bytes) -> tuple[int, int, bytes]:
+        input_offset, output_offset = SNAPSHOT_OFFSETS.unpack_from(payload)
+        return input_offset, output_offset, payload[SNAPSHOT_OFFSETS.size :]
 
     def _reconnect(self) -> None:
         with contextlib.suppress(OSError):
@@ -172,17 +190,23 @@ class GCXClient:
     # the query conversation
     # ------------------------------------------------------------------
 
-    def open(self, query_text: str) -> int:
+    def open(self, query_text: str, checkpointable: bool = False) -> int:
         """Start a session; returns the server-side session id.
 
         Raises :class:`ServerBusyError` when admission is refused and
         :class:`ServerError` when the query does not compile.  With
         ``busy_retries`` set, BUSY is retried (reconnecting) before it
-        is raised.
+        is raised.  *checkpointable* sends the arming CHECKPOINT frame
+        first, so the session can later be snapshotted and resumed
+        (DESIGN.md §16).
         """
-        return self._with_busy_retry(lambda: self._open_once(query_text))
+        return self._with_busy_retry(
+            lambda: self._open_once(query_text, checkpointable)
+        )
 
-    def _open_once(self, query_text: str) -> int:
+    def _open_once(self, query_text: str, checkpointable: bool = False) -> int:
+        if checkpointable:
+            self._send(FrameType.CHECKPOINT)
         self._send(FrameType.OPEN, query_text)
         frame = self._recv()
         if frame.type is FrameType.BUSY:
@@ -264,6 +288,160 @@ class GCXClient:
         for chunk in document:
             self.send_chunk(chunk)
         return self.finish()
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume (DESIGN.md §16)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> tuple[int, int, bytes]:
+        """Checkpoint the open session; returns ``(input offset,
+        output offset, blob)`` and records it as :attr:`last_snapshot`.
+
+        RESULT frames read while waiting for the SNAPSHOT are queued
+        back in order, so a later :meth:`recv_result` / :meth:`finish`
+        sees them exactly as if no checkpoint had happened.
+        """
+        self._send(FrameType.CHECKPOINT)
+        passed: list[Frame] = []
+        try:
+            while True:
+                frame = self._read_frame()
+                if frame.type is FrameType.SNAPSHOT:
+                    self.last_snapshot = self._parse_snapshot(frame.payload)
+                    return self.last_snapshot
+                if frame.type is FrameType.ERROR:
+                    raise ServerError(frame.text)
+                passed.append(frame)
+        finally:
+            self._frames.extendleft(reversed(passed))
+
+    def resume(self, blob: bytes) -> int:
+        """Rebuild a checkpointed session from *blob*; returns the new
+        server-side session id.
+
+        Works against any worker — the blob carries its own plan — and
+        retries BUSY like :meth:`open` when ``busy_retries`` is set.
+        Raises :class:`ServerError` when the server refuses the blob
+        (stale snapshot format, plan mismatch, truncation).
+        """
+        return self._with_busy_retry(lambda: self._resume_once(blob))
+
+    def _resume_once(self, blob: bytes) -> int:
+        self._send(FrameType.RESUME, blob)
+        frame = self._recv()
+        if frame.type is FrameType.BUSY:
+            raise ServerBusyError(frame.text)
+        if frame.type is not FrameType.OPENED:
+            raise ProtocolError(f"expected OPENED, got {frame.type.name}")
+        return int(frame.text)
+
+    def run_query_resilient(
+        self,
+        query_text: str,
+        document: str | bytes,
+        checkpoint_interval: int | None = 1 << 20,
+        resume_retries: int = 3,
+    ) -> QueryOutcome:
+        """:meth:`run_query` with resume-aware retry (DESIGN.md §16).
+
+        The session is opened checkpointable and checkpointed every
+        *checkpoint_interval* input bytes (``None`` relies on the
+        server's own ``--checkpoint-interval`` cadence instead).  When
+        the connection dies mid-query — a SIGKILLed worker, a severed
+        socket — the client reconnects (the kernel may route it to any
+        sibling worker), RESUMEs from :attr:`last_snapshot`, rolls its
+        assembled output back to the snapshot's output offset, and
+        replays the input from the snapshot's input offset; because
+        restored sessions continue byte-identically, the stitched
+        output equals the unbroken run's.  Up to *resume_retries*
+        reconnects, backed off like BUSY retries; with no snapshot in
+        hand (or a compile/evaluation ERROR) the failure propagates.
+        """
+        data = document.encode("utf-8") if isinstance(document, str) else bytes(document)
+        received = bytearray()
+        self.last_snapshot = None
+        sent = 0
+        last_checkpoint = 0
+        opened = False
+        failures = 0
+        while True:
+            try:
+                if not opened:
+                    if self.last_snapshot is None:
+                        self.open(query_text, checkpointable=True)
+                    else:
+                        input_offset, output_offset, blob = self.last_snapshot
+                        self.resume(blob)
+                        # Roll back to the replay point: output beyond
+                        # the snapshot will be re-produced byte for
+                        # byte, input beyond it is re-sent below.
+                        sent = input_offset
+                        last_checkpoint = input_offset
+                        del received[output_offset:]
+                    opened = True
+                while sent < len(data):
+                    end = min(sent + self.chunk_size, len(data))
+                    self._send(FrameType.CHUNK, data[sent:end])
+                    sent = end
+                    self._drain_results(received)
+                    if (
+                        checkpoint_interval
+                        and sent - last_checkpoint >= checkpoint_interval
+                        and sent < len(data)
+                    ):
+                        self._checkpoint_into(received)
+                        last_checkpoint = sent
+                summary = self._finish_into(received)
+                return QueryOutcome(received.decode("utf-8"), summary)
+            except (ConnectionError, TimeoutError):
+                if self.last_snapshot is None or failures >= resume_retries:
+                    raise
+                delay = self.busy_backoff * (2**failures)
+                time.sleep(delay * (0.5 + random.random()))
+                failures += 1
+                opened = False
+                self._reconnect()
+
+    def _absorb(self, frame: Frame, received: bytearray) -> None:
+        """Fold one inbound frame into the resilient run's state."""
+        if frame.type is FrameType.RESULT:
+            received += frame.payload
+        elif frame.type is FrameType.SNAPSHOT:
+            # Requested or unsolicited alike: when this frame was cut,
+            # exactly ``output offset`` result bytes preceded it on the
+            # wire — and they are all in ``received`` by now, which is
+            # what makes the rollback in run_query_resilient exact.
+            self.last_snapshot = self._parse_snapshot(frame.payload)
+        elif frame.type is FrameType.ERROR:
+            raise ServerError(frame.text)
+        else:
+            raise ProtocolError(f"unexpected {frame.type.name} frame")
+
+    def _drain_results(self, received: bytearray) -> None:
+        """Consume every frame the duplex send loop already queued."""
+        while self._frames:
+            self._absorb(self._frames.popleft(), received)
+
+    def _checkpoint_into(self, received: bytearray) -> None:
+        """Request a checkpoint; block until a fresh SNAPSHOT lands.
+
+        The previous snapshot stays in hand until the new one is
+        absorbed, so a crash *during* the checkpoint still resumes —
+        just from the older replay point.
+        """
+        previous = self.last_snapshot
+        self._send(FrameType.CHECKPOINT)
+        while self.last_snapshot is previous:
+            self._absorb(self._read_frame(), received)
+
+    def _finish_into(self, received: bytearray) -> dict:
+        """End the input; absorb frames until the FINISH summary."""
+        self._send(FrameType.FINISH)
+        while True:
+            frame = self._read_frame()
+            if frame.type is FrameType.FINISH:
+                return json.loads(frame.text) if frame.payload else {}
+            self._absorb(frame, received)
 
     # ------------------------------------------------------------------
     # shared streams (DESIGN.md §13)

@@ -118,6 +118,11 @@ class ServerMetrics:
         self._subscribers_completed = 0
         self._subscribers_failed = 0
         self._peak_fanout = 0
+        # checkpoint/resume accounting (DESIGN.md §16): snapshot sizes
+        # share the bounded-window discipline of the latency deques
+        self._checkpoints_taken = 0
+        self._sessions_resumed = 0
+        self._snapshot_bytes: deque[int] = deque(maxlen=latency_window)
 
     # ------------------------------------------------------------------
     # recording
@@ -187,6 +192,16 @@ class ServerMetrics:
             self._subscribers_active -= 1
             self._subscribers_failed += 1
 
+    def checkpoint_taken(self, snapshot_bytes: int) -> None:
+        with self._lock:
+            self._checkpoints_taken += 1
+            self._snapshot_bytes.append(snapshot_bytes)
+
+    def session_resumed(self) -> None:
+        """A RESUME rebuilt a session here (also counted as opened)."""
+        with self._lock:
+            self._sessions_resumed += 1
+
     def add_bytes_in(self, count: int) -> None:
         with self._lock:
             self._bytes_in += count
@@ -222,6 +237,7 @@ class ServerMetrics:
         with self._lock:
             latencies = sorted(self._latencies)
             ttfrs = sorted(self._ttfrs)
+            snapshot_sizes = sorted(self._snapshot_bytes)
             snap = {
                 "uptime_s": round(time.monotonic() - self._started, 3),
                 "sessions": {
@@ -242,6 +258,15 @@ class ServerMetrics:
                     "count": len(ttfrs),
                     "p50": round(_percentile(ttfrs, 0.50) * 1000, 3),
                     "p99": round(_percentile(ttfrs, 0.99) * 1000, 3),
+                },
+                "checkpoints": {
+                    "taken": self._checkpoints_taken,
+                    "sessions_resumed": self._sessions_resumed,
+                    "snapshot_bytes": {
+                        "count": len(snapshot_sizes),
+                        "p50": _percentile(snapshot_sizes, 0.50),
+                        "p99": _percentile(snapshot_sizes, 0.99),
+                    },
                 },
             }
         if plan_cache is not None:

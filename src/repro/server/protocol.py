@@ -65,6 +65,38 @@ handles this by draining inbound frames into an ordered queue while it
 sends (so pipelining can never wedge against the stream) and consuming
 them in ``finish()`` — or earlier via ``recv_result()``.
 
+Checkpoint/resume (DESIGN.md §16): a CHECKPOINT frame *before* OPEN
+marks the next session checkpointable (pinning it to the snapshot-safe
+table kernels); a CHECKPOINT frame *during* the session freezes it,
+drains the produced output, and answers with one SNAPSHOT frame whose
+payload is ``SNAPSHOT_OFFSETS`` (input offset = document bytes
+consumed, output offset = result bytes already sent on this
+connection) followed by the versioned snapshot blob.  Because frames
+are ordered, by the time the client reads the SNAPSHOT it has read
+exactly ``output offset`` result bytes — the pair is the replay
+point.  The server may also emit SNAPSHOT unsolicited, either on a
+configured byte interval (``gcx serve --checkpoint-interval``) or when
+a draining worker pushes state out before shutting down.  RESUME
+carries a previously received blob and behaves exactly like OPEN
+(OPENED / BUSY / ERROR), rebuilding the session — on any worker, in
+any process — at the checkpointed offsets::
+
+    CHECKPOINT()      ->                       (empty: arm checkpointing)
+    OPEN(query)       ->
+                      <-  OPENED(session id)
+    CHUNK(xml)*       ->
+                      <-  RESULT(output part)*
+    CHECKPOINT()      ->
+                      <-  RESULT(output part)*   (the drained tail)
+                      <-  SNAPSHOT(offsets + blob)
+    ...                                        (connection dies) ...
+    RESUME(blob)      ->                       (fresh connection/worker)
+                      <-  OPENED(session id)
+    CHUNK(xml)*       ->                       (replay from input offset)
+    FINISH()          ->
+                      <-  RESULT(output part)*
+                      <-  FINISH(session stats JSON)
+
 A BUSY or a query ERROR (compile failure, malformed XML, evaluation
 error) leaves the connection usable: the client may OPEN again
 (overload is refusal, never queueing — DESIGN.md §8).  Two failure
@@ -91,6 +123,12 @@ HEADER = struct.Struct(">BI")
 #: reader to allocate gigabytes)
 MAX_PAYLOAD = 64 * 1024 * 1024
 
+#: prefix of every SNAPSHOT payload: input offset (bytes of the
+#: document fed before the checkpoint) and output offset (bytes of
+#: result already sent on this connection), both big-endian u64; the
+#: versioned snapshot blob (DESIGN.md §16) follows
+SNAPSHOT_OFFSETS = struct.Struct(">QQ")
+
 
 class ProtocolError(ValueError):
     """The byte stream is not a well-formed frame sequence."""
@@ -110,6 +148,14 @@ class FrameType(enum.IntEnum):
     SUBSCRIBE = 9  # client: attach a query to a shared stream;
     #                payload = "stream name\n" + query text
     PUBLISH = 10  # client: feed a shared stream; payload = stream name
+    CHECKPOINT = 11  # client: before OPEN (empty payload) — open the
+    #                  next session checkpointable; during a session —
+    #                  snapshot it now (DESIGN.md §16)
+    SNAPSHOT = 12  # server: one session checkpoint; payload =
+    #                SNAPSHOT_OFFSETS(input offset, output offset) +
+    #                the versioned snapshot blob
+    RESUME = 13  # client: rebuild a session from a snapshot blob;
+    #              payload = the blob; answered like OPEN (OPENED/BUSY)
 
 
 class Frame(NamedTuple):

@@ -64,6 +64,12 @@ class ManagedSession:
         self.id = session_id
         self._opened = time.perf_counter()
         self._released = False
+        #: result bytes the connection's pump has sent so far — the
+        #: output offset a SNAPSHOT frame reports (DESIGN.md §16)
+        self.delivered_bytes = 0
+        #: input offset of the last checkpoint, for the server-driven
+        #: ``--checkpoint-interval`` cadence
+        self.last_checkpoint_bytes = 0
 
     def feed(self, chunk: bytes) -> None:
         """Forward one raw input chunk (blocks under backpressure).
@@ -102,6 +108,28 @@ class ManagedSession:
         """Tear the session down (errors, client gone, shutdown)."""
         self._session.abort()
         self._scheduler._release(self, None)
+
+    # -- checkpointing (DESIGN.md §16) ---------------------------------
+
+    @property
+    def checkpointable(self) -> bool:
+        return self._session.checkpointable
+
+    @property
+    def bytes_fed(self) -> int:
+        """Document bytes consumed — the SNAPSHOT input offset."""
+        return self._session.bytes_fed
+
+    def freeze(self) -> None:
+        self._session.freeze()
+
+    def thaw(self) -> None:
+        self._session.thaw()
+
+    def snapshot(self) -> bytes:
+        """Encode the frozen session (see
+        :meth:`StreamSession.snapshot`)."""
+        return self._session.snapshot()
 
 
 class ManagedSubscriber:
@@ -240,12 +268,16 @@ class SessionScheduler:
         with self._lock:
             return self._active
 
-    def try_admit(self, query_text: str) -> ManagedSession | None:
+    def try_admit(
+        self, query_text: str, checkpointable: bool = False
+    ) -> ManagedSession | None:
         """Admit a session for *query_text*, or ``None`` when full.
 
         Compilation goes through the shared plan cache; compile errors
         (unparsable query, unsupported fragment) propagate to the
-        caller after the provisional slot is returned.
+        caller after the provisional slot is returned.  *checkpointable*
+        pins the session to the snapshot-safe table kernels so a later
+        CHECKPOINT can freeze and encode it (DESIGN.md §16).
         """
         with self._lock:
             if self._active >= self.max_sessions:
@@ -260,6 +292,7 @@ class SessionScheduler:
                 # bytes in (raw CHUNK payloads), bytes out (RESULT
                 # payloads): no decode/encode pass on the wire path.
                 binary_output=True,
+                checkpointable=checkpointable,
             )
         except BaseException:
             with self._lock:
@@ -267,6 +300,36 @@ class SessionScheduler:
             raise
         self.metrics.session_opened()
         return ManagedSession(self, session, next(self._ids))
+
+    def try_resume(self, blob: bytes) -> ManagedSession | None:
+        """Rebuild a checkpointed session from *blob*, or ``None`` when
+        full.
+
+        The blob carries its own plan text, so resumption works on any
+        worker — including one that never saw the original OPEN; the
+        plan compiles through this scheduler's shared cache.  Snapshot
+        errors (stale format version, plan mismatch, truncation)
+        propagate after the provisional slot is returned, exactly like
+        compile errors in :meth:`try_admit`.
+        """
+        with self._lock:
+            if self._active >= self.max_sessions:
+                self.metrics.session_rejected()
+                return None
+            self._active += 1
+        try:
+            session = self.engine.restore_session(
+                blob, max_pending_output=self.max_pending_output
+            )
+        except BaseException:
+            with self._lock:
+                self._active -= 1
+            raise
+        self.metrics.session_opened()
+        self.metrics.session_resumed()
+        managed = ManagedSession(self, session, next(self._ids))
+        managed.last_checkpoint_bytes = session.bytes_fed
+        return managed
 
     def _release(
         self,

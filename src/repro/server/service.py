@@ -32,6 +32,17 @@ slow reader pauses evaluation instead of accumulating the serialized
 result in memory; whatever the pump has not picked up when ``finish``
 completes is flushed after the pump ends, before the FINISH summary.
 
+Checkpoint/resume (DESIGN.md §16): a CHECKPOINT frame (or the
+server-driven ``checkpoint_interval`` cadence, or a draining worker's
+shutdown path) freezes the session, lets the pump drain the produced
+output, and answers one SNAPSHOT frame carrying the input/output
+offsets plus the versioned snapshot blob before thawing; RESUME
+rebuilds a session from such a blob — on any worker, in any process —
+and the conversation continues exactly like after OPEN.  The optional
+``fault_plan`` (:mod:`repro.testing.faults`) deterministically injects
+worker crashes, feed failures and frame delays/duplicates/truncations
+to prove those paths.
+
 Failure semantics (DESIGN.md §8):
 
 * admission refused → BUSY; the connection stays usable and may retry;
@@ -67,6 +78,8 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.core.evaluator import EvaluationError
 from repro.core.session import SessionStateError
 from repro.server.protocol import (
+    HEADER,
+    SNAPSHOT_OFFSETS,
     FrameType,
     ProtocolError,
     encode_frame,
@@ -77,12 +90,21 @@ from repro.server.scheduler import (
     DEFAULT_MAX_STREAMS,
     SessionScheduler,
 )
+from repro.testing.faults import InjectedFault
 from repro.xmlio.errors import XmlStarvedError
 
 #: everything a query can fail with that deserves an ERROR frame (the
 #: ValueError family covers XmlSyntaxError, XQueryParseError,
-#: NormalizationError, AnalysisError, MatcherError, ...)
-QUERY_ERRORS = (ValueError, XmlStarvedError, EvaluationError, SessionStateError)
+#: NormalizationError, AnalysisError, MatcherError, snapshot refusals
+#: — SnapshotFormatError, SnapshotPlanMismatch — and the fault
+#: harness's injected feed failures)
+QUERY_ERRORS = (
+    ValueError,
+    XmlStarvedError,
+    EvaluationError,
+    SessionStateError,
+    InjectedFault,
+)
 
 #: serialized output is returned in RESULT frames of at most this size,
 #: so one huge result never occupies a single giant frame
@@ -125,8 +147,21 @@ class GCXServer:
         max_streams: int = DEFAULT_MAX_STREAMS,
         listen_sock=None,
         stats_provider=None,
+        checkpoint_interval: int = 0,
+        fault_plan=None,
     ):
         self.host = host
+        #: server-driven checkpoint cadence in input bytes (0 = only on
+        #: client CHECKPOINT frames): every time a checkpointable
+        #: session's fed bytes advance this far past its last
+        #: checkpoint, the server pushes an unsolicited SNAPSHOT frame
+        self.checkpoint_interval = max(0, checkpoint_interval)
+        #: optional :class:`repro.testing.faults.FaultPlan` — the
+        #: deterministic fault-injection harness (DESIGN.md §16)
+        self.fault_plan = fault_plan
+        #: set while draining: handlers push a checkpoint to their
+        #: client before the conversation is allowed to wind down
+        self._drain_checkpoint = asyncio.Event()
         self.port = port  # 0 = ephemeral; replaced by the bound port on start()
         #: a pre-bound listening socket to serve instead of binding
         #: host/port — how a worker process shares one port with its
@@ -208,6 +243,11 @@ class GCXServer:
         """
         if self._server is not None:
             self._server.close()
+        # Drain-to-checkpoint (DESIGN.md §16): every connection with a
+        # checkpointable session in flight pushes one SNAPSHOT to its
+        # client, so a SIGTERMed worker's sessions can be resumed
+        # elsewhere even when their clients never asked to checkpoint.
+        self._drain_checkpoint.set()
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         while self._connections and loop.time() < deadline:
@@ -281,16 +321,54 @@ class GCXServer:
         subscription = None  # the latest ManagedSubscriber on this connection
         sub_pump = None  # that subscriber's RESULT/FINISH pump task
         discarding = False  # drain this query's frames after an ERROR
+        arm_checkpoint = False  # CHECKPOINT before OPEN arms the next session
+        drain_checkpointed = False  # one drain-driven SNAPSHOT per connection
+        read_task = None  # outstanding read, kept across drain wake-ups
         try:
             while True:
+                if read_task is None:
+                    read_task = asyncio.ensure_future(read_frame(reader))
+                if (
+                    self._drain_checkpoint.is_set()
+                    and not drain_checkpointed
+                    and session is not None
+                    and session.checkpointable
+                ):
+                    # Drain-to-checkpoint: push this session's state to
+                    # the client before the worker winds down, so the
+                    # client can RESUME it on a sibling (DESIGN.md §16).
+                    drain_checkpointed = True
+                    try:
+                        pump = await self._checkpoint_session(
+                            writer, session, pump, loop, send_lock
+                        )
+                    except QUERY_ERRORS as exc:
+                        session, pump, discarding = await self._fail_query(
+                            writer, session, pump, exc, send_lock
+                        )
+                if not self._drain_checkpoint.is_set():
+                    # Race the read against the drain signal so a parked
+                    # reader still checkpoints when SIGTERM arrives.
+                    drain_wait = asyncio.ensure_future(
+                        self._drain_checkpoint.wait()
+                    )
+                    await asyncio.wait(
+                        {read_task, drain_wait},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    drain_wait.cancel()
+                    if not read_task.done():
+                        continue  # drain fired: checkpoint at the loop top
                 try:
-                    frame = await read_frame(reader)
+                    frame = await read_task
                 except ProtocolError as exc:
+                    read_task = None
                     with contextlib.suppress(ConnectionError):
                         await self._send(
                             writer, FrameType.ERROR, _one_line(exc), lock=send_lock
                         )
                     return
+                read_task = None
                 if frame is None:
                     return
 
@@ -337,8 +415,15 @@ class GCXServer:
                         continue
                     # Compilation (parse + static analysis on a cache
                     # miss) is CPU work: keep it off the event loop.
+                    checkpointable = arm_checkpoint or bool(
+                        self.checkpoint_interval
+                    )
+                    arm_checkpoint = False
                     admit = loop.run_in_executor(
-                        self._executor, self.scheduler.try_admit, query_text
+                        self._executor,
+                        self.scheduler.try_admit,
+                        query_text,
+                        checkpointable,
                     )
                     try:
                         session = await asyncio.shield(admit)
@@ -367,6 +452,85 @@ class GCXServer:
                         writer, FrameType.OPENED, str(session.id), lock=send_lock
                     )
                     # Stream results out while input is still arriving.
+                    pump = asyncio.create_task(
+                        self._pump_results(writer, session, loop, send_lock)
+                    )
+
+                elif frame.type is FrameType.CHECKPOINT:
+                    if discarding:
+                        continue
+                    if publishing is not None or (
+                        sub_pump is not None and not sub_pump.done()
+                    ):
+                        await self._send(
+                            writer,
+                            FrameType.ERROR,
+                            "CHECKPOINT on a shared-stream conversation",
+                            lock=send_lock,
+                        )
+                        return
+                    if session is None:
+                        # Arm: the next OPEN admits a checkpointable
+                        # session (pinned to the snapshot-safe kernels).
+                        arm_checkpoint = True
+                        continue
+                    try:
+                        pump = await self._checkpoint_session(
+                            writer, session, pump, loop, send_lock
+                        )
+                    except QUERY_ERRORS as exc:
+                        # e.g. CHECKPOINT on a session that was not
+                        # opened checkpointable: the session cannot be
+                        # trusted to continue a conversation the client
+                        # thinks is checkpointed — fail it like a query
+                        # error and drain.
+                        session, pump, discarding = await self._fail_query(
+                            writer, session, pump, exc, send_lock
+                        )
+
+                elif frame.type is FrameType.RESUME:
+                    if session is not None or publishing is not None:
+                        await self._send(
+                            writer,
+                            FrameType.ERROR,
+                            "RESUME while a session is active",
+                            lock=send_lock,
+                        )
+                        return
+                    # Like OPEN: a RESUME starts a fresh conversation
+                    # and ends any drain from a previous refusal.
+                    discarding = False
+                    arm_checkpoint = False
+                    admit = loop.run_in_executor(
+                        self._executor, self.scheduler.try_resume, frame.payload
+                    )
+                    try:
+                        session = await asyncio.shield(admit)
+                    except asyncio.CancelledError:
+                        admit.add_done_callback(_abort_orphaned_admission)
+                        raise
+                    except QUERY_ERRORS as exc:
+                        # Snapshot refusals land here: a stale format
+                        # version, a plan the blob was not taken
+                        # against, or a truncated blob — refused, never
+                        # misread (DESIGN.md §16).
+                        await self._send(
+                            writer, FrameType.ERROR, _one_line(exc), lock=send_lock
+                        )
+                        discarding = True
+                        continue
+                    if session is None:
+                        await self._send(
+                            writer,
+                            FrameType.BUSY,
+                            f"server is at its {self.scheduler.max_sessions}-session limit",
+                            lock=send_lock,
+                        )
+                        discarding = True
+                        continue
+                    await self._send(
+                        writer, FrameType.OPENED, str(session.id), lock=send_lock
+                    )
                     pump = asyncio.create_task(
                         self._pump_results(writer, session, loop, send_lock)
                     )
@@ -522,6 +686,18 @@ class GCXServer:
                         )
                         return
                     self.metrics.add_bytes_in(len(frame.payload))
+                    if self.fault_plan is not None:
+                        # The harness may SIGKILL this very process
+                        # (kill_at) — exactly the crash the checkpoint
+                        # path exists for — or raise InjectedFault
+                        # (fail_feed_at), which maps to ERROR below.
+                        try:
+                            self.fault_plan.on_feed(len(frame.payload))
+                        except InjectedFault as exc:
+                            session, pump, discarding = await self._fail_query(
+                                writer, session, pump, exc, send_lock
+                            )
+                            continue
                     try:
                         # Raw payload bytes, no decode pass: the
                         # session's lexer scans the wire bytes
@@ -535,6 +711,23 @@ class GCXServer:
                         session, pump, discarding = await self._fail_query(
                             writer, session, pump, exc, send_lock
                         )
+                        continue
+                    if (
+                        self.checkpoint_interval
+                        and session.checkpointable
+                        and session.bytes_fed - session.last_checkpoint_bytes
+                        >= self.checkpoint_interval
+                    ):
+                        # Server-driven cadence: unsolicited SNAPSHOT
+                        # every checkpoint_interval input bytes.
+                        try:
+                            pump = await self._checkpoint_session(
+                                writer, session, pump, loop, send_lock
+                            )
+                        except QUERY_ERRORS as exc:
+                            session, pump, discarding = await self._fail_query(
+                                writer, session, pump, exc, send_lock
+                            )
 
                 elif frame.type is FrameType.FINISH:
                     if discarding:
@@ -601,6 +794,8 @@ class GCXServer:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; the finally block reclaims the slot
         finally:
+            if read_task is not None:
+                read_task.cancel()
             if pump is not None:
                 pump.cancel()
             if sub_pump is not None:
@@ -622,11 +817,43 @@ class GCXServer:
                 # report ERROR) and the name is freed.
                 self._executor.submit(publishing.abort)
 
+    async def _checkpoint_session(
+        self, writer, session, pump, loop, lock
+    ) -> asyncio.Task:
+        """Freeze *session*, drain its output, send one SNAPSHOT frame,
+        thaw — the checkpoint sequence of DESIGN.md §16.
+
+        The pump is awaited *between* freeze and encode: freezing marks
+        the output channel, the pump forwards the produced tail and
+        exits, so by the time the blob is cut every produced result
+        byte is on the wire **before** the SNAPSHOT frame — frame order
+        is what makes the reported output offset the exact replay
+        point.  Returns the fresh pump of the thawed session; raises
+        ``SessionStateError`` (→ ERROR) for non-checkpointable
+        sessions, leaving the session untouched.
+        """
+        await loop.run_in_executor(self._executor, session.freeze)
+        if pump is not None:
+            await pump  # drains the frozen channel's tail, then ends
+        blob = await loop.run_in_executor(self._executor, session.snapshot)
+        self.metrics.checkpoint_taken(len(blob))
+        session.last_checkpoint_bytes = session.bytes_fed
+        payload = (
+            SNAPSHOT_OFFSETS.pack(session.bytes_fed, session.delivered_bytes)
+            + blob
+        )
+        await self._send(writer, FrameType.SNAPSHOT, payload, lock=lock)
+        await loop.run_in_executor(self._executor, session.thaw)
+        return asyncio.create_task(
+            self._pump_results(writer, session, loop, lock)
+        )
+
     async def _pump_results(self, writer, session, loop, lock) -> None:
         """Forward output fragments as RESULT frames while they are
         produced — the session's output channel blocks the executor
         thread until a fragment exists, and ends the loop (``None``)
-        once evaluation finished and everything was taken."""
+        once evaluation finished and everything was taken (or the
+        session froze for a checkpoint and the tail was drained)."""
         while True:
             part = await loop.run_in_executor(
                 self._executor, session.next_output, self.result_frame_size
@@ -640,10 +867,42 @@ class GCXServer:
             # the frame payload — no re-encode pass, and bytes_out
             # counts the actual wire bytes by construction.
             self.metrics.add_bytes_out(len(part))
+            if self.fault_plan is not None and await self._faulty_result(
+                writer, part, lock
+            ):
+                return
             try:
                 await self._send(writer, FrameType.RESULT, part, lock=lock)
             except ConnectionError:
                 return  # client gone; the handler cleans up
+            session.delivered_bytes += len(part)
+
+    async def _faulty_result(self, writer, part, lock) -> bool:
+        """Apply the fault plan to one outbound RESULT fragment.
+
+        Returns ``True`` when the pump must stop (the harness severed
+        the connection).  Delay and duplicate happen around the normal
+        send in :meth:`_pump_results`; truncation writes a deliberately
+        short frame and kills the transport, simulating a worker dying
+        mid-frame.
+        """
+        action = self.fault_plan.on_result(len(part))
+        if action.delay_s:
+            await asyncio.sleep(action.delay_s)
+        if action.truncate_to is not None:
+            async with lock:
+                writer.write(
+                    HEADER.pack(int(FrameType.RESULT), len(part))
+                    + part[: action.truncate_to]
+                )
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+            writer.close()
+            return True
+        if action.duplicate:
+            with contextlib.suppress(ConnectionError):
+                await self._send(writer, FrameType.RESULT, part, lock=lock)
+        return False
 
     async def _pump_subscriber(self, writer, subscription, loop, lock) -> None:
         """Serve one shared-stream subscription end to end: forward
@@ -693,11 +952,17 @@ class GCXServer:
 
         The abort closes the session's output channel, which ends the
         pump; awaiting it *before* the ERROR frame guarantees no stale
-        RESULT frame can trail the error on the wire.
+        RESULT frame can trail the error on the wire.  The abort
+        itself is awaited too, so by the time the client reads the
+        ERROR the slot is reclaimed and the failed-session counter is
+        settled — a STATS request right after the ERROR sees them.
         """
-        self._executor.submit(session.abort)
+        aborted = asyncio.get_running_loop().run_in_executor(
+            self._executor, session.abort
+        )
         if pump is not None:
             await pump
+        await aborted
         await self._send(writer, FrameType.ERROR, _one_line(exc), lock=lock)
         return None, None, True
 

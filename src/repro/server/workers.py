@@ -68,6 +68,7 @@ import contextlib
 import json
 import multiprocessing
 import os
+import random
 import shutil
 import socket
 import tempfile
@@ -107,6 +108,11 @@ class WorkerConfig:
     max_sessions: int
     max_streams: int
     drain_timeout: float
+    #: server-driven checkpoint cadence in input bytes (0 = off)
+    checkpoint_interval: int = 0
+    #: fault-injection spec (:meth:`repro.testing.faults.FaultPlan.parse`)
+    #: carried as its string form so the config stays picklable
+    fault_plan: str | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -280,6 +286,20 @@ async def _worker_amain(config: WorkerConfig) -> None:
     listen_sock = None
     if config.mode == "reuseport":
         listen_sock = _bind_socket(config.host, config.port, reuseport=True)
+    fault_plan = None
+    if config.fault_plan:
+        from repro.testing.faults import FaultPlan
+
+        # The marker lives in the pool's shared control directory so a
+        # kill_at fires once per *plan*, not once per restarted worker
+        # (a resumed session would otherwise be killed at the same
+        # offset forever).
+        fault_plan = FaultPlan.parse(
+            config.fault_plan,
+            marker_path=os.path.join(
+                os.path.dirname(config.control_path), "fault-kill.marker"
+            ),
+        )
     server = GCXServer(
         host=config.host,
         port=config.port,
@@ -287,6 +307,8 @@ async def _worker_amain(config: WorkerConfig) -> None:
         max_streams=config.max_streams,
         listen_sock=listen_sock,
         stats_provider=lambda: fetch_fleet_stats(config.control_path),
+        checkpoint_interval=config.checkpoint_interval,
+        fault_plan=fault_plan,
     )
     if config.mode == "reuseport":
         await server.start()
@@ -405,8 +427,11 @@ class WorkerSupervisor:
         restart: bool = True,
         backoff_initial: float = 0.1,
         backoff_max: float = 2.0,
+        backoff_seed: int | None = None,
         drain_timeout: float = 30.0,
         startup_timeout: float = 60.0,
+        checkpoint_interval: int = 0,
+        fault_plan: str | None = None,
     ):
         if mode not in ("auto", "reuseport", "fdpass"):
             raise ValueError(f"unknown worker-pool mode {mode!r}")
@@ -422,8 +447,15 @@ class WorkerSupervisor:
         self.max_streams = max_streams
         self.restart = restart
         self.drain_timeout = drain_timeout
+        self.checkpoint_interval = max(0, checkpoint_interval)
+        self.fault_plan = fault_plan
         self._backoff_initial = backoff_initial
         self._backoff_max = backoff_max
+        #: restart-delay jitter (±25%), seeded so a failing pool run
+        #: replays with the same restart schedule; unseeded in
+        #: production, where the jitter's job is to keep a fleet of
+        #: simultaneously-crashed workers from restarting in lockstep
+        self._backoff_rng = random.Random(backoff_seed)
         self._startup_timeout = startup_timeout
         self._per_worker_sessions = split_admission(self.max_sessions, self.workers)
 
@@ -513,6 +545,8 @@ class WorkerSupervisor:
             max_sessions=self._per_worker_sessions[index],
             max_streams=self.max_streams,
             drain_timeout=self.drain_timeout,
+            checkpoint_interval=self.checkpoint_interval,
+            fault_plan=self.fault_plan,
         )
         proc = _MP.Process(
             target=_worker_main,
@@ -769,6 +803,17 @@ class WorkerSupervisor:
                 # No live channel: the with-block closes the socket —
                 # the client sees a reset, exactly like total overload.
 
+    def _restart_delay(self, failures: int) -> float:
+        """The restart backoff for a worker's *failures*-th consecutive
+        death: exponential from ``backoff_initial``, capped at
+        ``backoff_max``, jittered ±25% so simultaneously-crashed
+        workers do not restart (and re-crash) in lockstep."""
+        base = min(
+            self._backoff_initial * (2 ** (max(1, failures) - 1)),
+            self._backoff_max,
+        )
+        return base * (0.75 + 0.5 * self._backoff_rng.random())
+
     def _monitor_loop(self) -> None:
         """Watch worker processes; restart the unexpectedly dead."""
         while True:
@@ -800,10 +845,7 @@ class WorkerSupervisor:
                 if lived > _HEALTHY_SECONDS:
                     self._fail_counts[index] = 0
                 self._fail_counts[index] += 1
-                delay = min(
-                    self._backoff_initial * (2 ** (self._fail_counts[index] - 1)),
-                    self._backoff_max,
-                )
+                delay = self._restart_delay(self._fail_counts[index])
                 with self._lock:
                     self._restarts += 1
                 time.sleep(delay)

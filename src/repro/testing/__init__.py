@@ -1,0 +1,5 @@
+"""Test-support tooling shipped with the engine (not test cases).
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness behind ``gcx serve --fault-plan`` (DESIGN.md §16).
+"""

@@ -1,0 +1,194 @@
+"""Deterministic fault injection for crash-recovery testing.
+
+A :class:`FaultPlan` is parsed from a compact ``key=value`` spec
+(``gcx serve --fault-plan "seed=42,kill_at=100000"``) and threaded into
+the server's data path, where it can
+
+* SIGKILL the worker process the moment its fed input crosses a byte
+  offset (``kill_at``) — the crash the checkpoint/resume machinery of
+  DESIGN.md §16 exists to survive;
+* fail a ``feed()`` mid-document with :class:`InjectedFault`
+  (``fail_feed_at``), exercising the ERROR/drain path;
+* delay, duplicate or truncate outbound RESULT frames
+  (``delay_result_every``/``delay_result_s``,
+  ``duplicate_result_every``, ``truncate_result_at``) — truncation
+  also severs the connection, simulating a worker dying mid-frame.
+
+Everything is deterministic: thresholds are byte offsets and frame
+counters, and the only randomness is a :class:`random.Random` seeded
+from the spec, so a failing run replays exactly.  In a supervised pool
+every restarted worker re-parses the same spec; the optional *marker
+path* (a file created with ``O_EXCL`` in the pool's control directory)
+makes ``kill_at`` fire **once per plan** rather than once per process,
+so a resumed session is not killed again at the same offset forever.
+
+No engine state is touched here — the plan only observes byte counts
+the server hands it and acts on the process/connection level.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from typing import NamedTuple
+
+
+class InjectedFault(RuntimeError):
+    """A failure the fault plan injected on purpose."""
+
+
+class ResultAction(NamedTuple):
+    """What to do with one outbound RESULT fragment."""
+
+    delay_s: float  #: sleep this long before sending (0.0 = no delay)
+    truncate_to: int | None  #: send only this many payload bytes, then
+    #:                          sever the connection (None = send whole)
+    duplicate: bool  #: send the fragment twice
+
+
+_INT_KEYS = frozenset(
+    {
+        "seed",
+        "kill_at",
+        "fail_feed_at",
+        "delay_result_every",
+        "duplicate_result_every",
+        "truncate_result_at",
+    }
+)
+_FLOAT_KEYS = frozenset({"delay_result_s"})
+
+
+class FaultPlan:
+    """One parsed fault spec plus its (deterministic) runtime state."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        kill_at: int | None = None,
+        fail_feed_at: int | None = None,
+        delay_result_every: int | None = None,
+        delay_result_s: float = 0.01,
+        duplicate_result_every: int | None = None,
+        truncate_result_at: int | None = None,
+        marker_path: str | None = None,
+    ):
+        self.seed = seed
+        self.kill_at = kill_at
+        self.fail_feed_at = fail_feed_at
+        self.delay_result_every = delay_result_every
+        self.delay_result_s = delay_result_s
+        self.duplicate_result_every = duplicate_result_every
+        self.truncate_result_at = truncate_result_at
+        self.marker_path = marker_path
+        #: seeded source for any jitter a harness user wants; the
+        #: built-in injectors are threshold-driven and never draw from
+        #: it implicitly, so replays stay exact
+        self.rng = random.Random(seed)
+        self._fed_bytes = 0
+        self._feed_failed = False
+        self._result_count = 0
+        self._result_bytes = 0
+        self._truncated = False
+
+    @classmethod
+    def parse(cls, spec: str, marker_path: str | None = None) -> "FaultPlan":
+        """Build a plan from ``"key=value,key=value"`` (see module doc)."""
+        kwargs: dict = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(f"fault spec item {item!r} is not key=value")
+            if key in _INT_KEYS:
+                kwargs[key] = int(value)
+            elif key in _FLOAT_KEYS:
+                kwargs[key] = float(value)
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        return cls(marker_path=marker_path, **kwargs)
+
+    def describe(self) -> str:
+        """The spec this plan round-trips to (marker path excluded)."""
+        parts = [f"seed={self.seed}"]
+        for key in sorted(_INT_KEYS | _FLOAT_KEYS):
+            if key == "seed":
+                continue
+            value = getattr(self, key)
+            if value is not None and (
+                key != "delay_result_s" or self.delay_result_every is not None
+            ):
+                parts.append(f"{key}={value}")
+        return ",".join(parts)
+
+    # ------------------------------------------------------------------
+    # injectors (called from the server's data path)
+    # ------------------------------------------------------------------
+
+    def on_feed(self, chunk_bytes: int) -> None:
+        """Account one inbound CHUNK; maybe fail it, maybe die.
+
+        Raises :class:`InjectedFault` once when ``fail_feed_at`` is
+        crossed; SIGKILLs the current process when ``kill_at`` is
+        crossed (and the marker, if any, was not already claimed) —
+        that call never returns.
+        """
+        self._fed_bytes += chunk_bytes
+        if (
+            self.fail_feed_at is not None
+            and not self._feed_failed
+            and self._fed_bytes >= self.fail_feed_at
+        ):
+            self._feed_failed = True
+            raise InjectedFault(
+                f"injected feed failure at input byte {self._fed_bytes}"
+            )
+        if (
+            self.kill_at is not None
+            and self._fed_bytes >= self.kill_at
+            and self._claim_marker()
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_result(self, part_bytes: int) -> ResultAction:
+        """Decide the fate of one outbound RESULT fragment."""
+        self._result_count += 1
+        delay = 0.0
+        if (
+            self.delay_result_every
+            and self._result_count % self.delay_result_every == 0
+        ):
+            delay = self.delay_result_s
+        truncate_to = None
+        if (
+            self.truncate_result_at is not None
+            and not self._truncated
+            and self._result_bytes + part_bytes >= self.truncate_result_at
+        ):
+            self._truncated = True
+            truncate_to = max(0, self.truncate_result_at - self._result_bytes)
+            truncate_to = min(truncate_to, max(0, part_bytes - 1))
+        self._result_bytes += part_bytes
+        duplicate = bool(
+            self.duplicate_result_every
+            and self._result_count % self.duplicate_result_every == 0
+        )
+        return ResultAction(delay, truncate_to, duplicate)
+
+    def _claim_marker(self) -> bool:
+        """Atomically claim the once-per-plan kill (always true when no
+        marker path was configured — single-process usage)."""
+        if self.marker_path is None:
+            return True
+        try:
+            fd = os.open(
+                self.marker_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True

@@ -22,6 +22,21 @@ class DtdSyntaxError(ValueError):
     """Raised when a DTD fragment cannot be parsed."""
 
 
+class FreezeSignal(BaseException):
+    """Control-flow signal used by session checkpointing.
+
+    A refill callable raises this instead of returning a chunk when the
+    owning session wants the pull chain to unwind so its state can be
+    serialized.  Every stage between the refill call and the session's
+    worker loop must either propagate it untouched or park enough local
+    state (see ``ByteXmlLexer.skip_subtree``) that re-entering the stage
+    later continues byte-identically.
+
+    Derives from :class:`BaseException` so broad ``except Exception``
+    recovery code cannot accidentally swallow a freeze request.
+    """
+
+
 class XmlStarvedError(RuntimeError):
     """Raised when a token is pulled from an incremental lexer that has
     no complete token in its buffer and has not been closed.

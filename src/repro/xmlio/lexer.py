@@ -305,6 +305,48 @@ class XmlLexer:
         self._need = None
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Complete restart state as a dict of primitives — the str
+        twin of :meth:`ByteXmlLexer.snapshot_state` (same fields minus
+        the bytes-domain name caches; offsets are characters).  Safe
+        whenever the lexer is quiescent between pulls (including
+        starved)."""
+        return {
+            "buf": self._buf[self._pos :],
+            "base": self._base + self._pos,
+            "keep_whitespace": self._keep_whitespace,
+            "open_tags": list(self._open_tags),
+            "started": self._started,
+            "closed": self._closed,
+            "pending_end": self._pending_end,
+            "resume": self._resume,
+            "need": self._need,
+            "pending_chunks": list(self._pending_chunks),
+            "joint": self._joint,
+            "internal_subset": self.internal_subset,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` dict; the lexer then
+        continues character-identically to the one it was taken from."""
+        self._buf = state["buf"]
+        self._pos = 0
+        self._base = state["base"]
+        self._keep_whitespace = state["keep_whitespace"]
+        self._open_tags = list(state["open_tags"])
+        self._started = state["started"]
+        self._closed = state["closed"]
+        self._pending_end = state["pending_end"]
+        self._resume = state["resume"]
+        self._need = state["need"]
+        self._pending_chunks = list(state["pending_chunks"])
+        self._joint = state["joint"]
+        self.internal_subset = state["internal_subset"]
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 

@@ -49,7 +49,7 @@ import re
 import sys
 from collections.abc import Callable, Iterable, Iterator
 
-from repro.xmlio.errors import XmlStarvedError, XmlSyntaxError
+from repro.xmlio.errors import FreezeSignal, XmlStarvedError, XmlSyntaxError
 from repro.xmlio.lexer import (
     ATTR_SRC,
     END_TAG_SRC,
@@ -160,6 +160,9 @@ class ByteXmlLexer:
         self.internal_subset: str | None = None
         self._closed = False
         self._refill: Callable[[], bytes | None] | None = None
+        #: a ``skip_subtree`` interrupted by a freeze parks its loop
+        #: locals here as ``(target, count)``; the next call resumes.
+        self._skip_parked: tuple[int, int] | None = None
         #: decode-once caches: raw name bytes → interned str, and the
         #: reverse (the skip fast path compares expected end tags as
         #: bytes without re-encoding).
@@ -274,6 +277,68 @@ class ByteXmlLexer:
                 continue
             self._append(chunk)
             return
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Complete restart state as a dict of primitives.
+
+        Safe at any point the lexer is not inside a scan call — i.e.
+        quiescent between pulls, starved, or unwound by a
+        :class:`~repro.xmlio.errors.FreezeSignal` (every starve/freeze
+        path commits state before raising).  The binary encoding lives
+        in ``repro.core.snapshot``.
+        """
+        # a frozen mid-skip stack was normalized on the way out; do it
+        # again defensively — it is idempotent and cheap
+        self._normalize_skipped_tags(-1)
+        return {
+            # consumed input is compacted away; ``base`` keeps offsets
+            # absolute so restored error positions are byte-exact
+            "buf": self._buf[self._pos :],
+            "base": self._base + self._pos,
+            "keep_whitespace": self._keep_whitespace,
+            "open_tags": list(self._open_tags),
+            "started": self._started,
+            "closed": self._closed,
+            "pending_end": self._pending_end,
+            "resume": self._resume,
+            "need": self._need,
+            "pending_chunks": list(self._pending_chunks),
+            "joint": self._joint,
+            "internal_subset": self.internal_subset,
+            # raw name bytes; restore re-interns to rebuild all four
+            # decode-once caches exactly (UTF-8 names are bijective)
+            "names": list(self._names),
+            "skip_parked": self._skip_parked,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot_state` dict, replacing all restart
+        state.  The lexer then continues byte-identically to the one
+        the state was taken from."""
+        self._buf = bytes(state["buf"])
+        self._pos = 0
+        self._base = state["base"]
+        self._keep_whitespace = state["keep_whitespace"]
+        self._started = state["started"]
+        self._closed = state["closed"]
+        self._pending_end = state["pending_end"]
+        self._resume = state["resume"]
+        self._need = state["need"]
+        self._pending_chunks = list(state["pending_chunks"])
+        self._joint = state["joint"]
+        self.internal_subset = state["internal_subset"]
+        self._skip_parked = state["skip_parked"]
+        self._names.clear()
+        self._name_bytes.clear()
+        self._start_events.clear()
+        self._end_events.clear()
+        for raw in state["names"]:
+            self._intern_name(bytes(raw), 0)
+        self._open_tags = list(state["open_tags"])
 
     # ------------------------------------------------------------------
     # public API
@@ -571,10 +636,17 @@ class ByteXmlLexer:
         the token path, so the significant-token count stays
         byte-identical to the str lexer's.
         """
-        target = len(self._open_tags) - 1
-        if target < 0:
-            raise ValueError("skip_subtree() requires an open element")
-        count = 0
+        parked = self._skip_parked
+        if parked is not None:
+            # resuming a skip a freeze interrupted (possibly in a
+            # restored twin of the lexer that parked it)
+            self._skip_parked = None
+            target, count = parked
+        else:
+            target = len(self._open_tags) - 1
+            if target < 0:
+                raise ValueError("skip_subtree() requires an open element")
+            count = 0
         tags = self._open_tags
         names = self._names
         name_bytes = self._name_bytes
@@ -714,7 +786,18 @@ class ByteXmlLexer:
                     pos = self._pos
                     depth = len(tags) - target
             except _Starved:
-                self._handle_starvation()
+                try:
+                    self._handle_starvation()
+                except FreezeSignal:
+                    # The session is freezing for a snapshot.  The
+                    # stack may hold raw-bytes names this very skip
+                    # pushed — intern them (idempotent), then park the
+                    # loop locals so the next skip_subtree() call (on
+                    # this lexer or a restored one) continues exactly
+                    # here with the full significant-token count.
+                    self._normalize_skipped_tags(-1)
+                    self._skip_parked = (target, count)
+                    raise
             else:
                 self._pos = pos
         return count

@@ -1,0 +1,176 @@
+"""Differential checkpoint/resume suite (hypothesis, DESIGN.md §16).
+
+The acceptance bar for durable snapshots: for Hypothesis-chosen
+documents, chunkings, and split points, a session checkpointed at a
+chunk boundary and restored in a **fresh** session must finish with
+output, watermark, and per-token series byte-identical to an
+uninterrupted run — across the XMark queries the paper benchmarks
+(Q1/Q8/Q20) and in both lexer domains (the bytes-domain lexer that
+drives sessions, and the str-domain lexer via a direct
+``snapshot_state``/``restore_state`` round-trip).
+"""
+
+from __future__ import annotations
+
+import functools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import GCXEngine
+from repro.xmark.generator import generate_document
+from repro.xmark.queries import ADAPTED_QUERIES
+from repro.xmlio.errors import XmlStarvedError
+from repro.xmlio.lexer import XmlLexer
+from repro.xmlio.lexer_bytes import ByteXmlLexer
+
+QUERIES = ("q1", "q8", "q20")
+
+_ENGINE = GCXEngine()
+
+
+@functools.lru_cache(maxsize=4)
+def _doc(seed: int) -> bytes:
+    return generate_document(scale=0.08, seed=seed).encode()
+
+
+@functools.lru_cache(maxsize=8)
+def _reference(seed: int, key: str):
+    plan = _ENGINE.compile(ADAPTED_QUERIES[key].text)
+    return _ENGINE.run(plan, _doc(seed).decode())
+
+
+# ---------------------------------------------------------------------------
+# session-level: checkpoint at every chunk boundary, restore one
+# ---------------------------------------------------------------------------
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_checkpoint_every_boundary_restore_byte_identical(data):
+    seed = data.draw(st.sampled_from((11, 23)), label="doc seed")
+    key = data.draw(st.sampled_from(QUERIES), label="query")
+    doc = _doc(seed)
+    # chunk < len(doc), so at least one interior boundary exists
+    chunk = data.draw(st.integers(512, len(doc) - 1), label="chunk size")
+    boundaries = [
+        min(start + chunk, len(doc))
+        for start in range(0, len(doc), chunk)
+        if start + chunk < len(doc)
+    ]
+    split = data.draw(st.sampled_from(boundaries), label="restore boundary")
+
+    reference = _reference(seed, key)
+    plan = _ENGINE.compile(ADAPTED_QUERIES[key].text)
+
+    # one interrupted run: snapshot at *every* chunk boundary, keep the
+    # blob taken at the Hypothesis-chosen one
+    session = _ENGINE.session(plan, checkpointable=True)
+    chosen = None
+    for start in range(0, len(doc), chunk):
+        session.feed(doc[start : start + chunk])
+        boundary = min(start + chunk, len(doc))
+        if boundary < len(doc):
+            blob = session.snapshot()
+            if boundary == split:
+                chosen = blob
+    result = session.finish()
+    assert result.output == reference.output
+
+    assert chosen is not None
+    restored = _ENGINE.restore_session(chosen)
+    assert restored.bytes_fed == split
+    for start in range(split, len(doc), chunk):
+        restored.feed(doc[start : start + chunk])
+    resumed = restored.finish()
+    assert resumed.output == reference.output
+    assert resumed.stats.watermark == reference.stats.watermark
+    assert resumed.stats.series == reference.stats.series
+
+
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_restore_survives_second_generation(data):
+    # snapshot → restore → snapshot again → restore again: blobs taken
+    # from restored sessions are just as good as first-generation ones
+    seed, key = 11, data.draw(st.sampled_from(QUERIES))
+    doc = _doc(seed)
+    third = len(doc) // 3
+    reference = _reference(seed, key)
+    plan = _ENGINE.compile(ADAPTED_QUERIES[key].text)
+
+    first = _ENGINE.session(plan, checkpointable=True)
+    first.feed(doc[:third])
+    blob1 = first.snapshot()
+    first.abort()
+
+    second = _ENGINE.restore_session(blob1)
+    second.feed(doc[third : 2 * third])
+    blob2 = second.snapshot()
+    second.abort()
+
+    final = _ENGINE.restore_session(blob2)
+    assert final.bytes_fed == 2 * third
+    final.feed(doc[2 * third :])
+    assert final.finish().output == reference.output
+
+
+# ---------------------------------------------------------------------------
+# lexer-level: both lexers round-trip their state at arbitrary splits
+# ---------------------------------------------------------------------------
+
+# a compact document exercising the constructs whose scan state spans
+# chunk boundaries: internal subset, entities, comments, CDATA,
+# character references, self-closing tags, long text runs
+_TRICKY = (
+    '<!DOCTYPE a [<!ELEMENT a (b)>]>'
+    '<a x="1&amp;2"><!-- note --><b><![CDATA[<raw> &amp;]]></b>'
+    "t&#65;il-" + "x" * 64 + "<c k='v'/><d/></a>"
+)
+
+
+def _drain(lexer):
+    tokens = []
+    while True:
+        try:
+            token = lexer.next_token()
+        except XmlStarvedError:
+            return tokens, False
+        if token is None:
+            return tokens, True
+        tokens.append(token)
+
+
+def _roundtrip_at(make, doc, split):
+    """Tokens from (feed prefix → snapshot → restore into a fresh lexer
+    → feed suffix) must equal one uninterrupted tokenization."""
+    whole = make()
+    whole.feed(doc)
+    whole.close()
+    expected, done = _drain(whole)
+    assert done
+
+    first = make()
+    first.feed(doc[:split])
+    tokens, _ = _drain(first)  # quiescent (starved) — snapshot-safe
+    state = first.snapshot_state()
+
+    second = make()
+    second.restore_state(state)
+    second.feed(doc[split:])
+    second.close()
+    rest, done = _drain(second)
+    assert done
+    assert tokens + rest == expected, split
+
+
+@given(split=st.integers(0, len(_TRICKY)))
+@settings(max_examples=60, deadline=None)
+def test_str_lexer_state_roundtrip_every_split(split):
+    _roundtrip_at(lambda: XmlLexer(None), _TRICKY, split)
+
+
+@given(split=st.integers(0, len(_TRICKY.encode())))
+@settings(max_examples=60, deadline=None)
+def test_byte_lexer_state_roundtrip_every_split(split):
+    doc = _TRICKY.encode()
+    _roundtrip_at(lambda: ByteXmlLexer(), doc, split)

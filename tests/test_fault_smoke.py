@@ -1,0 +1,155 @@
+"""Crash-recovery smoke: seeded faults against a real worker pool.
+
+The CI ``fault-smoke`` leg and the local tier run both execute this
+module.  A 4-worker pool runs with a deterministic fault plan that
+SIGKILLs whichever worker crosses a byte offset mid-session; the
+resilient client must reconnect (the kernel routes it to a surviving
+sibling), RESUME from its last snapshot, and finish **byte-identically**
+— the end-to-end acceptance bar of DESIGN.md §16.  The SIGTERM leg
+proves drain-to-checkpoint: a worker told to drain emits an unsolicited
+SNAPSHOT before it stops accepting work.  Plus units for the
+supervisor's seeded restart-backoff jitter (±25%).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.engine import GCXEngine
+from repro.server.client import GCXClient
+from repro.server.workers import WorkerSupervisor, reuseport_available
+from repro.xmark.generator import generate_document
+
+QUERY = """
+for $item in /site/regions/europe/item
+return <r>{ $item/name/text() }</r>
+"""
+
+_DOC_CACHE: dict = {}
+
+
+def _module_doc() -> str:
+    if "doc" not in _DOC_CACHE:
+        _DOC_CACHE["doc"] = generate_document(scale=1.2, seed=11)
+    return _DOC_CACHE["doc"]
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return _module_doc()
+
+
+@pytest.fixture(scope="module")
+def expected(doc):
+    return GCXEngine(record_series=False).query(QUERY, doc).output
+
+
+# ---------------------------------------------------------------------------
+# units: seeded restart-backoff jitter (no processes involved)
+# ---------------------------------------------------------------------------
+
+
+class TestRestartBackoffJitter:
+    def _pool(self, seed):
+        # never started — _restart_delay is pure given the seeded rng
+        return WorkerSupervisor(
+            workers=1, backoff_initial=0.1, backoff_max=2.0, backoff_seed=seed
+        )
+
+    def test_same_seed_same_schedule(self):
+        a = [self._pool(7)._restart_delay(n) for n in range(1, 8)]
+        b = [self._pool(7)._restart_delay(n) for n in range(1, 8)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [self._pool(7)._restart_delay(n) for n in range(1, 8)]
+        b = [self._pool(8)._restart_delay(n) for n in range(1, 8)]
+        assert a != b
+
+    def test_jitter_stays_within_quarter_band(self):
+        pool = self._pool(123)
+        for failures in range(1, 12):
+            base = min(0.1 * (2 ** (failures - 1)), 2.0)
+            for _ in range(20):
+                delay = pool._restart_delay(failures)
+                assert 0.75 * base <= delay <= 1.25 * base
+
+    def test_exponent_capped_at_backoff_max(self):
+        pool = self._pool(5)
+        assert pool._restart_delay(30) <= 1.25 * 2.0
+
+    def test_zero_failures_treated_as_first(self):
+        pool = self._pool(5)
+        assert pool._restart_delay(0) <= 1.25 * 0.1
+
+
+# ---------------------------------------------------------------------------
+# end to end: SIGKILL mid-session, resume on a sibling, byte-identical
+# ---------------------------------------------------------------------------
+
+
+needs_reuseport = pytest.mark.skipif(
+    not reuseport_available(),
+    reason="SO_REUSEPORT unavailable; pool faults need shared accept",
+)
+
+
+@needs_reuseport
+class TestKillAndResume:
+    def test_sigkill_mid_session_resumes_byte_identical(self, doc, expected):
+        data = doc.encode()
+        kill_at = len(data) // 2
+        pool = WorkerSupervisor(
+            workers=4,
+            max_sessions=16,
+            backoff_initial=0.05,
+            backoff_seed=7,
+            fault_plan=f"seed=42,kill_at={kill_at}",
+        )
+        pool.start()
+        try:
+            client = GCXClient(
+                pool.host, pool.port, chunk_size=8192, busy_retries=3
+            )
+            outcome = client.run_query_resilient(
+                QUERY, data, checkpoint_interval=16384, resume_retries=5
+            )
+            assert outcome.output == expected
+            totals = client.stats()["totals"]
+            assert totals["checkpoints"]["sessions_resumed"] >= 1
+            assert totals["checkpoints"]["taken"] >= 1
+            client.close()
+        finally:
+            pool.stop(graceful=False)
+
+    def test_sigterm_drains_to_checkpoint(self, doc, expected):
+        # a worker asked to drain checkpoints its in-flight session and
+        # sends the SNAPSHOT unsolicited; the same connection then
+        # finishes normally (the OS socket outlives the drain window)
+        data = doc.encode()
+        pool = WorkerSupervisor(
+            workers=1, max_sessions=8, restart=False, drain_timeout=20.0
+        )
+        pool.start()
+        try:
+            client = GCXClient(pool.host, pool.port, chunk_size=4096)
+            client.open(QUERY, checkpointable=True)
+            half = len(data) // 2
+            for i in range(0, half, 4096):
+                client.send_chunk(data[i : min(i + 4096, half)])
+            os.kill(pool._procs[0].pid, signal.SIGTERM)
+            time.sleep(0.5)
+            for i in range(half, len(data), 4096):
+                client.send_chunk(data[i : i + 4096])
+            outcome = client.finish()
+            assert outcome.output == expected
+            assert client.last_snapshot is not None
+            in_off, out_off, blob = client.last_snapshot
+            assert 0 < in_off <= len(data) and blob
+            client.close()
+        finally:
+            pool.stop(graceful=False)

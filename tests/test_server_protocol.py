@@ -27,6 +27,9 @@ ALL_TYPE_FRAMES = [
     (FrameType.OPENED, b"17"),
     (FrameType.SUBSCRIBE, b"xmark\nfor $p in /site return $p"),
     (FrameType.PUBLISH, b"xmark"),
+    (FrameType.CHECKPOINT, b""),
+    (FrameType.SNAPSHOT, b"\x00" * 16 + b"GCXS\x00\x01blob"),
+    (FrameType.RESUME, b"GCXS\x00\x01blob"),
 ]
 
 
