@@ -224,6 +224,10 @@ class _OutputChannel:
         self._cond = threading.Condition()
         #: ``time.perf_counter()`` of the first fragment, or ``None``
         self.first_output_at: float | None = None
+        #: cumulative length of everything handed to the consumer
+        #: (bytes when binary, chars otherwise).  Survives
+        #: checkpoint/restore — see :attr:`StreamSession.delivered_output`.
+        self.taken_total = 0
 
     # -- worker side -------------------------------------------------------
 
@@ -318,6 +322,7 @@ class _OutputChannel:
                 self._parts.clear()
                 self._pending = 0
         if taken:
+            self.taken_total += len(taken)
             self._cond.notify_all()
         return taken
 
@@ -699,6 +704,7 @@ class StreamSession:
                 "lexer": self._lexer.snapshot_state(),
                 "projector": self._projector.snapshot_state(),
                 "chars_written": self._writer.chars_written,
+                "delivered_output": self._output.taken_total,
                 "evaluator": self._evaluator.snapshot_state(),
                 "output_parts": self._output.backlog(),
                 "input_chunks": self._channel.backlog(),
@@ -750,6 +756,10 @@ class StreamSession:
             binary=snap.binary_output,
         )
         self._output.preload(snap.output_parts)
+        # The drained-prefix position carries across restore so a later
+        # snapshot reports session-cumulative delivered output, not
+        # output since this restore.
+        self._output.taken_total = snap.delivered_output
         # Build the chain exactly as __init__ does (construction side
         # effects — start roles on the fresh root — land on objects
         # whose state the snapshot overwrites next).
@@ -802,6 +812,15 @@ class StreamSession:
         """Total input bytes accepted so far (str chunks count their
         UTF-8 encoding)."""
         return self._bytes_fed
+
+    @property
+    def delivered_output(self) -> int:
+        """Output already handed to the consumer via ``drain_output()``
+        / ``next_output()`` (bytes with ``binary_output``, chars
+        otherwise), cumulative across checkpoint/restore — the
+        session-absolute offset at which a resumed consumer continues
+        (DESIGN.md §16)."""
+        return self._output.taken_total
 
     @property
     def finished(self) -> bool:

@@ -52,6 +52,12 @@ FORMAT_VERSION = 1
 _F64 = struct.Struct(">d")
 _U16 = struct.Struct(">H")
 
+#: Varint magnitude cap (bits).  Slot values are unbounded Python ints
+#: — a large aggregate sum must stay snapshottable — so the cap is not
+#: 64; it only exists to reject runaway bytes in a corrupt blob with a
+#: clear error instead of materializing an absurd integer.
+_MAX_VARINT_BITS = 4096
+
 # slot / reference value tags
 _TAG_NONE = 0
 _TAG_NODE = 1
@@ -126,8 +132,14 @@ class BlobWriter:
         self._parts.append(bytes(out))
 
     def svarint(self, value: int) -> None:
-        """Zigzag-encoded signed varint."""
-        self.varint((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+        """Zigzag-encoded signed varint.
+
+        Unbounded: Python slot values (e.g. aggregate sums) are not
+        64-bit ints, so the mapping is the arithmetic zigzag
+        ``-2v-1 / 2v`` rather than the shift-and-xor form that only
+        holds inside a fixed width.
+        """
+        self.varint(-value * 2 - 1 if value < 0 else value * 2)
 
     def bool_(self, value: bool) -> None:
         self._parts.append(b"\x01" if value else b"\x00")
@@ -194,7 +206,7 @@ class BlobReader:
             if not byte & 0x80:
                 break
             shift += 7
-            if shift > 63:
+            if shift > _MAX_VARINT_BITS:
                 raise SnapshotFormatError("varint overflow in snapshot blob")
         self._pos = pos
         return value
@@ -204,7 +216,12 @@ class BlobReader:
         return (raw >> 1) ^ -(raw & 1)
 
     def bool_(self) -> bool:
-        return self.raw(1) == b"\x01"
+        byte = self.raw(1)[0]
+        if byte > 1:
+            raise SnapshotFormatError(
+                f"invalid bool byte 0x{byte:02x} in snapshot blob"
+            )
+        return byte == 1
 
     def f64(self) -> float:
         return _F64.unpack(self.raw(8))[0]
@@ -645,6 +662,7 @@ class SessionSnapshot:
         "lexer",
         "projector",
         "chars_written",
+        "delivered_output",
         "evaluator",
         "output_parts",
         "input_chunks",
@@ -674,6 +692,7 @@ def encode_session(state: dict) -> bytes:
     _encode_lexer(w, state["lexer"])
     _encode_projector(w, state["projector"], purged)
     w.varint(state["chars_written"])
+    w.varint(state["delivered_output"])
     _encode_evaluator(w, state["evaluator"], purged)
     parts = state["output_parts"]
     binary = state["binary_output"]
@@ -732,6 +751,7 @@ def decode_session(blob: bytes) -> SessionSnapshot:
     snap.lexer = _decode_lexer(r)
     snap.projector = _decode_projector(r)
     snap.chars_written = r.varint()
+    snap.delivered_output = r.varint()
     snap.evaluator = _decode_evaluator(r)
     raw_parts = [r.blob() for _ in range(r.varint())]
     snap.output_parts = (

@@ -64,8 +64,10 @@ class ManagedSession:
         self.id = session_id
         self._opened = time.perf_counter()
         self._released = False
-        #: result bytes the connection's pump has sent so far — the
-        #: output offset a SNAPSHOT frame reports (DESIGN.md §16)
+        #: result bytes delivered to the client so far, cumulative
+        #: across resumes (:meth:`SessionScheduler.try_resume` seeds it
+        #: from the snapshot) — the session-absolute output offset a
+        #: SNAPSHOT frame reports (DESIGN.md §16)
         self.delivered_bytes = 0
         #: input offset of the last checkpoint, for the server-driven
         #: ``--checkpoint-interval`` cadence
@@ -329,6 +331,11 @@ class SessionScheduler:
         self.metrics.session_resumed()
         managed = ManagedSession(self, session, next(self._ids))
         managed.last_checkpoint_bytes = session.bytes_fed
+        # Output offsets are session-absolute across resumes: a later
+        # SNAPSHOT must report the cumulative delivered position, not
+        # bytes sent over this connection, because the client rolls its
+        # assembled output back to exactly that offset.
+        managed.delivered_bytes = session.delivered_output
         return managed
 
     def _release(

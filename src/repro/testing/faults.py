@@ -12,7 +12,10 @@ the server's data path, where it can
 * delay, duplicate or truncate outbound RESULT frames
   (``delay_result_every``/``delay_result_s``,
   ``duplicate_result_every``, ``truncate_result_at``) — truncation
-  also severs the connection, simulating a worker dying mid-frame.
+  also severs the connection, simulating a worker dying mid-frame;
+  ``truncate_result_times=N`` re-arms it every further
+  ``truncate_result_at`` output bytes, so one plan can crash a
+  resilient client repeatedly (multi-failure resume testing).
 
 Everything is deterministic: thresholds are byte offsets and frame
 counters, and the only randomness is a :class:`random.Random` seeded
@@ -55,6 +58,7 @@ _INT_KEYS = frozenset(
         "delay_result_every",
         "duplicate_result_every",
         "truncate_result_at",
+        "truncate_result_times",
     }
 )
 _FLOAT_KEYS = frozenset({"delay_result_s"})
@@ -72,6 +76,7 @@ class FaultPlan:
         delay_result_s: float = 0.01,
         duplicate_result_every: int | None = None,
         truncate_result_at: int | None = None,
+        truncate_result_times: int | None = None,
         marker_path: str | None = None,
     ):
         self.seed = seed
@@ -81,6 +86,7 @@ class FaultPlan:
         self.delay_result_s = delay_result_s
         self.duplicate_result_every = duplicate_result_every
         self.truncate_result_at = truncate_result_at
+        self.truncate_result_times = truncate_result_times
         self.marker_path = marker_path
         #: seeded source for any jitter a harness user wants; the
         #: built-in injectors are threshold-driven and never draw from
@@ -90,7 +96,7 @@ class FaultPlan:
         self._feed_failed = False
         self._result_count = 0
         self._result_bytes = 0
-        self._truncated = False
+        self._truncations = 0
 
     @classmethod
     def parse(cls, spec: str, marker_path: str | None = None) -> "FaultPlan":
@@ -164,13 +170,20 @@ class FaultPlan:
         ):
             delay = self.delay_result_s
         truncate_to = None
+        # the k-th truncation fires when cumulative output crosses
+        # k * truncate_result_at, up to truncate_result_times (default 1)
+        threshold = (
+            None
+            if self.truncate_result_at is None
+            else self.truncate_result_at * (self._truncations + 1)
+        )
         if (
-            self.truncate_result_at is not None
-            and not self._truncated
-            and self._result_bytes + part_bytes >= self.truncate_result_at
+            threshold is not None
+            and self._truncations < (self.truncate_result_times or 1)
+            and self._result_bytes + part_bytes >= threshold
         ):
-            self._truncated = True
-            truncate_to = max(0, self.truncate_result_at - self._result_bytes)
+            self._truncations += 1
+            truncate_to = max(0, threshold - self._result_bytes)
             truncate_to = min(truncate_to, max(0, part_bytes - 1))
         self._result_bytes += part_bytes
         duplicate = bool(

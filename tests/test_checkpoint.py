@@ -24,6 +24,8 @@ from repro.core.session import SessionStateError, StreamSession
 from repro.core.snapshot import (
     FORMAT_VERSION,
     MAGIC,
+    BlobReader,
+    BlobWriter,
     SnapshotFormatError,
     SnapshotPlanMismatch,
     peek_plan_text,
@@ -140,6 +142,60 @@ class TestSnapshotLifecycle:
         restored = gcx.restore_session(blob)
         _feed_range(restored, data, half, len(data))
         assert restored.finish().output == reference.output
+
+    def test_restore_carries_delivered_output_offset(self, gcx, doc, reference):
+        # the drained-prefix position is part of the snapshot: a session
+        # restored from the blob reports the session-absolute delivered
+        # offset, not zero — what keeps post-resume checkpoints exact
+        data = doc.encode()
+        session = gcx.session(QUERY, checkpointable=True, binary_output=True)
+        _feed_range(session, data, 0, len(data) // 2)
+        early = session.drain_output()
+        blob = session.snapshot()
+        assert session.delivered_output == len(early)
+        session.abort()
+        restored = gcx.restore_session(blob)
+        assert restored.delivered_output == len(early)
+        _feed_range(restored, data, len(data) // 2, len(data))
+        result = restored.finish()
+        assert early.decode() + result.output == reference.output
+
+
+# ---------------------------------------------------------------------------
+# the codec's primitives
+# ---------------------------------------------------------------------------
+
+
+class TestCodecPrimitives:
+    @pytest.mark.parametrize(
+        "value",
+        [0, 1, -1, 2**63 - 1, -(2**63), 2**63, 2**200 + 17, -(2**200) - 17],
+    )
+    def test_svarint_roundtrip_is_unbounded(self, value):
+        # slot values are Python ints (e.g. large aggregate sums), so
+        # the zigzag must not assume a 64-bit domain
+        w = BlobWriter()
+        w.svarint(value)
+        assert BlobReader(w.getvalue()).svarint() == value
+
+    def test_runaway_varint_still_refused(self):
+        # endless continuation bytes in a corrupt blob must fail loudly
+        # rather than materialize an absurd integer
+        with pytest.raises(SnapshotFormatError, match="overflow"):
+            BlobReader(b"\xff" * 4096).varint()
+
+    def test_bool_roundtrip(self):
+        w = BlobWriter()
+        w.bool_(True)
+        w.bool_(False)
+        r = BlobReader(w.getvalue())
+        assert r.bool_() is True and r.bool_() is False
+
+    @pytest.mark.parametrize("corrupt", [b"\x02", b"\x80", b"\xff"])
+    def test_corrupt_bool_byte_refused(self, corrupt):
+        # a bit-flipped flag must not silently decode as False
+        with pytest.raises(SnapshotFormatError, match="bool"):
+            BlobReader(corrupt).bool_()
 
 
 # ---------------------------------------------------------------------------

@@ -133,6 +133,42 @@ class TestResumeFrame:
         assert outcome.output.encode() == expected_bytes[out_off:]
         assert stats["checkpoints"]["sessions_resumed"] == 1
 
+    def test_checkpoint_after_resume_reports_session_absolute_offsets(self):
+        # crash -> resume -> checkpoint -> crash again: the second
+        # snapshot's output offset must be cumulative over the whole
+        # session, not relative to the resumed connection, or the
+        # client's rollback stitches the wrong byte range.
+        query = "for $b in /a/b return $b"
+        body = "".join(f"<b>{'y' * 80}-{i}</b>" for i in range(400))
+        data = f"<a>{body}</a>".encode()
+        expected = (
+            GCXEngine(record_series=False)
+            .query(query, data.decode())
+            .output.encode()
+        )
+        third = len(data) // 3
+        with ServerThread(max_sessions=4) as first:
+            client = GCXClient(first.host, first.port)
+            client.open(query, checkpointable=True)
+            _send_range(client, data, 0, third)
+            in1, out1, blob1 = client.checkpoint()
+            client.close()  # first failure
+        with ServerThread(max_sessions=4) as second:
+            client = GCXClient(second.host, second.port)
+            client.resume(blob1)
+            _send_range(client, data, in1, 2 * third)
+            in2, out2, blob2 = client.checkpoint()
+            client.close()  # second failure
+        assert in2 == 2 * third
+        assert out1 > 0 and out2 > out1  # cumulative, not per-connection
+        with ServerThread(max_sessions=4) as last:
+            client = GCXClient(last.host, last.port)
+            client.resume(blob2)
+            _send_range(client, data, in2, len(data))
+            outcome = client.finish()
+            client.close()
+        assert outcome.output.encode() == expected[out2:]
+
     def test_resume_garbage_blob_is_error(self):
         with ServerThread(max_sessions=4) as handle:
             client = GCXClient(handle.host, handle.port)
@@ -202,6 +238,28 @@ class TestFaultInjection:
             client.close()
         assert outcome.output == expected
         assert stats["checkpoints"]["sessions_resumed"] >= 1
+
+    def test_two_crashes_with_checkpoint_between_resume_byte_identical(self):
+        # the injector severs the connection twice (re-armed
+        # truncation); the client checkpoints between the failures, so
+        # the second rollback exercises a snapshot taken *after* a
+        # resume — its offsets must be session-absolute.
+        query = "for $b in /a/b return $b"
+        body = "".join(f"<b>{'x' * 100}-{i}</b>" for i in range(300))
+        document = f"<a>{body}</a>"
+        expected = GCXEngine(record_series=False).query(query, document).output
+        plan = FaultPlan.parse(
+            "seed=3,truncate_result_at=6000,truncate_result_times=2"
+        )
+        with ServerThread(max_sessions=4, fault_plan=plan) as handle:
+            client = GCXClient(handle.host, handle.port, chunk_size=2048)
+            outcome = client.run_query_resilient(
+                query, document, checkpoint_interval=4096, resume_retries=5
+            )
+            stats = client.stats()
+            client.close()
+        assert outcome.output == expected
+        assert stats["checkpoints"]["sessions_resumed"] >= 2
 
     def test_injected_feed_failure_propagates_as_error(self, doc):
         plan = FaultPlan.parse("seed=3,fail_feed_at=8192")
